@@ -1,0 +1,103 @@
+// Command decompviz renders the paper's construction figures as ASCII:
+// Figure 1 (the 8x8 two-dimensional decomposition, type-1 and type-2
+// submeshes at levels 1 and 2) and, for -d 3 and higher, the census of
+// the translated families of Figure 2.
+//
+// Usage:
+//
+//	decompviz [-d 2] [-side 8] [-level -1] [-type 0]
+//
+// With -level/-type left at their defaults every (level, family) of a
+// 2-D mesh is drawn; for d > 2 the census table is printed instead
+// (ASCII art of a hypercube decomposition helps nobody).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"obliviousmesh/internal/access"
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/experiments"
+	"obliviousmesh/internal/mesh"
+)
+
+func main() {
+	d := flag.Int("d", 2, "mesh dimension")
+	side := flag.Int("side", 8, "mesh side (power of two)")
+	level := flag.Int("level", -1, "single level to draw (-1 = all)")
+	typ := flag.Int("type", 0, "single family to draw (0 = all)")
+	torus := flag.Bool("torus", false, "decompose a torus (wrapping families)")
+	dot := flag.Bool("dot", false, "emit the access graph in Graphviz DOT instead")
+	svg := flag.Bool("svg", false, "emit one SVG figure per drawn layer instead of ASCII")
+	flag.Parse()
+
+	var m *mesh.Mesh
+	var err error
+	if *torus {
+		m, err = mesh.SquareTorus(*d, *side)
+	} else {
+		m, err = mesh.Square(*d, *side)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mode := decomp.ModeGeneral
+	if *d == 2 {
+		mode = decomp.Mode2D
+	}
+	dc, err := decomp.New(m, mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *dot {
+		g := access.Build(dc)
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%v, mode %v, %d levels\n\n", m, mode, dc.Levels())
+	if *d != 2 {
+		// Figure 2 analogue: census of the families.
+		t := experiments.F2DecompositionD(experiments.Config{})
+		if *side != 16 || *d != 3 {
+			// Rebuild the census for the requested shape.
+			fmt.Printf("census for %v:\n", m)
+			for l := 0; l < dc.Levels(); l++ {
+				fmt.Printf("  level %d: side %d, %d families, %d submeshes (lambda %d)\n",
+					l, dc.SideAt(l), dc.NumTypes(l), dc.CountLevel(l), dc.Lambda(l))
+			}
+			return
+		}
+		fmt.Println(t.String())
+		return
+	}
+
+	for l := 1; l < dc.Levels()-1; l++ {
+		if *level >= 0 && l != *level {
+			continue
+		}
+		for j := 1; j <= dc.NumTypes(l); j++ {
+			if *typ > 0 && j != *typ {
+				continue
+			}
+			if *svg {
+				out, err := experiments.RenderDecompositionSVG(dc, l, j)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println(out)
+				continue
+			}
+			fmt.Println(experiments.RenderDecomposition2D(dc, l, j))
+		}
+	}
+}

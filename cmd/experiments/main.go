@@ -1,0 +1,70 @@
+// Command experiments regenerates every table and figure of the
+// reproduction (DESIGN.md §4) and prints them as text or markdown.
+// The markdown output is what EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-markdown] [-only E6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"obliviousmesh/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	csvOut := flag.Bool("csv", false, "emit CSV (one table after another)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E6)")
+	list := flag.Bool("list", false, "list experiment IDs and titles, then exit")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if *list {
+		for _, e := range experiments.Index() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, r := range experiments.All(cfg) {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		ran++
+		switch {
+		case *csvOut:
+			fmt.Printf("# %s: %s\n", r.ID, r.Table.Title)
+			if err := r.Table.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		case *markdown:
+			fmt.Println(r.Table.Markdown())
+		default:
+			fmt.Println(r.Table.String())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q\n", *only)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "ran %d experiments in %v (seed %d, quick=%v)\n",
+		ran, time.Since(start).Round(time.Millisecond), *seed, *quick)
+}

@@ -1,0 +1,186 @@
+// Command meshroute routes a workload (or a single pair) on a mesh or
+// torus with a chosen algorithm and reports congestion, dilation,
+// stretch, the C* lower bound and (optionally) the simulated delivery
+// time, an edge-load heatmap, and a JSON export of the run.
+//
+// Usage:
+//
+//	meshroute [-d 2] [-side 32] [-torus] [-algo H] [-workload permutation]
+//	          [-seed 1] [-simulate] [-delay 0] [-workers 0]
+//	          [-pair "x1,y1:x2,y2"] [-l 8] [-heatmap] [-save run.json]
+//
+// Algorithms: H, H-general, access-tree, dim-order, rand-dim-order,
+// rand-monotone, valiant, offline.
+// Workloads: permutation, transpose, bit-reversal, tornado,
+// nearest-neighbor, local-exchange, adversarial, bit-complement,
+// shuffle, edge-to-edge, hot-spot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"obliviousmesh/internal/adaptive"
+	"obliviousmesh/internal/baseline"
+	"obliviousmesh/internal/cli"
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/hotpotato"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/serial"
+	"obliviousmesh/internal/sim"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	d := flag.Int("d", 2, "mesh dimension")
+	side := flag.Int("side", 32, "mesh side (power of two for the paper-exact construction)")
+	torus := flag.Bool("torus", false, "use a torus instead of an open mesh")
+	algoName := flag.String("algo", "H", "routing algorithm")
+	wlName := flag.String("workload", "permutation", "workload")
+	seed := flag.Uint64("seed", 1, "random seed")
+	simulate := flag.Bool("simulate", false, "run the store-and-forward simulator")
+	maxDelay := flag.Int("delay", 0, "max random initial delay for the simulator (0 = none)")
+	workers := flag.Int("workers", 0, "parallel path-selection workers for H (0 = GOMAXPROCS)")
+	pair := flag.String("pair", "", "route a single pair, e.g. \"0,0:31,17\"")
+	l := flag.Int("l", 8, "block side for local-exchange/adversarial")
+	heatmap := flag.Bool("heatmap", false, "render the edge-load heatmap (2-D meshes)")
+	save := flag.String("save", "", "write the run (problem+paths+report) as JSON to this file")
+	flag.Parse()
+
+	m, err := cli.BuildMesh(*d, *side, *torus)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	switch *algoName {
+	case "offline":
+		runOffline(m, *wlName, *seed, *l)
+		return
+	case "adaptive", "hot-potato":
+		runHopByHop(m, *algoName, *wlName, *seed, *l)
+		return
+	}
+
+	algo, err := cli.BuildAlgorithm(*algoName, m, *seed)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *pair != "" {
+		sc, tc, err := cli.ParsePair(*pair, m)
+		if err != nil {
+			fail("%v", err)
+		}
+		s, t := m.Node(sc), m.Node(tc)
+		p := algo.Path(s, t, 0)
+		fmt.Printf("%s path %v -> %v (dist %d, len %d, stretch %.2f):\n",
+			algo.Name(), sc, tc, m.Dist(s, t), p.Len(), m.Stretch(p))
+		for _, n := range p {
+			fmt.Printf("  %v\n", m.CoordOf(n))
+		}
+		return
+	}
+
+	prob, hot, err := cli.BuildWorkload(*wlName, m, *seed, *l, algo)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *wlName == "adversarial" {
+		fmt.Printf("adversarial pinned edge: %s\n", m.EdgeString(hot))
+	}
+	var paths []mesh.Path
+	if named, ok := algo.(baseline.Named); ok {
+		// Core selectors route in parallel; obliviousness guarantees
+		// the result is identical to the sequential order.
+		paths, _ = named.Sel.SelectAllParallel(prob.Pairs, *workers)
+	} else {
+		paths = baseline.SelectAll(algo, prob.Pairs)
+	}
+
+	dc := decomp.MustNew(m, cli.DecompMode(m))
+	rep := metrics.Evaluate(dc, prob.Pairs, paths)
+	fmt.Printf("%v  workload=%s  N=%d  algo=%s  seed=%d\n",
+		m, prob.Name, prob.N(), algo.Name(), *seed)
+	fmt.Printf("congestion C      = %d\n", rep.Congestion)
+	fmt.Printf("dilation D        = %d\n", rep.Dilation)
+	fmt.Printf("max stretch       = %.2f\n", rep.MaxStretch)
+	fmt.Printf("mean stretch      = %.2f\n", rep.AvgStretch)
+	fmt.Printf("lower bound on C* = %d   (C/LB = %.2f)\n",
+		rep.LowerBound, float64(rep.Congestion)/float64(rep.LowerBound))
+	if *heatmap {
+		fmt.Print(metrics.LoadHeatmap(m, metrics.EdgeLoads(m, paths)))
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fail("%v", err)
+		}
+		err = serial.SaveRun(f, serial.Run{
+			Problem: prob, Algorithm: algo.Name(), Seed: *seed,
+			Paths: paths, Report: &rep,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail("save: %v", err)
+		}
+		fmt.Printf("run saved to %s\n", *save)
+	}
+	if *simulate {
+		r := sim.RunOpts(m, paths, sim.Options{
+			Discipline: sim.FurthestToGo,
+			Delays:     sim.UniformDelays(len(paths), *maxDelay, *seed),
+		})
+		fmt.Printf("makespan          = %d   (C+D = %d, ratio %.2f)\n",
+			r.Makespan, rep.Congestion+rep.Dilation,
+			float64(r.Makespan)/float64(rep.Congestion+rep.Dilation))
+		fmt.Printf("avg latency       = %.1f, max queue = %d\n", r.AvgLatency, r.MaxQueue)
+	}
+}
+
+// runHopByHop handles the routers that decide hop-by-hop at delivery
+// time (no path selection): buffered minimal adaptive and bufferless
+// hot-potato.
+func runHopByHop(m *mesh.Mesh, algoName, wlName string, seed uint64, l int) {
+	prob, _, err := cli.BuildWorkload(wlName, m, seed, l, baseline.DimOrder{M: m})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("%v  workload=%s  N=%d  algo=%s  seed=%d\n",
+		m, prob.Name, prob.N(), algoName, seed)
+	switch algoName {
+	case "adaptive":
+		r := adaptive.Run(m, prob.Pairs, adaptive.LeastQueue, seed, nil)
+		fmt.Printf("makespan          = %d\n", r.Makespan)
+		fmt.Printf("avg sojourn       = %.1f, max queue = %d\n", r.AvgSojourn, r.MaxQueue)
+		fmt.Printf("total hops        = %d (minimal routing: equals total distance)\n", r.TotalHops)
+	case "hot-potato":
+		r := hotpotato.Run(m, prob.Pairs, seed)
+		fmt.Printf("makespan          = %d\n", r.Makespan)
+		fmt.Printf("avg latency       = %.1f\n", r.AvgLatency)
+		fmt.Printf("total hops        = %d (of which %d deflections)\n", r.TotalHops, r.Deflections)
+	}
+}
+
+func runOffline(m *mesh.Mesh, wlName string, seed uint64, l int) {
+	prob, _, err := cli.BuildWorkload(wlName, m, seed, l, baseline.DimOrder{M: m})
+	if err != nil {
+		fail("%v", err)
+	}
+	off := baseline.Offline{M: m}
+	paths := off.Route(prob.Pairs)
+	dc := decomp.MustNew(m, cli.DecompMode(m))
+	rep := metrics.Evaluate(dc, prob.Pairs, paths)
+	fmt.Printf("%v  workload=%s  N=%d  algo=offline (non-oblivious)\n", m, prob.Name, prob.N())
+	fmt.Printf("congestion C      = %d\n", rep.Congestion)
+	fmt.Printf("dilation D        = %d\n", rep.Dilation)
+	fmt.Printf("max stretch       = %.2f\n", rep.MaxStretch)
+	fmt.Printf("lower bound on C* = %d\n", rep.LowerBound)
+}

@@ -1,0 +1,72 @@
+// Command replay loads a routing run saved by `meshroute -save`,
+// re-validates every path against the reconstructed mesh, re-computes
+// the quality report, and optionally re-simulates delivery — an audit
+// tool for archived experiments.
+//
+// Usage:
+//
+//	replay -in run.json [-simulate] [-heatmap]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"obliviousmesh/internal/cli"
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/serial"
+	"obliviousmesh/internal/sim"
+)
+
+func main() {
+	in := flag.String("in", "", "run file written by meshroute -save")
+	simulate := flag.Bool("simulate", false, "re-simulate delivery")
+	heatmap := flag.Bool("heatmap", false, "render the edge-load heatmap")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "replay: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run, err := serial.LoadRun(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := run.Problem.M
+	fmt.Printf("%v  workload=%s  N=%d  algo=%s  seed=%d (replayed from %s)\n",
+		m, run.Problem.Name, run.Problem.N(), run.Algorithm, run.Seed, *in)
+
+	dc, err := decomp.New(m, cli.DecompMode(m))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep := metrics.Evaluate(dc, run.Problem.Pairs, run.Paths)
+	fmt.Printf("congestion C      = %d\n", rep.Congestion)
+	fmt.Printf("dilation D        = %d\n", rep.Dilation)
+	fmt.Printf("max stretch       = %.2f\n", rep.MaxStretch)
+	fmt.Printf("lower bound on C* = %d\n", rep.LowerBound)
+	if run.Report != nil {
+		if *run.Report == rep {
+			fmt.Println("stored report     = verified (matches recomputation)")
+		} else {
+			fmt.Printf("stored report     = MISMATCH: stored %+v\n", *run.Report)
+		}
+	}
+	if *heatmap {
+		fmt.Print(metrics.LoadHeatmap(m, metrics.EdgeLoads(m, run.Paths)))
+	}
+	if *simulate {
+		r := sim.Run(m, run.Paths, sim.FurthestToGo)
+		fmt.Printf("makespan          = %d (C+D = %d)\n",
+			r.Makespan, rep.Congestion+rep.Dilation)
+	}
+}

@@ -1,0 +1,38 @@
+// Package obliviousmesh is a Go implementation of the routing system
+// from "Optimal Oblivious Path Selection on the Mesh" (Costas Busch,
+// Malik Magdon-Ismail, Jing Xi; IPPS 2005).
+//
+// # Overview
+//
+// Given a d-dimensional mesh network with side length 2^k and a set of
+// packets (source/destination pairs), each packet must select a path
+// independently of all other packets (obliviously). This package
+// provides:
+//
+//   - algorithm H, the paper's oblivious path-selection algorithm,
+//     achieving congestion O(d² C* log n) and stretch O(d²)
+//     simultaneously — optimal up to O(d²) factors among oblivious
+//     algorithms, and O(1)-competitive for fixed d;
+//   - the hierarchical mesh decomposition and access graph it is built
+//     on (type-1 and translated type-j submeshes, bridge submeshes);
+//   - all classical baselines (dimension-order, Valiant–Brebner,
+//     access-tree/Maggs-style, random monotone, and a non-oblivious
+//     offline comparator);
+//   - routing-problem generators including the paper's adversarial
+//     construction Π_A (§5.1);
+//   - quality metrics (congestion, dilation, stretch, boundary-
+//     congestion lower bounds on C*);
+//   - a synchronous store-and-forward simulator for end-to-end
+//     delivery times;
+//   - an experiment harness regenerating every analytical result of
+//     the paper as an empirical table (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	m, _ := obliviousmesh.NewMesh(2, 64) // 64x64 mesh
+//	r, _ := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 1})
+//	path := r.Path(m.Node(obliviousmesh.Coord{3, 5}), m.Node(obliviousmesh.Coord{60, 2}), 0)
+//
+// See examples/ for runnable programs and DESIGN.md for the full
+// system inventory.
+package obliviousmesh

@@ -1,0 +1,55 @@
+// Explain: open up one path selection and print every decision the
+// algorithm makes — the bitonic chain of submeshes, the bridge, the
+// random waypoints, the dimension order, and the exact random-bit
+// bill. The same data drives the E14 experiment that validates the
+// paper's congestion-charging argument from the inside.
+//
+//	go run ./examples/explain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/mesh"
+)
+
+func main() {
+	m, err := mesh.Square(2, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := core.NewSelector(m, core.Options{Variant: core.Variant2D, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := m.Node(mesh.Coord{5, 9})
+	d := m.Node(mesh.Coord{41, 30})
+	tr := sel.Explain(s, d, 0)
+
+	fmt.Printf("packet %v -> %v (distance %d)\n\n", m.CoordOf(s), m.CoordOf(d), m.Dist(s, d))
+	fmt.Printf("dimension order: %v   random bits: %d\n", tr.Perm, tr.Stats.RandomBits)
+	fmt.Printf("bridge: %v  (height %d, family %d)\n\n", tr.Bridge.Box,
+		tr.Stats.BridgeHeight, tr.Stats.BridgeType)
+
+	fmt.Println("bitonic chain (submesh -> random waypoint):")
+	for i, box := range tr.Chain {
+		marker := "  "
+		if box.Equal(tr.Bridge.Box) {
+			marker = "* " // the bridge
+		}
+		fmt.Printf("%s%-22v -> %v\n", marker, box, m.CoordOf(tr.Waypoints[i]))
+	}
+
+	fmt.Println("\nsubpath lengths:")
+	total := 0
+	for i, seg := range tr.Segments {
+		fmt.Printf("  hop %2d: %3d edges (%v -> %v)\n", i, seg.Len(),
+			m.CoordOf(tr.Waypoints[i]), m.CoordOf(tr.Waypoints[i+1]))
+		total += seg.Len()
+	}
+	fmt.Printf("\nraw length %d, after cycle removal %d, stretch %.2f (Theorem 3.4: <= 64)\n",
+		total, tr.Path.Len(), m.Stretch(tr.Path))
+}

@@ -1,0 +1,61 @@
+// Permutation routing shoot-out: route a random permutation, the
+// transpose and nearest-neighbor traffic on a 32x32 mesh with
+// algorithm H and every baseline, and print congestion, dilation and
+// stretch side by side — the scenario of the paper's introduction,
+// where only H controls congestion AND stretch at the same time.
+//
+//	go run ./examples/permutation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	obliviousmesh "obliviousmesh"
+)
+
+func main() {
+	m, err := obliviousmesh.NewMesh(2, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	router, err := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	algos := append([]obliviousmesh.PathSelector{
+		obliviousmesh.Named("H (this paper)", router),
+	}, obliviousmesh.Baselines(m, 7)...)
+
+	problems := []obliviousmesh.Problem{
+		obliviousmesh.RandomPermutation(m, 99),
+		obliviousmesh.Transpose(m),
+		obliviousmesh.NearestNeighbor(m),
+	}
+
+	for _, prob := range problems {
+		fmt.Printf("\n=== workload %s (N=%d, D=%d) ===\n",
+			prob.Name, prob.N(), m.MaxDist(prob.Pairs))
+		fmt.Printf("%-18s %6s %6s %9s %8s\n", "algorithm", "C", "D", "stretch", "C/LB")
+		for _, a := range algos {
+			paths := obliviousmesh.SelectAll(a, prob.Pairs)
+			rep, err := obliviousmesh.Evaluate(m, prob.Pairs, paths)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-18s %6d %6d %9.2f %8.2f\n",
+				a.Name(), rep.Congestion, rep.Dilation, rep.MaxStretch,
+				float64(rep.Congestion)/float64(rep.LowerBound))
+		}
+	}
+
+	fmt.Println(`
+reading the table:
+  - shortest-path routers (dim-order & friends) always have stretch 1
+    but their congestion explodes on adversarial traffic (see the
+    adversarial example);
+  - valiant and access-tree keep congestion near the lower bound but
+    drag nearest-neighbor packets across the mesh (huge stretch);
+  - H keeps BOTH within the paper's O(log n) / O(1) factors.`)
+}

@@ -1,0 +1,56 @@
+// Quickstart: route one packet obliviously on a 64x64 mesh with
+// algorithm H and print the path, its stretch, and the random bits it
+// consumed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	obliviousmesh "obliviousmesh"
+)
+
+func main() {
+	// A 64x64 mesh (sides must be a power of two for algorithm H).
+	m, err := obliviousmesh.NewMesh(2, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Algorithm H from the paper; the seed keys all per-packet coins.
+	router, err := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src := m.Node(obliviousmesh.Coord{3, 5})
+	dst := m.Node(obliviousmesh.Coord{60, 12})
+
+	// Each packet passes its own stream id; paths are a pure function
+	// of (seed, stream, src, dst) — that is what "oblivious" means.
+	path, stats := router.PathStats(src, dst, 0)
+
+	fmt.Printf("source      : %v\n", m.CoordOf(src))
+	fmt.Printf("destination : %v\n", m.CoordOf(dst))
+	fmt.Printf("distance    : %d\n", m.Dist(src, dst))
+	fmt.Printf("path length : %d (stretch %.2f; Theorem 3.4 guarantees <= 64)\n",
+		path.Len(), m.Stretch(path))
+	fmt.Printf("random bits : %d (Lemma 5.4: O(d log(D sqrt d)))\n", stats.RandomBits)
+	fmt.Printf("bridge      : height %d, family %d, chain of %d submeshes\n",
+		stats.BridgeHeight, stats.BridgeType, stats.ChainLen)
+
+	fmt.Println("\nfirst hops:")
+	for i, n := range path {
+		if i > 8 {
+			fmt.Printf("  ... (%d more)\n", len(path)-i)
+			break
+		}
+		fmt.Printf("  %v\n", m.CoordOf(n))
+	}
+
+	// Different streams give different paths; same stream repeats.
+	alt := router.Path(src, dst, 1)
+	fmt.Printf("\nanother stream's path length: %d\n", alt.Len())
+}

@@ -1,0 +1,3 @@
+module obliviousmesh
+
+go 1.22

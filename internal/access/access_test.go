@@ -1,0 +1,205 @@
+package access
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+func build(t *testing.T, d, side int, mode decomp.Mode) *Graph {
+	t.Helper()
+	m := mesh.MustSquare(d, side)
+	return Build(decomp.MustNew(m, mode))
+}
+
+func TestBuildBasics(t *testing.T) {
+	g := build(t, 2, 8, decomp.Mode2D)
+	if g.NumVertices() == 0 {
+		t.Fatal("empty graph")
+	}
+	root := g.Vertex(g.Root())
+	if root.Level != 0 || root.Box.Size() != 64 {
+		t.Errorf("root = %+v", root)
+	}
+	// Leaves: one per node, level k.
+	leaves := g.LevelVertices(3)
+	if len(leaves) != 64 {
+		t.Errorf("%d leaves, want 64", len(leaves))
+	}
+	for n := 0; n < 64; n++ {
+		lid := g.Leaf(mesh.NodeID(n))
+		v := g.Vertex(lid)
+		if v.Box.Size() != 1 || v.Level != 3 {
+			t.Errorf("leaf of %d = %+v", n, v)
+		}
+	}
+}
+
+// Edges exist exactly between adjacent levels with containment (§3.2).
+func TestEdgeStructure(t *testing.T) {
+	g := build(t, 2, 8, decomp.Mode2D)
+	for id := 0; id < g.NumVertices(); id++ {
+		v := g.Vertex(VertexID(id))
+		for _, p := range g.Parents(VertexID(id)) {
+			pv := g.Vertex(p)
+			if pv.Level != v.Level-1 {
+				t.Fatalf("parent level %d for child level %d", pv.Level, v.Level)
+			}
+			if !pv.Box.ContainsBox(v.Box) {
+				t.Fatalf("parent %v does not contain child %v", pv.Box, v.Box)
+			}
+		}
+		for _, c := range g.Children(VertexID(id)) {
+			cv := g.Vertex(c)
+			if cv.Level != v.Level+1 {
+				t.Fatalf("child level %d for parent level %d", cv.Level, v.Level)
+			}
+			if !v.Box.ContainsBox(cv.Box) {
+				t.Fatalf("parent %v does not contain child %v", v.Box, cv.Box)
+			}
+		}
+	}
+}
+
+// "The access graph is not necessarily a tree, since a node can have
+// two parents" (§3.2) — verify some vertex indeed has two parents.
+func TestNotATree(t *testing.T) {
+	g := build(t, 2, 16, decomp.Mode2D)
+	multi := 0
+	for id := 0; id < g.NumVertices(); id++ {
+		if len(g.Parents(VertexID(id))) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no vertex with two parents; access graph degenerated to a tree")
+	}
+}
+
+func TestLemma31AllModes(t *testing.T) {
+	cases := []struct {
+		d, side int
+		mode    decomp.Mode
+	}{
+		{2, 8, decomp.Mode2D},
+		{2, 16, decomp.Mode2D},
+		{2, 8, decomp.ModeGeneral},
+		{3, 8, decomp.ModeGeneral},
+		{4, 4, decomp.ModeGeneral},
+	}
+	for _, c := range cases {
+		g := build(t, c.d, c.side, c.mode)
+		if err := g.CheckLemma31(); err != nil {
+			t.Errorf("d=%d side=%d %v: %v", c.d, c.side, c.mode, err)
+		}
+	}
+}
+
+// Lemma 3.2: for any node v of a regular submesh M', g^{-1}(M') is an
+// ancestor of g^{-1}(v) via type-1 monotonic paths... the weaker
+// graph-level property we verify: from every leaf there is a
+// type-1-only ancestor chain to every level (MonotonicPathUp works).
+func TestLemma32MonotonicAncestors(t *testing.T) {
+	g := build(t, 2, 16, decomp.Mode2D)
+	m := mesh.MustSquare(2, 16)
+	for n := 0; n < m.Size(); n += 7 {
+		leaf := g.Leaf(mesh.NodeID(n))
+		for lvl := 0; lvl <= 4; lvl++ {
+			path, err := g.MonotonicPathUp(leaf, lvl)
+			if err != nil {
+				t.Fatalf("node %d to level %d: %v", n, lvl, err)
+			}
+			// Every vertex on the chain must be type-1 and contain the
+			// node's coordinate.
+			c := m.CoordOf(mesh.NodeID(n))
+			for _, vid := range path {
+				v := g.Vertex(vid)
+				if !v.IsType1() {
+					t.Fatalf("monotonic chain has non-type-1 vertex %+v", v)
+				}
+				if !v.Box.Contains(c) {
+					t.Fatalf("chain vertex %v misses %v", v.Box, c)
+				}
+			}
+			// Levels strictly decrease toward the target.
+			for i := 1; i < len(path); i++ {
+				if g.Vertex(path[i]).Level != g.Vertex(path[i-1]).Level-1 {
+					t.Fatal("monotonic chain skips levels")
+				}
+			}
+		}
+	}
+}
+
+func TestBitonicPath(t *testing.T) {
+	g := build(t, 2, 16, decomp.Mode2D)
+	m := mesh.MustSquare(2, 16)
+	cases := [][2]mesh.Coord{
+		{{0, 0}, {15, 15}},
+		{{7, 8}, {8, 8}},
+		{{3, 3}, {3, 4}},
+		{{0, 15}, {15, 0}},
+		{{5, 5}, {5, 5}},
+	}
+	for _, c := range cases {
+		s, d := m.Node(c[0]), m.Node(c[1])
+		path, err := g.BitonicPath(s, d)
+		if err != nil {
+			t.Fatalf("(%v,%v): %v", c[0], c[1], err)
+		}
+		if g.Vertex(path[0]).Box.Size() != 1 || !g.Vertex(path[0]).Box.Contains(c[0]) {
+			t.Fatalf("path does not start at s-leaf")
+		}
+		last := g.Vertex(path[len(path)-1])
+		if last.Box.Size() != 1 || !last.Box.Contains(c[1]) {
+			t.Fatalf("path does not end at t-leaf")
+		}
+		// Bitonic: levels strictly decrease then strictly increase, and
+		// at most one vertex is not type-1 (the bridge).
+		nonType1 := 0
+		for _, vid := range path {
+			if !g.Vertex(vid).IsType1() {
+				nonType1++
+			}
+		}
+		if nonType1 > 1 {
+			t.Errorf("(%v,%v): %d non-type-1 vertices on bitonic path", c[0], c[1], nonType1)
+		}
+		turns := 0
+		for i := 2; i < len(path); i++ {
+			d1 := g.Vertex(path[i-1]).Level - g.Vertex(path[i-2]).Level
+			d2 := g.Vertex(path[i]).Level - g.Vertex(path[i-1]).Level
+			if d1 != d2 {
+				turns++
+			}
+		}
+		if turns > 1 {
+			t.Errorf("(%v,%v): bitonic path has %d direction changes", c[0], c[1], turns)
+		}
+	}
+}
+
+func TestLevelCensusMatchesFigure1(t *testing.T) {
+	g := build(t, 2, 8, decomp.Mode2D)
+	census := g.LevelCensus()
+	if census[1][1] != 4 || census[1][2] != 5 {
+		t.Errorf("level-1 census = %v, want map[1:4 2:5]", census[1])
+	}
+	if census[2][1] != 16 || census[2][2] != 21 {
+		t.Errorf("level-2 census = %v, want map[1:16 2:21]", census[2])
+	}
+	fams := g.FamiliesAt(1)
+	if len(fams) != 2 || fams[0] != 1 || fams[1] != 2 {
+		t.Errorf("families at level 1 = %v", fams)
+	}
+}
+
+func TestFigure2FamiliesAt3D(t *testing.T) {
+	g := build(t, 3, 8, decomp.ModeGeneral)
+	// Figure 2 shows 4 types for d=3.
+	fams := g.FamiliesAt(1)
+	if len(fams) != 4 {
+		t.Errorf("d=3 level-1 families = %v, want 4", fams)
+	}
+}

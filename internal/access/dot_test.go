@@ -1,0 +1,56 @@
+package access
+
+import (
+	"strings"
+	"testing"
+
+	"obliviousmesh/internal/decomp"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := build(t, 2, 8, decomp.Mode2D)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph access {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("not a DOT digraph")
+	}
+	// Every vertex declared exactly once.
+	for id := 0; id < g.NumVertices(); id++ {
+		decl := strings.Count(out, "  v"+itoa(id)+" [")
+		if decl != 1 {
+			t.Fatalf("vertex %d declared %d times", id, decl)
+		}
+	}
+	// Edge count matches the graph.
+	edges := 0
+	for id := 0; id < g.NumVertices(); id++ {
+		edges += len(g.Children(VertexID(id)))
+	}
+	if got := strings.Count(out, " -> "); got != edges {
+		t.Errorf("%d DOT edges, want %d", got, edges)
+	}
+	// Type-2 vertices are ellipses, type-1 boxes.
+	if !strings.Contains(out, "shape=ellipse") || !strings.Contains(out, "shape=box") {
+		t.Error("missing shapes")
+	}
+	if !strings.Contains(out, "rank=same") {
+		t.Error("missing rank constraints")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

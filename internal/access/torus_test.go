@@ -1,0 +1,102 @@
+package access
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+func buildTorus(t *testing.T, d, side int, mode decomp.Mode) *Graph {
+	t.Helper()
+	m, err := mesh.SquareTorus(d, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(decomp.MustNew(m, mode))
+}
+
+func TestTorusLemma31(t *testing.T) {
+	for _, c := range []struct {
+		d, side int
+		mode    decomp.Mode
+	}{
+		{2, 8, decomp.Mode2D},
+		{2, 16, decomp.Mode2D},
+		{3, 8, decomp.ModeGeneral},
+	} {
+		g := buildTorus(t, c.d, c.side, c.mode)
+		if err := g.CheckLemma31(); err != nil {
+			t.Errorf("torus d=%d side=%d %v: %v", c.d, c.side, c.mode, err)
+		}
+	}
+}
+
+// On the torus every translated submesh is internal, so the census per
+// family is exactly (side/m_l)^d at every level.
+func TestTorusCensusUniform(t *testing.T) {
+	g := buildTorus(t, 2, 16, decomp.Mode2D)
+	census := g.LevelCensus()
+	for l := 1; l <= 3; l++ {
+		cells := 1 << l // boxes per dim = side / m_l = 2^l
+		want := cells * cells
+		for _, j := range g.FamiliesAt(l) {
+			if census[l][j] != want {
+				t.Errorf("level %d family %d: %d boxes, want %d", l, j, census[l][j], want)
+			}
+		}
+	}
+}
+
+// Wrapping edges of the access graph: the vertex of a wrapping type-2
+// box must have as children the type-1 boxes it wraps over.
+func TestTorusWrappingParents(t *testing.T) {
+	g := buildTorus(t, 2, 8, decomp.Mode2D)
+	m, _ := mesh.SquareTorus(2, 8)
+	// Find a wrapping level-1 type-2 box (Lo = 6, Hi = 9).
+	var wrapID VertexID
+	found := false
+	for _, id := range g.LevelVertices(1) {
+		v := g.Vertex(id)
+		if v.Type == 2 && v.Box.Hi[0] >= 8 && v.Box.Hi[1] >= 8 {
+			wrapID = id
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no doubly-wrapping type-2 box at level 1")
+	}
+	// It must have level-2 children covering the seam.
+	children := g.Children(wrapID)
+	if len(children) == 0 {
+		t.Fatal("wrapping box has no children")
+	}
+	coversSeam := false
+	for _, cid := range children {
+		cb := g.Vertex(cid).Box
+		if m.BoxContains(cb, mesh.Coord{7, 7}) || m.BoxContains(cb, mesh.Coord{0, 0}) {
+			coversSeam = true
+		}
+	}
+	if !coversSeam {
+		t.Error("wrapping box's children do not cover the seam")
+	}
+}
+
+func TestTorusBitonicPath(t *testing.T) {
+	g := buildTorus(t, 2, 16, decomp.Mode2D)
+	m, _ := mesh.SquareTorus(2, 16)
+	// Seam pair.
+	s := m.Node(mesh.Coord{15, 8})
+	d := m.Node(mesh.Coord{0, 8})
+	path, err := g.BitonicPath(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torus distance is 1, so Lemma 3.3 bounds the bridge height by
+	// ceil(log2 1) + 2 = 2, hence the bitonic path by 2*2+1 vertices.
+	if len(path) > 5 {
+		t.Errorf("seam bitonic path has %d vertices, want <= 5", len(path))
+	}
+}

@@ -1,0 +1,234 @@
+// Package adaptive implements hop-by-hop minimal adaptive routing —
+// the non-oblivious paradigm the paper's path-selection model gives
+// up. An adaptive router decides each hop at forwarding time using
+// local queue state, so it needs no path selection at all; comparing
+// it against algorithm H quantifies what obliviousness costs (the
+// paper's claim: only a logarithmic factor, in exchange for fully
+// distributed, traffic-independent operation).
+//
+// The model matches internal/sim: synchronous steps, at most one
+// packet per undirected edge per step, unbounded node queues. Policies
+// are *minimal*: only productive hops (shrinking the distance to the
+// destination) are taken, so every packet uses exactly dist(s,t) hops
+// and the only adaptivity is in choosing WHICH productive direction to
+// take.
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+
+	"obliviousmesh/internal/bitrand"
+	"obliviousmesh/internal/mesh"
+)
+
+// Policy selects the productive-direction heuristic.
+type Policy int
+
+const (
+	// LeastQueue picks the productive neighbor whose queue is
+	// currently shortest (ties broken by dimension index). The
+	// classical minimal adaptive heuristic.
+	LeastQueue Policy = iota
+	// RandomProductive picks uniformly among productive directions —
+	// adaptivity without congestion information (a randomized
+	// baseline between dimension-order and LeastQueue).
+	RandomProductive
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LeastQueue:
+		return "adaptive-least-queue"
+	case RandomProductive:
+		return "adaptive-random"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Result reports a completed adaptive routing run.
+type Result struct {
+	Makespan   int
+	AvgSojourn float64
+	MaxSojourn int
+	MaxQueue   int
+	Delivered  int
+	TotalHops  int // == Σ dist(s_i,t_i) for minimal policies
+}
+
+type apacket struct {
+	at      mesh.NodeID
+	dst     mesh.NodeID
+	arrived int
+	delay   int
+}
+
+// Run routes the pairs adaptively. delays (optional) gives per-packet
+// injection times as in sim.Options. The run is deterministic given
+// the seed.
+func Run(m *mesh.Mesh, pairs []mesh.Pair, pol Policy, seed uint64, delays []int) Result {
+	rng := bitrand.NewSource(seed | 1)
+	pkts := make([]apacket, len(pairs))
+	inFlight := 0
+	for i, pr := range pairs {
+		pkts[i] = apacket{at: pr.S, dst: pr.T, arrived: -1}
+		if delays != nil && i < len(delays) {
+			pkts[i].delay = delays[i]
+		}
+		if pr.S == pr.T {
+			pkts[i].arrived = 0
+			continue
+		}
+		inFlight++
+	}
+
+	// queueLen[node] counts packets currently waiting at the node
+	// (the state LeastQueue inspects).
+	queueLen := make([]int, m.Size())
+	active := make([]bool, len(pkts))
+	for i := range pkts {
+		if pkts[i].arrived == -1 && pkts[i].delay <= 0 {
+			active[i] = true
+			queueLen[pkts[i].at]++
+		}
+	}
+
+	res := Result{}
+	step := 0
+	totalSojourn := 0
+	d := m.Dim()
+	type claim struct {
+		pkt  int
+		next mesh.NodeID
+		e    mesh.EdgeID
+	}
+	for inFlight > 0 {
+		step++
+		// Inject delayed packets whose time has come.
+		for i := range pkts {
+			if !active[i] && pkts[i].arrived == -1 && pkts[i].delay+1 == step {
+				active[i] = true
+				queueLen[pkts[i].at]++
+			}
+		}
+		// Order packets by remaining distance (furthest first): a
+		// simple global priority that keeps long packets moving.
+		order := make([]int, 0, inFlight)
+		for i := range pkts {
+			if active[i] && pkts[i].arrived == -1 {
+				order = append(order, i)
+			}
+		}
+		sortByRemaining(m, pkts, order)
+
+		edgeTaken := map[mesh.EdgeID]bool{}
+		var claims []claim
+		for _, pi := range order {
+			p := &pkts[pi]
+			best := claim{pkt: -1}
+			bestScore := 1 << 30
+			srcC := m.CoordOf(p.at)
+			dstC := m.CoordOf(p.dst)
+			for dim := 0; dim < d; dim++ {
+				dir, ok := productiveDir(m, dim, srcC[dim], dstC[dim])
+				if !ok {
+					continue
+				}
+				next, ok := m.Step(p.at, dim, dir)
+				if !ok {
+					continue
+				}
+				e, _ := m.EdgeBetween(p.at, next)
+				if edgeTaken[e] {
+					continue
+				}
+				var score int
+				switch pol {
+				case LeastQueue:
+					score = queueLen[next]*8 + dim
+				case RandomProductive:
+					score = rng.Intn(1 << 20)
+				}
+				if best.pkt == -1 || score < bestScore {
+					best = claim{pkt: pi, next: next, e: e}
+					bestScore = score
+				}
+			}
+			if best.pkt != -1 {
+				edgeTaken[best.e] = true
+				claims = append(claims, best)
+			}
+		}
+		// Apply moves simultaneously.
+		for _, c := range claims {
+			p := &pkts[c.pkt]
+			queueLen[p.at]--
+			p.at = c.next
+			res.TotalHops++
+			if p.at == p.dst {
+				p.arrived = step
+				soj := step - p.delay
+				totalSojourn += soj
+				if soj > res.MaxSojourn {
+					res.MaxSojourn = soj
+				}
+				inFlight--
+				continue
+			}
+			queueLen[p.at]++
+		}
+		for _, q := range queueLen {
+			if q > res.MaxQueue {
+				res.MaxQueue = q
+			}
+		}
+	}
+	res.Makespan = step
+	res.Delivered = len(pairs)
+	moving := 0
+	for i := range pairs {
+		if pairs[i].S != pairs[i].T {
+			moving++
+		}
+	}
+	if moving > 0 {
+		res.AvgSojourn = float64(totalSojourn) / float64(moving)
+	}
+	return res
+}
+
+// productiveDir returns the direction in dim that shrinks the distance
+// to the destination coordinate, honoring torus wrap shortcuts.
+func productiveDir(m *mesh.Mesh, dim, cur, dst int) (int, bool) {
+	if cur == dst {
+		return 0, false
+	}
+	if !m.Wrap() || m.Side(dim) <= 2 {
+		if dst > cur {
+			return 1, true
+		}
+		return -1, true
+	}
+	s := m.Side(dim)
+	fwd := ((dst-cur)%s + s) % s
+	if fwd <= s-fwd {
+		return 1, true
+	}
+	return -1, true
+}
+
+// sortByRemaining orders packet indices by descending remaining
+// distance, ties by index for determinism.
+func sortByRemaining(m *mesh.Mesh, pkts []apacket, order []int) {
+	rem := make(map[int]int, len(order))
+	for _, i := range order {
+		rem[i] = m.Dist(pkts[i].at, pkts[i].dst)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := rem[order[a]], rem[order[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
+}

@@ -1,0 +1,202 @@
+// Package baseline implements the comparison algorithms the paper
+// positions itself against:
+//
+//   - deterministic dimension-order routing (the κ=1 algorithm of §5.1,
+//     stretch 1, worst-case congestion Ω(l/d) on the adversarial
+//     problem Π_A);
+//   - randomized-dimension-order shortest-path routing (stretch 1,
+//     randomized but still poor worst-case congestion);
+//   - uniformly random monotone (staircase) shortest paths;
+//   - Valiant–Brebner routing [14] (random intermediate node in the
+//     whole mesh: great congestion, unbounded stretch for local
+//     traffic);
+//   - access-tree routing in the style of Maggs et al. [9] (type-1
+//     hierarchy only: near-optimal congestion, unbounded stretch) —
+//     provided via core.Options.DisableBridges and re-exported here;
+//   - a non-oblivious offline comparator (iterative rerouting over
+//     congestion-weighted shortest paths), standing in for the offline
+//     algorithms of [1,2,12,13].
+//
+// All oblivious baselines implement the same PathSelector interface as
+// algorithm H so experiments can treat them uniformly.
+package baseline
+
+import (
+	"obliviousmesh/internal/bitrand"
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/mesh"
+)
+
+// PathSelector is the common interface of all oblivious algorithms: a
+// path for packet (s,t) that may depend only on (s, t) and the
+// packet's private stream of random bits.
+type PathSelector interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Path selects the path of the packet with the given private
+	// randomness stream.
+	Path(s, t mesh.NodeID, stream uint64) mesh.Path
+}
+
+// SelectAll runs a selector over a whole routing problem, packet i
+// using stream i.
+func SelectAll(ps PathSelector, pairs []mesh.Pair) []mesh.Path {
+	paths := make([]mesh.Path, len(pairs))
+	for i, pr := range pairs {
+		paths[i] = ps.Path(pr.S, pr.T, uint64(i))
+	}
+	return paths
+}
+
+// DimOrder is deterministic dimension-order (e-cube / XY) routing:
+// correct dimension 0 first, then dimension 1, and so on. It is the
+// canonical κ=1 deterministic algorithm: optimal stretch (1), but its
+// congestion on the §5.1 adversarial problem grows as Ω(l/d)
+// (Lemma 5.1 with κ=1).
+type DimOrder struct {
+	M *mesh.Mesh
+}
+
+// Name implements PathSelector.
+func (a DimOrder) Name() string { return "dim-order" }
+
+// Path implements PathSelector.
+func (a DimOrder) Path(s, t mesh.NodeID, _ uint64) mesh.Path {
+	return a.M.StaircasePath(s, t, mesh.IdentityPerm(a.M.Dim()))
+}
+
+// RandomDimOrder corrects dimensions in a uniformly random order —
+// the κ=d! randomization the paper folds into algorithm H (§3.3 step
+// 7). Still a shortest path (stretch 1).
+type RandomDimOrder struct {
+	M    *mesh.Mesh
+	Seed uint64
+}
+
+// Name implements PathSelector.
+func (a RandomDimOrder) Name() string { return "rand-dim-order" }
+
+// Path implements PathSelector.
+func (a RandomDimOrder) Path(s, t mesh.NodeID, stream uint64) mesh.Path {
+	rng := bitrand.Split(a.Seed, stream^(uint64(s)<<24)^uint64(t))
+	return a.M.StaircasePath(s, t, rng.Perm(a.M.Dim()))
+}
+
+// RandomMonotone picks a uniformly random monotone shortest path: at
+// every step, among the dimensions still needing correction, one is
+// chosen with probability proportional to its remaining offset. This
+// is the maximally randomized shortest-path algorithm (stretch 1,
+// κ = multinomial(dist; offsets)).
+type RandomMonotone struct {
+	M    *mesh.Mesh
+	Seed uint64
+}
+
+// Name implements PathSelector.
+func (a RandomMonotone) Name() string { return "rand-monotone" }
+
+// Path implements PathSelector.
+func (a RandomMonotone) Path(s, t mesh.NodeID, stream uint64) mesh.Path {
+	rng := bitrand.Split(a.Seed, stream^(uint64(s)<<24)^uint64(t))
+	m := a.M
+	d := m.Dim()
+	cur := m.CoordOf(s)
+	tc := m.CoordOf(t)
+	remain := make([]int, d)
+	total := 0
+	for i := 0; i < d; i++ {
+		remain[i] = tc[i] - cur[i]
+		if remain[i] < 0 {
+			total -= remain[i]
+		} else {
+			total += remain[i]
+		}
+	}
+	path := make(mesh.Path, 0, total+1)
+	path = append(path, s)
+	id := s
+	for total > 0 {
+		pick := rng.Intn(total)
+		for dim := 0; dim < d; dim++ {
+			mag := remain[dim]
+			if mag < 0 {
+				mag = -mag
+			}
+			if pick >= mag {
+				pick -= mag
+				continue
+			}
+			step := 1
+			if remain[dim] < 0 {
+				step = -1
+			}
+			cur[dim] += step
+			remain[dim] -= step
+			total--
+			id = m.Node(cur)
+			path = append(path, id)
+			break
+		}
+	}
+	return path
+}
+
+// Valiant implements Valiant–Brebner two-phase routing [14]: route to
+// a uniformly random intermediate node w of the whole mesh, then to
+// the destination, both phases via dimension-order. Congestion is
+// O(C* log n)-competitive on permutations, but the stretch is
+// unbounded: a packet to a neighboring node may cross the entire
+// network — exactly the failure mode the paper's bridges fix.
+type Valiant struct {
+	M    *mesh.Mesh
+	Seed uint64
+}
+
+// Name implements PathSelector.
+func (a Valiant) Name() string { return "valiant" }
+
+// Path implements PathSelector.
+func (a Valiant) Path(s, t mesh.NodeID, stream uint64) mesh.Path {
+	rng := bitrand.Split(a.Seed, stream^(uint64(s)<<24)^uint64(t))
+	m := a.M
+	d := m.Dim()
+	w := make(mesh.Coord, d)
+	for i := 0; i < d; i++ {
+		w[i] = rng.Intn(m.Side(i))
+	}
+	mid := m.Node(w)
+	perm := rng.Perm(d)
+	p1 := m.StaircasePath(s, mid, perm)
+	p2 := m.StaircasePath(mid, t, perm)
+	return append(p1, p2[1:]...).RemoveCycles()
+}
+
+// AccessTree is Maggs-et-al-style hierarchical routing over the type-1
+// tree only (no bridges): algorithm H with Options.DisableBridges.
+// Congestion remains O(C* log n); the stretch is unbounded.
+func AccessTree(m *mesh.Mesh, seed uint64) (*core.Selector, error) {
+	v := core.VariantGeneral
+	if m.Dim() == 2 {
+		v = core.Variant2D
+	}
+	return core.NewSelector(m, core.Options{
+		Variant:        v,
+		Seed:           seed,
+		DisableBridges: true,
+	})
+}
+
+// Named adapts a core.Selector to the PathSelector interface with a
+// display name.
+type Named struct {
+	Label string
+	Sel   *core.Selector
+}
+
+// Name implements PathSelector.
+func (n Named) Name() string { return n.Label }
+
+// Path implements PathSelector.
+func (n Named) Path(s, t mesh.NodeID, stream uint64) mesh.Path {
+	return n.Sel.Path(s, t, stream)
+}

@@ -1,0 +1,192 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/workload"
+)
+
+func allSelectors(m *mesh.Mesh, t *testing.T) []PathSelector {
+	t.Helper()
+	tree, err := AccessTree(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []PathSelector{
+		DimOrder{M: m},
+		RandomDimOrder{M: m, Seed: 1},
+		RandomMonotone{M: m, Seed: 2},
+		Valiant{M: m, Seed: 3},
+		Named{Label: "access-tree", Sel: tree},
+	}
+}
+
+func TestAllSelectorsProduceValidPaths(t *testing.T) {
+	for _, m := range []*mesh.Mesh{mesh.MustSquare(2, 16), mesh.MustSquare(3, 8)} {
+		for _, sel := range allSelectors(m, t) {
+			f := func(a, b, st uint32) bool {
+				s := mesh.NodeID(int(a) % m.Size())
+				d := mesh.NodeID(int(b) % m.Size())
+				p := sel.Path(s, d, uint64(st))
+				return m.Validate(p, s, d) == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Errorf("%s on %v: %v", sel.Name(), m, err)
+			}
+		}
+	}
+}
+
+func TestShortestPathBaselinesHaveStretch1(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	for _, sel := range []PathSelector{
+		DimOrder{M: m},
+		RandomDimOrder{M: m, Seed: 1},
+		RandomMonotone{M: m, Seed: 2},
+	} {
+		f := func(a, b, st uint32) bool {
+			s := mesh.NodeID(int(a) % m.Size())
+			d := mesh.NodeID(int(b) % m.Size())
+			p := sel.Path(s, d, uint64(st))
+			return p.Len() == m.Dist(s, d)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", sel.Name(), err)
+		}
+	}
+}
+
+func TestDimOrderIsDeterministicAndOrdered(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	a := DimOrder{M: m}
+	s := m.Node(mesh.Coord{1, 1})
+	d := m.Node(mesh.Coord{4, 5})
+	p1 := a.Path(s, d, 0)
+	p2 := a.Path(s, d, 99)
+	if len(p1) != len(p2) {
+		t.Fatal("deterministic algorithm varies with stream")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("deterministic algorithm varies with stream")
+		}
+	}
+	// Dimension 0 corrected first.
+	if !m.CoordOf(p1[1]).Equal(mesh.Coord{2, 1}) {
+		t.Errorf("first hop = %v", m.CoordOf(p1[1]))
+	}
+}
+
+func TestValiantVisitsIntermediate(t *testing.T) {
+	m := mesh.MustSquare(2, 32)
+	a := Valiant{M: m, Seed: 7}
+	s := m.Node(mesh.Coord{0, 0})
+	d := m.Node(mesh.Coord{0, 1})
+	// Over many streams, the average path length must far exceed the
+	// distance (1) because the intermediate node is uniform over the
+	// whole mesh.
+	total := 0
+	const trials = 50
+	for st := 0; st < trials; st++ {
+		p := a.Path(s, d, uint64(st))
+		if err := m.Validate(p, s, d); err != nil {
+			t.Fatal(err)
+		}
+		total += p.Len()
+	}
+	if avg := float64(total) / trials; avg < 8 {
+		t.Errorf("valiant avg len %.1f suspiciously short for neighbors on 32x32", avg)
+	}
+}
+
+func TestRandomMonotoneDiversity(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	a := RandomMonotone{M: m, Seed: 5}
+	s := m.Node(mesh.Coord{0, 0})
+	d := m.Node(mesh.Coord{5, 5})
+	seen := map[string]bool{}
+	for st := 0; st < 40; st++ {
+		p := a.Path(s, d, uint64(st))
+		key := ""
+		for _, v := range p {
+			key += string(rune(v)) + ","
+		}
+		seen[key] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct monotone paths over 40 draws", len(seen))
+	}
+}
+
+func TestSelectAllLengths(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	prob := workload.Transpose(m)
+	paths := SelectAll(DimOrder{M: m}, prob.Pairs)
+	if len(paths) != prob.N() {
+		t.Fatalf("%d paths for %d pairs", len(paths), prob.N())
+	}
+	for i, p := range paths {
+		if err := m.Validate(p, prob.Pairs[i].S, prob.Pairs[i].T); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOfflineRoutesValidAndCompetitive(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	prob := workload.Transpose(m)
+	off := Offline{M: m}
+	paths := off.Route(prob.Pairs)
+	if len(paths) != prob.N() {
+		t.Fatalf("%d paths", len(paths))
+	}
+	for i, p := range paths {
+		if err := m.Validate(p, prob.Pairs[i].S, prob.Pairs[i].T); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cOff := metrics.Congestion(m, paths)
+	cDim := metrics.Congestion(m, SelectAll(DimOrder{M: m}, prob.Pairs))
+	// The offline router must beat (or match) naive dimension order on
+	// transpose, a workload dimension order handles badly.
+	if cOff > cDim {
+		t.Errorf("offline congestion %d worse than dim-order %d", cOff, cDim)
+	}
+}
+
+func TestOfflineDeterministic(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	prob := workload.Tornado(m)
+	p1 := Offline{M: m}.Route(prob.Pairs)
+	p2 := Offline{M: m}.Route(prob.Pairs)
+	for i := range p1 {
+		if len(p1[i]) != len(p2[i]) {
+			t.Fatal("offline not deterministic")
+		}
+		for j := range p1[i] {
+			if p1[i][j] != p2[i][j] {
+				t.Fatal("offline not deterministic")
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	names := map[string]bool{}
+	for _, s := range allSelectors(m, t) {
+		if s.Name() == "" {
+			t.Error("empty selector name")
+		}
+		if names[s.Name()] {
+			t.Errorf("duplicate name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+	if (Offline{M: m}).Name() != "offline" {
+		t.Error("offline name")
+	}
+}

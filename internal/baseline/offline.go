@@ -1,0 +1,156 @@
+package baseline
+
+import (
+	"container/heap"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+)
+
+// Offline is the non-oblivious comparator: an iterative rerouting
+// heuristic in the spirit of the offline algorithms the paper cites
+// ([1, 2, 12, 13]). It routes packets sequentially over congestion-
+// weighted shortest paths and then performs improvement rounds that
+// rip up the paths crossing the most loaded edges and re-route them.
+// It is an upper bound on C* produced with full knowledge of the
+// traffic — exactly what oblivious algorithms are denied — and the
+// paper's point (§1) is that H is within a logarithmic factor of it.
+type Offline struct {
+	M      *mesh.Mesh
+	Rounds int // improvement rounds; 0 means a sensible default
+}
+
+// Name identifies the algorithm in reports.
+func (o Offline) Name() string { return "offline" }
+
+// Route computes paths for the whole problem at once (the offline
+// model). The result is deterministic.
+func (o Offline) Route(pairs []mesh.Pair) []mesh.Path {
+	m := o.M
+	loads := make([]int32, m.EdgeSpace())
+	paths := make([]mesh.Path, len(pairs))
+
+	route := func(i int) {
+		paths[i] = o.shortestUnderLoad(pairs[i].S, pairs[i].T, loads)
+		m.PathEdges(paths[i], func(e mesh.EdgeID) { loads[e]++ })
+	}
+	unroute := func(i int) {
+		m.PathEdges(paths[i], func(e mesh.EdgeID) { loads[e]-- })
+		paths[i] = nil
+	}
+
+	for i := range pairs {
+		route(i)
+	}
+	rounds := o.Rounds
+	if rounds == 0 {
+		rounds = 4
+	}
+	for r := 0; r < rounds; r++ {
+		c := metrics.MaxLoad(loads)
+		if c <= 1 {
+			break
+		}
+		// Rip up every path that crosses a maximally loaded edge and
+		// re-route it against the residual loads.
+		hot := make(map[mesh.EdgeID]bool)
+		for e, v := range loads {
+			if int(v) == c {
+				hot[mesh.EdgeID(e)] = true
+			}
+		}
+		var victims []int
+		for i, p := range paths {
+			crossesHot := false
+			m.PathEdges(p, func(e mesh.EdgeID) {
+				if hot[e] {
+					crossesHot = true
+				}
+			})
+			if crossesHot {
+				victims = append(victims, i)
+			}
+		}
+		for _, i := range victims {
+			unroute(i)
+		}
+		for _, i := range victims {
+			route(i)
+		}
+	}
+	return paths
+}
+
+// shortestUnderLoad runs Dijkstra with edge weight 1 + load² so that
+// congested edges are strongly avoided while path lengths stay near
+// shortest when the network is idle.
+func (o Offline) shortestUnderLoad(s, t mesh.NodeID, loads []int32) mesh.Path {
+	m := o.M
+	const inf = int64(1) << 62
+	dist := make([]int64, m.Size())
+	prev := make([]mesh.NodeID, m.Size())
+	done := make([]bool, m.Size())
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[s] = 0
+	pq := &nodeHeap{{node: s, prio: 0}}
+	var nbuf [16]mesh.NodeID
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == t {
+			break
+		}
+		for _, v := range m.Neighbors(u, nbuf[:0]) {
+			if done[v] {
+				continue
+			}
+			e, _ := m.EdgeBetween(u, v)
+			l := int64(loads[e])
+			w := 1 + l*l
+			if nd := dist[u] + w; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(pq, nodeItem{node: v, prio: nd})
+			}
+		}
+	}
+	// Reconstruct.
+	var rev mesh.Path
+	for v := t; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == s {
+			break
+		}
+	}
+	p := make(mesh.Path, len(rev))
+	for i, v := range rev {
+		p[len(rev)-1-i] = v
+	}
+	return p
+}
+
+type nodeItem struct {
+	node mesh.NodeID
+	prio int64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].prio < h[j].prio }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,146 @@
+// Package bitrand provides a deterministic pseudo-random bit source
+// with exact accounting of the number of random bits consumed. Section
+// 5 of the paper lower- and upper-bounds the number of random bits an
+// oblivious path-selection algorithm needs per packet; this package is
+// what lets the implementation report its actual consumption (Lemma
+// 5.4: O(d log(D sqrt(d))) bits for algorithm H with the §5.3 reuse
+// scheme).
+//
+// The underlying generator is SplitMix64, which is adequate for
+// simulation workloads, allocation-free, and trivially splittable so
+// that every packet can derive an independent stream from (seed, s, t)
+// — the property that makes the path selection oblivious: a packet's path
+// depends only on its own source, destination and coin flips.
+package bitrand
+
+// Source is a counting bit source. The zero value is NOT ready for
+// use; construct with NewSource.
+type Source struct {
+	state uint64
+	buf   uint64 // buffered raw bits, low nbuf bits valid
+	nbuf  int
+	used  int64 // total bits handed out
+}
+
+// NewSource returns a source seeded with seed.
+func NewSource(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split derives an independent source from a parent seed and a stream
+// identifier, suitable for per-packet randomness: Split(seed, id) is a
+// pure function, so the packet's path is a function of (seed, id)
+// only, independent of every other packet.
+func Split(seed, id uint64) *Source {
+	return NewSource(mix(seed^mix(id)) | 1)
+}
+
+// mix is the SplitMix64 finalizer.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *Source) next64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Bits returns n uniformly random bits (0 <= n <= 63) and charges n to
+// the bit counter.
+func (s *Source) Bits(n int) uint64 {
+	if n < 0 || n > 63 {
+		panic("bitrand: Bits takes 0..63")
+	}
+	if n == 0 {
+		return 0
+	}
+	for s.nbuf < n {
+		// Refill: keep the remaining buffered bits, add 32 fresh ones.
+		// Using 32-bit refills keeps the buffer under 64 bits total.
+		if s.nbuf > 32 {
+			// Rare path: take what we have plus the remainder.
+			have := s.buf & ((1 << s.nbuf) - 1)
+			need := n - s.nbuf
+			fresh := s.next64() & ((1 << need) - 1)
+			s.buf = 0
+			s.nbuf = 0
+			s.used += int64(n)
+			return have<<need | fresh
+		}
+		s.buf = s.buf<<32 | (s.next64() & 0xffffffff)
+		s.nbuf += 32
+	}
+	s.nbuf -= n
+	out := (s.buf >> s.nbuf) & ((1 << n) - 1)
+	s.used += int64(n)
+	return out
+}
+
+// Bit returns a single random bit.
+func (s *Source) Bit() int { return int(s.Bits(1)) }
+
+// BitsUsed returns the total number of random bits consumed so far.
+func (s *Source) BitsUsed() int64 { return s.used }
+
+// ResetCount zeroes the consumed-bit counter without perturbing the
+// stream.
+func (s *Source) ResetCount() { s.used = 0 }
+
+// bitsFor returns the number of bits needed to represent values in
+// [0,n), i.e. ceil(log2 n).
+func bitsFor(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Intn returns a uniform value in [0, n). For powers of two this costs
+// exactly log2(n) bits; otherwise rejection sampling is used and the
+// expected cost is < 2*ceil(log2 n) bits.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("bitrand: Intn with n <= 0")
+	}
+	if n == 1 {
+		return 0
+	}
+	b := bitsFor(n)
+	for {
+		v := int(s.Bits(b))
+		if v < n {
+			return v
+		}
+	}
+}
+
+// Perm returns a uniform random permutation of 0..n-1 (Fisher–Yates),
+// used for the per-packet random dimension ordering. The cost is
+// O(n log n) random bits, matching the paper's O(d log d).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Uint64 returns 63 random bits as a uint64, charging 63 bits. Only
+// for non-accounted infrastructure use (e.g. seeding workloads).
+func (s *Source) Uint64() uint64 { return s.Bits(63) }
+
+// Float64 returns a uniform float64 in [0,1) using 53 bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Bits(53)) / (1 << 53)
+}

@@ -1,0 +1,213 @@
+package bitrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsCounting(t *testing.T) {
+	s := NewSource(1)
+	s.Bits(7)
+	s.Bits(13)
+	s.Bit()
+	if got := s.BitsUsed(); got != 21 {
+		t.Errorf("BitsUsed = %d, want 21", got)
+	}
+	s.ResetCount()
+	if s.BitsUsed() != 0 {
+		t.Error("ResetCount did not zero")
+	}
+}
+
+func TestBitsRange(t *testing.T) {
+	s := NewSource(42)
+	for n := 1; n <= 63; n++ {
+		v := s.Bits(n)
+		if v >= 1<<n {
+			t.Fatalf("Bits(%d) = %d out of range", n, v)
+		}
+	}
+	if s.Bits(0) != 0 {
+		t.Error("Bits(0) != 0")
+	}
+}
+
+func TestBitsPanics(t *testing.T) {
+	s := NewSource(1)
+	for _, n := range []int{-1, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bits(%d) did not panic", n)
+				}
+			}()
+			s.Bits(n)
+		}()
+	}
+}
+
+func TestIntnRangeAndCost(t *testing.T) {
+	s := NewSource(7)
+	for n := 1; n <= 100; n++ {
+		before := s.BitsUsed()
+		v := s.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d", n, v)
+		}
+		cost := s.BitsUsed() - before
+		if n == 1 && cost != 0 {
+			t.Errorf("Intn(1) cost %d bits", cost)
+		}
+		// Power of two: exact cost.
+		if n > 1 && n&(n-1) == 0 {
+			want := int64(bitsFor(n))
+			if cost != want {
+				t.Errorf("Intn(%d) cost %d bits, want %d", n, cost, want)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewSource(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := NewSource(99)
+	const n = 5
+	const draws = 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn(%d): value %d drawn %d times, want ~%.0f", n, v, c, want)
+		}
+	}
+}
+
+func TestBitUniformity(t *testing.T) {
+	s := NewSource(3)
+	ones := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		ones += s.Bit()
+	}
+	if math.Abs(float64(ones)-draws/2) > 5*math.Sqrt(draws/4) {
+		t.Errorf("Bit(): %d ones out of %d", ones, draws)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%10 + 1
+		p := NewSource(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermUniformity(t *testing.T) {
+	// All 6 permutations of 3 elements should be roughly equally
+	// likely.
+	s := NewSource(11)
+	counts := map[[3]int]int{}
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		p := s.Perm(3)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations, want 6", len(counts))
+	}
+	want := float64(draws) / 6
+	for p, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("perm %v drawn %d times, want ~%.0f", p, c, want)
+		}
+	}
+}
+
+func TestSplitDeterminismAndIndependence(t *testing.T) {
+	a1 := Split(5, 10)
+	a2 := Split(5, 10)
+	b := Split(5, 11)
+	sameCount, diffCount := 0, 0
+	for i := 0; i < 64; i++ {
+		x, y, z := a1.Bits(16), a2.Bits(16), b.Bits(16)
+		if x == y {
+			sameCount++
+		}
+		if x == z {
+			diffCount++
+		}
+	}
+	if sameCount != 64 {
+		t.Error("Split not deterministic")
+	}
+	if diffCount > 8 {
+		t.Errorf("different streams agree on %d/64 16-bit draws", diffCount)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(2)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Float64 mean = %v", mean)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 1024: 10}
+	for n, want := range cases {
+		if got := bitsFor(n); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBitsLongStreamStaysInRange(t *testing.T) {
+	// Exercise the buffered refill logic with many mixed-size draws.
+	s := NewSource(123)
+	sizes := []int{1, 3, 31, 17, 63, 5, 48, 2}
+	for i := 0; i < 10000; i++ {
+		n := sizes[i%len(sizes)]
+		if v := s.Bits(n); n < 63 && v >= 1<<n {
+			t.Fatalf("Bits(%d) out of range at i=%d", n, i)
+		}
+	}
+}
+
+func TestUint64Charges63(t *testing.T) {
+	s := NewSource(9)
+	before := s.BitsUsed()
+	s.Uint64()
+	if got := s.BitsUsed() - before; got != 63 {
+		t.Errorf("Uint64 charged %d bits", got)
+	}
+}

@@ -1,0 +1,58 @@
+package bitrand
+
+// Reservoir implements the bit-reuse scheme of §5.3: instead of drawing
+// fresh random bits for every intermediate node of the bitonic path,
+// the algorithm draws the bits of two random nodes v1, v2 in the
+// largest submesh of the path once (charging 2·d·ceil(log2 maxSide)
+// bits total), and then derives the random node of every smaller
+// submesh from leading bits of v1 or v2 — alternating between the two
+// reservoirs for consecutive submeshes so that the endpoints of each
+// subpath come from independent coordinates.
+//
+// DrawDim(i, side) reads the top ceil(log2 side) bits of dimension i
+// without consuming them or charging anything further; the bits were
+// paid for at construction. Same-parity submeshes at different heights
+// therefore receive correlated (prefix-nested) offsets, exactly as in
+// the paper's scheme; the congestion analysis only requires that the
+// two endpoints of a single subpath be independent, which the
+// alternation provides.
+type Reservoir struct {
+	src  *Source
+	dims []reservoirDim
+}
+
+type reservoirDim struct {
+	bits  uint64
+	nbits int
+}
+
+// NewReservoir draws capBits random bits for each of d dimensions from
+// src (charging them immediately) and returns the filled reservoir.
+// capBits is typically ceil(log2(maximum submesh side)) per Lemma 5.4.
+func NewReservoir(src *Source, d, capBits int) *Reservoir {
+	r := &Reservoir{src: src, dims: make([]reservoirDim, d)}
+	for i := range r.dims {
+		r.dims[i] = reservoirDim{bits: src.Bits(capBits), nbits: capBits}
+	}
+	return r
+}
+
+// DrawDim returns a value in [0, side) for dimension i using the
+// leading ceil(log2 side) reservoir bits at no additional bit cost.
+// For power-of-two sides the value is exact and uniform. For general
+// (clipped-box) sides a prefix draw would bias, so the reservoir falls
+// back to fresh rejection sampling from the source, which is charged
+// as usual — accounting stays exact either way.
+func (r *Reservoir) DrawDim(i, side int) int {
+	if side <= 1 {
+		return 0
+	}
+	b := bitsFor(side)
+	rd := &r.dims[i]
+	if side&(side-1) != 0 || b > rd.nbits {
+		// Non-power-of-two side, or deeper than the reservoir: fresh
+		// (charged) bits via rejection.
+		return r.src.Intn(side)
+	}
+	return int((rd.bits >> (rd.nbits - b)) & ((1 << b) - 1))
+}

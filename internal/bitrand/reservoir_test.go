@@ -1,0 +1,101 @@
+package bitrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReservoirChargesUpFront(t *testing.T) {
+	s := NewSource(1)
+	before := s.BitsUsed()
+	r := NewReservoir(s, 3, 7)
+	if got := s.BitsUsed() - before; got != 21 {
+		t.Errorf("NewReservoir charged %d bits, want 21", got)
+	}
+	// Power-of-two draws are free after construction.
+	before = s.BitsUsed()
+	for i := 0; i < 100; i++ {
+		v := r.DrawDim(i%3, 8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("DrawDim = %d", v)
+		}
+	}
+	if got := s.BitsUsed() - before; got != 0 {
+		t.Errorf("pow2 draws charged %d bits", got)
+	}
+}
+
+func TestReservoirPrefixNesting(t *testing.T) {
+	// The draw for side 2^a must be the leading a bits of the draw for
+	// side 2^b when a < b (the §5.3 prefix-reuse property).
+	s := NewSource(77)
+	r := NewReservoir(s, 1, 10)
+	big := r.DrawDim(0, 1024)
+	small := r.DrawDim(0, 16)
+	if small != big>>6 {
+		t.Errorf("prefix nesting violated: 16-draw %d vs 1024-draw %d", small, big)
+	}
+}
+
+func TestReservoirSide1(t *testing.T) {
+	s := NewSource(5)
+	r := NewReservoir(s, 2, 4)
+	if r.DrawDim(0, 1) != 0 {
+		t.Error("side-1 draw must be 0")
+	}
+	if got := s.BitsUsed(); got != 8 {
+		t.Errorf("side-1 draw charged extra bits (total %d)", got)
+	}
+}
+
+func TestReservoirNonPow2FallsBack(t *testing.T) {
+	s := NewSource(13)
+	r := NewReservoir(s, 1, 8)
+	before := s.BitsUsed()
+	counts := make([]int, 6)
+	for i := 0; i < 6000; i++ {
+		v := r.DrawDim(0, 6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("DrawDim(6) = %d", v)
+		}
+		counts[v]++
+	}
+	if s.BitsUsed() == before {
+		t.Error("non-pow2 draws must charge fresh bits")
+	}
+	// Fallback must be uniform.
+	want := 1000.0
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want ~1000", v, c)
+		}
+	}
+}
+
+func TestReservoirDeeperThanCapacity(t *testing.T) {
+	s := NewSource(21)
+	r := NewReservoir(s, 1, 3) // only 3 bits stored
+	v := r.DrawDim(0, 256)     // needs 8
+	if v < 0 || v >= 256 {
+		t.Fatalf("deep draw = %d", v)
+	}
+}
+
+func TestReservoirDrawUniformAcrossSeeds(t *testing.T) {
+	// A single prefix draw per reservoir, across many seeds, must be
+	// uniform (within one reservoir the draws are intentionally
+	// correlated).
+	counts := make([]int, 8)
+	const trials = 8000
+	for seed := 0; seed < trials; seed++ {
+		s := NewSource(uint64(seed)*2 + 1)
+		r := NewReservoir(s, 1, 6)
+		counts[r.DrawDim(0, 8)]++
+	}
+	want := float64(trials) / 8
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}

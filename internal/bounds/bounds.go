@@ -1,0 +1,116 @@
+// Package bounds encodes the paper's quantitative statements as
+// executable formulas, so experiments and tests compare measurements
+// against the actual theorem expressions rather than ad-hoc constants.
+// Each function documents the statement it transcribes.
+package bounds
+
+import "math"
+
+// Stretch2D returns the §3.3 stretch bound of Theorem 3.4: for any two
+// distinct nodes of the 2-D mesh, stretch(p(s,t)) <= 64.
+func Stretch2D() float64 { return 64 }
+
+// Stretch2DDetailed returns the intermediate bound the proof of
+// Theorem 3.4 actually derives before rounding: |p(s,t)| <=
+// 2^{h+3} - 4h with h <= ceil(log2 dist) + 3, divided by dist. For
+// small distances this is noticeably tighter than the headline 64.
+func Stretch2DDetailed(dist int) float64 {
+	if dist <= 0 {
+		return 1
+	}
+	h := math.Ceil(math.Log2(float64(dist))) + 3
+	length := math.Pow(2, h+3) - 4*h
+	if length < float64(dist) {
+		length = float64(dist)
+	}
+	return length / float64(dist)
+}
+
+// StretchD returns the Theorem 4.2 bound shape: |p| = O(d^2 · dist).
+// The proof's explicit constants give |r1|+|r3| <= 4·d·dist·... and
+// |r2| <= 2(8(d+1)·dist + 1)·d; this function returns the full
+// explicit expression divided by dist.
+func StretchD(d, dist int) float64 {
+	if dist <= 0 {
+		return 1
+	}
+	df := float64(d)
+	distf := float64(dist)
+	r13 := 2 * 2 * df * distf // |r1| = |r3| <= 2·d·(2·dist - h) <= 4·d·dist each... bounded by 4·d·dist total per side
+	r2 := 2 * (8*(df+1)*distf + 1) * df
+	return (2*r13 + r2) / distf
+}
+
+// CongestionFactor2D returns the Theorem 3.9 / Lemma 3.8 expectation
+// bound: E[C(e)] <= 16·C*·(log2 D + 3).
+func CongestionFactor2D(maxDist int) float64 {
+	if maxDist < 2 {
+		maxDist = 2
+	}
+	return 16 * (math.Log2(float64(maxDist)) + 3)
+}
+
+// CongestionFactorD returns the d-dimensional analogue used by
+// Theorem 4.3's proof: E[C(e)] = O(d·C*·log(D·d)); the appendix
+// constants give per-submesh charge 4·√d·C* over O(d·log(D·d))
+// submeshes. The explicit form returned is 4·sqrt(d)·d·(log2(D·d)+3).
+func CongestionFactorD(d, maxDist int) float64 {
+	if maxDist < 2 {
+		maxDist = 2
+	}
+	df := float64(d)
+	return 4 * math.Sqrt(df) * df * (math.Log2(float64(maxDist)*df) + 3)
+}
+
+// RandomBitsUpper returns the Lemma 5.4 budget: algorithm H with the
+// §5.3 reuse scheme needs O(d·log(D·√d)) bits. The implementation's
+// concrete spend is one Fisher–Yates permutation (<= 2·d·ceil(log2 d)
+// bits expected) plus two reservoirs of d·ceil(log2 S) bits where S
+// is the largest bridge side, S <= 8(d+1)·D. The returned value is
+// that concrete budget plus the documented rejection slack.
+func RandomBitsUpper(d, maxDist int) float64 {
+	if maxDist < 1 {
+		maxDist = 1
+	}
+	df := float64(d)
+	permBits := 2 * df * math.Max(1, math.Ceil(math.Log2(df)))
+	bridgeSide := 8 * (df + 1) * float64(maxDist)
+	reservoirBits := 2 * df * math.Ceil(math.Log2(bridgeSide))
+	const rejectionSlack = 16
+	return permBits + reservoirBits + rejectionSlack
+}
+
+// RandomBitsLower returns the Lemma 5.3 lower bound: any algorithm
+// with congestion as good as H on every instance needs
+// Omega((d / log d) · log(D / d)) random bits per packet on some
+// instance. Returned with constant 1 (the paper keeps the constant
+// implicit); meaningful only when D = Omega(d + log n).
+func RandomBitsLower(d, maxDist int) float64 {
+	if d < 2 || maxDist <= d {
+		return 0
+	}
+	df := float64(d)
+	return df / math.Max(1, math.Log2(df)) * math.Log2(float64(maxDist)/df)
+}
+
+// BridgeSideD returns the §4.1 bridge side range for a pair at the
+// given distance: the bridge has side 2^{ĥ+1} with
+// 2(d+1)·dist <= 2^ĥ <= 4(d+1)·dist, so the side lies in
+// [4(d+1)·dist, 8(d+1)·dist].
+func BridgeSideD(d, dist int) (lo, hi int) {
+	return 4 * (d + 1) * dist, 8 * (d + 1) * dist
+}
+
+// DCAHeight2D returns the Lemma 3.3 bound on the deepest-common-
+// ancestor height: ceil(log2 dist) + 2 on the torus (the proof's
+// setting); mesh edge effects may add one more level.
+func DCAHeight2D(dist int, torus bool) int {
+	if dist <= 0 {
+		return 0
+	}
+	h := int(math.Ceil(math.Log2(float64(dist)))) + 2
+	if !torus {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,136 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+func TestStretch2DHeadline(t *testing.T) {
+	if Stretch2D() != 64 {
+		t.Error("Theorem 3.4 headline constant is 64")
+	}
+}
+
+func TestStretch2DDetailedShape(t *testing.T) {
+	// The detailed bound is always within the headline for dist >= 1...
+	// 2^{h+3}-4h over dist with h = ceil(log2 dist)+3: at dist=1,
+	// h=3 -> (64-12)/1 = 52 <= 64. It must never exceed 64 by the
+	// theorem's own rounding.
+	for dist := 1; dist <= 1024; dist *= 2 {
+		v := Stretch2DDetailed(dist)
+		if v <= 0 || v > 64+1e-9 {
+			t.Errorf("dist %d: detailed bound %v outside (0, 64]", dist, v)
+		}
+	}
+	if Stretch2DDetailed(0) != 1 {
+		t.Error("zero distance convention")
+	}
+}
+
+// The executable theorem bounds must dominate the implementation's
+// actual behaviour — the whole point of encoding them.
+func TestMeasuredWithinFormulas(t *testing.T) {
+	m := mesh.MustSquare(2, 64)
+	sel := core.MustNewSelector(m, core.Options{Variant: core.Variant2D, Seed: 3})
+	prob := workload.RandomPairs(m, 3000, 7)
+	for i, pr := range prob.Pairs {
+		if pr.S == pr.T {
+			continue
+		}
+		_, st := sel.PathStats(pr.S, pr.T, uint64(i))
+		dist := m.Dist(pr.S, pr.T)
+		stretch := float64(st.RawLen) / float64(dist)
+		if stretch > Stretch2DDetailed(dist) {
+			t.Fatalf("pair %d (dist %d): stretch %v exceeds the detailed bound %v",
+				i, dist, stretch, Stretch2DDetailed(dist))
+		}
+	}
+}
+
+func TestBitBudgetDominatesMeasurement(t *testing.T) {
+	for _, tc := range []struct{ d, side int }{{2, 64}, {3, 16}} {
+		m := mesh.MustSquare(tc.d, tc.side)
+		sel := core.MustNewSelector(m, core.Options{Variant: core.VariantGeneral, Seed: 5})
+		s := mesh.NodeID(0)
+		dst := mesh.NodeID(m.Size() - 1)
+		dist := m.Dist(s, dst)
+		budget := RandomBitsUpper(tc.d, dist)
+		for i := 0; i < 50; i++ {
+			_, st := sel.PathStats(s, dst, uint64(i))
+			if float64(st.RandomBits) > budget {
+				t.Fatalf("d=%d: %d bits exceed the Lemma 5.4 budget %v",
+					tc.d, st.RandomBits, budget)
+			}
+		}
+	}
+}
+
+func TestStretchDDominates2DVariantShape(t *testing.T) {
+	// The d-dimensional formula at d=2 must be far above the measured
+	// 2-D worst case (~20) and grow quadratically.
+	v2 := StretchD(2, 16)
+	v4 := StretchD(4, 16)
+	if v2 < 64 {
+		t.Errorf("StretchD(2) = %v below the 2-D headline", v2)
+	}
+	if v4 < 2*v2 {
+		t.Errorf("StretchD not growing superlinearly: d=2 %v, d=4 %v", v2, v4)
+	}
+}
+
+func TestCongestionFactors(t *testing.T) {
+	// 16(log2 D + 3) at D=8 is 96.
+	if got := CongestionFactor2D(8); math.Abs(got-96) > 1e-9 {
+		t.Errorf("CongestionFactor2D(8) = %v, want 96", got)
+	}
+	if CongestionFactor2D(0) != CongestionFactor2D(2) {
+		t.Error("degenerate D not clamped")
+	}
+	if CongestionFactorD(3, 16) <= CongestionFactor2D(16)/4 {
+		t.Error("d-dimensional factor suspiciously small")
+	}
+}
+
+func TestRandomBitsLower(t *testing.T) {
+	if RandomBitsLower(2, 2) != 0 {
+		t.Error("D <= d must return 0 (bound vacuous)")
+	}
+	v := RandomBitsLower(4, 64)
+	// (4/2)·log2(16) = 8.
+	if math.Abs(v-8) > 1e-9 {
+		t.Errorf("RandomBitsLower(4,64) = %v, want 8", v)
+	}
+	// Upper bound must dominate the lower bound (Theorem 5.5's O(d)
+	// gap).
+	for _, d := range []int{2, 3, 4, 6} {
+		for _, dist := range []int{16, 64, 256} {
+			if RandomBitsUpper(d, dist) < RandomBitsLower(d, dist) {
+				t.Errorf("d=%d D=%d: upper %v below lower %v", d, dist,
+					RandomBitsUpper(d, dist), RandomBitsLower(d, dist))
+			}
+		}
+	}
+}
+
+func TestBridgeSideD(t *testing.T) {
+	lo, hi := BridgeSideD(2, 5)
+	if lo != 60 || hi != 120 {
+		t.Errorf("BridgeSideD(2,5) = %d,%d, want 60,120", lo, hi)
+	}
+}
+
+func TestDCAHeight2D(t *testing.T) {
+	if DCAHeight2D(0, true) != 0 {
+		t.Error("zero distance")
+	}
+	if DCAHeight2D(4, true) != 4 { // log2(4)+2
+		t.Errorf("torus DCA height = %d, want 4", DCAHeight2D(4, true))
+	}
+	if DCAHeight2D(4, false) != 5 {
+		t.Errorf("mesh DCA height = %d, want 5", DCAHeight2D(4, false))
+	}
+}

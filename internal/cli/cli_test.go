@@ -1,0 +1,126 @@
+package cli
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+func TestBuildMesh(t *testing.T) {
+	m, err := BuildMesh(2, 16, false)
+	if err != nil || m.Wrap() || m.Size() != 256 {
+		t.Fatalf("mesh: %v %v", m, err)
+	}
+	tor, err := BuildMesh(3, 8, true)
+	if err != nil || !tor.Wrap() {
+		t.Fatalf("torus: %v %v", tor, err)
+	}
+	if _, err := BuildMesh(0, 8, false); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func TestDecompMode(t *testing.T) {
+	if DecompMode(mesh.MustSquare(2, 8)) != decomp.Mode2D {
+		t.Error("2-D mesh should use Mode2D")
+	}
+	if DecompMode(mesh.MustSquare(3, 8)) != decomp.ModeGeneral {
+		t.Error("3-D mesh should use ModeGeneral")
+	}
+}
+
+func TestBuildAlgorithmAll(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	for _, name := range AlgorithmNames() {
+		a, err := BuildAlgorithm(name, m, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		p := a.Path(0, mesh.NodeID(m.Size()-1), 0)
+		if err := m.Validate(p, 0, mesh.NodeID(m.Size()-1)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := BuildAlgorithm("nope", m, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestBuildWorkloadAll(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	victim, _ := BuildAlgorithm("dim-order", m, 1)
+	for _, name := range WorkloadNames() {
+		prob, _, err := BuildWorkload(name, m, 1, 4, victim)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if prob.N() == 0 {
+			t.Errorf("%s: empty problem", name)
+		}
+		for _, pr := range prob.Pairs {
+			if int(pr.S) >= m.Size() || int(pr.T) >= m.Size() {
+				t.Fatalf("%s: pair out of range", name)
+			}
+		}
+	}
+	if _, _, err := BuildWorkload("nope", m, 1, 4, victim); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, _, err := BuildWorkload("adversarial", m, 1, 4, nil); err == nil {
+		t.Error("adversarial without victim accepted")
+	}
+}
+
+func TestBuildWorkloadErrorsPropagate(t *testing.T) {
+	m := mesh.MustSquare(2, 6) // not pow2: bit-reversal must fail
+	if _, _, err := BuildWorkload("bit-reversal", m, 1, 4, nil); err == nil {
+		t.Error("bit-reversal on 6x6 accepted")
+	}
+	if _, _, err := BuildWorkload("local-exchange", m, 1, 5, nil); err == nil {
+		t.Error("non-dividing block accepted")
+	}
+}
+
+func TestParseCoord(t *testing.T) {
+	c, err := ParseCoord("3, 5", 2)
+	if err != nil || !c.Equal(mesh.Coord{3, 5}) {
+		t.Fatalf("ParseCoord: %v %v", c, err)
+	}
+	if _, err := ParseCoord("3", 2); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := ParseCoord("a,b", 2); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestParsePair(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	s, d, err := ParsePair("0,0:7,7", m)
+	if err != nil || !s.Equal(mesh.Coord{0, 0}) || !d.Equal(mesh.Coord{7, 7}) {
+		t.Fatalf("ParsePair: %v %v %v", s, d, err)
+	}
+	for _, bad := range []string{"0,0", "0,0:9,9", "x:y", "0:1"} {
+		if _, _, err := ParsePair(bad, m); err == nil {
+			t.Errorf("bad pair %q accepted", bad)
+		}
+	}
+}
+
+func TestNameListsSorted(t *testing.T) {
+	algos := AlgorithmNames()
+	for i := 1; i < len(algos); i++ {
+		if algos[i-1] >= algos[i] {
+			t.Fatal("algorithm names not sorted/unique")
+		}
+	}
+	wls := WorkloadNames()
+	for i := 1; i < len(wls); i++ {
+		if wls[i-1] >= wls[i] {
+			t.Fatal("workload names not sorted/unique")
+		}
+	}
+}

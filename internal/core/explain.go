@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"obliviousmesh/internal/bitrand"
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+// Trace records every decision of one path selection: the bitonic
+// chain, the bridge, the random waypoints, the per-hop staircase
+// segments and the dimension order. Reconstructing the path from the
+// trace (concatenate the segments, remove cycles) yields exactly
+// Path(s, t, stream) — guaranteed by construction, since Explain runs
+// the same code against the same randomness stream.
+type Trace struct {
+	S, T      mesh.NodeID
+	Chain     []mesh.Box
+	Bridge    decomp.Bridge
+	Waypoints []mesh.NodeID
+	Segments  []mesh.Path // Segments[i] connects Waypoints[i] to Waypoints[i+1]
+	Perm      []int       // dimension correction order
+	Stats     Stats
+	Path      mesh.Path // final (cycle-removed unless KeepCycles) path
+}
+
+// Explain selects the path for (s, t, stream) and returns the full
+// decision trace.
+func (sel *Selector) Explain(s, t mesh.NodeID, stream uint64) Trace {
+	return sel.construct(s, t, stream, true)
+}
+
+// PathStats is Path plus exact accounting.
+func (sel *Selector) PathStats(s, t mesh.NodeID, stream uint64) (mesh.Path, Stats) {
+	tr := sel.construct(s, t, stream, false)
+	return tr.Path, tr.Stats
+}
+
+// construct runs the path-selection algorithm once; keepSegments
+// additionally retains the per-hop structure for Explain.
+func (sel *Selector) construct(s, t mesh.NodeID, stream uint64, keepSegments bool) Trace {
+	if s == t {
+		return Trace{
+			S: s, T: t,
+			Path:      mesh.Path{s},
+			Waypoints: []mesh.NodeID{s},
+			Stats:     Stats{ChainLen: 1},
+		}
+	}
+	rng := bitrand.Split(sel.opt.Seed, stream^(uint64(s)<<24)^uint64(t))
+	chain, br := sel.Chain(s, t)
+
+	d := sel.m.Dim()
+	var perm []int
+	if sel.opt.FixedDimOrder {
+		perm = mesh.IdentityPerm(d)
+	} else {
+		perm = rng.Perm(d)
+	}
+
+	waypoints := sel.drawWaypoints(chain, s, t, rng)
+
+	tr := Trace{
+		S: s, T: t,
+		Bridge:    br,
+		Waypoints: waypoints,
+		Perm:      perm,
+	}
+	var path mesh.Path
+	path = append(path, s)
+	for i := 1; i < len(waypoints); i++ {
+		seg := sel.m.StaircasePath(waypoints[i-1], waypoints[i], perm)
+		if keepSegments {
+			tr.Segments = append(tr.Segments, seg)
+		}
+		path = append(path, seg[1:]...)
+	}
+	if keepSegments {
+		tr.Chain = chain
+	}
+	tr.Stats = Stats{
+		RandomBits:   rng.BitsUsed(),
+		BridgeHeight: sel.dc.HeightOf(br.Level),
+		BridgeType:   br.Type,
+		ChainLen:     len(chain),
+		RawLen:       path.Len(),
+	}
+	if !sel.opt.KeepCycles {
+		path = path.RemoveCycles()
+	}
+	tr.Stats.Len = path.Len()
+	tr.Path = path
+	return tr
+}
+
+// String renders the trace for human inspection.
+func (tr Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packet %d -> %d, bridge %v (level %d, family %d)\n",
+		tr.S, tr.T, tr.Bridge.Box, tr.Bridge.Level, tr.Bridge.Type)
+	fmt.Fprintf(&b, "dimension order %v, %d random bits\n", tr.Perm, tr.Stats.RandomBits)
+	for i, box := range tr.Chain {
+		fmt.Fprintf(&b, "  chain[%d] %v -> waypoint %d\n", i, box, tr.Waypoints[i])
+	}
+	fmt.Fprintf(&b, "raw length %d, final length %d\n", tr.Stats.RawLen, tr.Stats.Len)
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// Explain must be authoritative: reconstructing the path from the
+// trace equals Path for the same stream.
+func TestExplainMatchesPath(t *testing.T) {
+	for _, tc := range []struct {
+		d, side int
+		v       Variant
+	}{
+		{2, 32, Variant2D}, {3, 16, VariantGeneral},
+	} {
+		sel := selGenVar(t, tc.d, tc.side, tc.v)
+		m := sel.Mesh()
+		f := func(a, b, st uint32) bool {
+			s := mesh.NodeID(int(a) % m.Size())
+			d := mesh.NodeID(int(b) % m.Size())
+			tr := sel.Explain(s, d, uint64(st))
+			p := sel.Path(s, d, uint64(st))
+			if len(tr.Path) != len(p) {
+				return false
+			}
+			for i := range p {
+				if tr.Path[i] != p[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("d=%d: %v", tc.d, err)
+		}
+	}
+}
+
+func selGenVar(t *testing.T, d, side int, v Variant) *Selector {
+	t.Helper()
+	sel, err := NewSelector(mesh.MustSquare(d, side), Options{Variant: v, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+// Every waypoint must lie inside its chain submesh — the core
+// invariant of the algorithm ("select a node v_i in g(u_i) uniformly
+// at random").
+func TestExplainWaypointsInsideChain(t *testing.T) {
+	sel := selGenVar(t, 3, 16, VariantGeneral)
+	m := sel.Mesh()
+	f := func(a, b, st uint32) bool {
+		s := mesh.NodeID(int(a) % m.Size())
+		d := mesh.NodeID(int(b) % m.Size())
+		if s == d {
+			return true
+		}
+		tr := sel.Explain(s, d, uint64(st))
+		if len(tr.Waypoints) != len(tr.Chain) {
+			return false
+		}
+		for i, wp := range tr.Waypoints {
+			if !m.BoxContains(tr.Chain[i], m.CoordOf(wp)) {
+				t.Logf("waypoint %v outside chain[%d]=%v", m.CoordOf(wp), i, tr.Chain[i])
+				return false
+			}
+		}
+		return tr.Waypoints[0] == s && tr.Waypoints[len(tr.Waypoints)-1] == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Each segment is a valid staircase between consecutive waypoints with
+// shortest length.
+func TestExplainSegments(t *testing.T) {
+	sel := selGenVar(t, 2, 32, Variant2D)
+	m := sel.Mesh()
+	tr := sel.Explain(0, mesh.NodeID(m.Size()-1), 5)
+	if len(tr.Segments) != len(tr.Waypoints)-1 {
+		t.Fatalf("%d segments for %d waypoints", len(tr.Segments), len(tr.Waypoints))
+	}
+	total := 0
+	for i, seg := range tr.Segments {
+		if err := m.Validate(seg, tr.Waypoints[i], tr.Waypoints[i+1]); err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		if seg.Len() != m.Dist(tr.Waypoints[i], tr.Waypoints[i+1]) {
+			t.Fatalf("segment %d not shortest", i)
+		}
+		total += seg.Len()
+	}
+	if total != tr.Stats.RawLen {
+		t.Errorf("segments sum to %d, raw length %d", total, tr.Stats.RawLen)
+	}
+}
+
+// Waypoints drawn uniformly: over many streams, waypoints in a fixed
+// chain box should hit distinct positions broadly. (A smoke test of
+// uniformity, not a full chi-square.)
+func TestExplainWaypointDiversity(t *testing.T) {
+	sel := selGenVar(t, 2, 64, Variant2D)
+	m := sel.Mesh()
+	s := mesh.NodeID(0)
+	d := mesh.NodeID(m.Size() - 1)
+	// Bridge-level waypoint index: middle of the chain.
+	positions := map[mesh.NodeID]bool{}
+	for st := 0; st < 200; st++ {
+		tr := sel.Explain(s, d, uint64(st))
+		positions[tr.Waypoints[len(tr.Waypoints)/2]] = true
+	}
+	if len(positions) < 50 {
+		t.Errorf("only %d distinct mid-chain waypoints over 200 draws", len(positions))
+	}
+}
+
+func TestExplainSelfPair(t *testing.T) {
+	sel := selGenVar(t, 2, 8, Variant2D)
+	tr := sel.Explain(5, 5, 0)
+	if len(tr.Path) != 1 || tr.Stats.RandomBits != 0 {
+		t.Errorf("self trace = %+v", tr)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	sel := selGenVar(t, 2, 16, Variant2D)
+	tr := sel.Explain(0, 200, 1)
+	out := tr.String()
+	for _, want := range []string{"bridge", "dimension order", "chain[0]", "final length"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// FuzzSelectorPath throws arbitrary endpoint/stream combinations at
+// every selector configuration and checks the universal invariants:
+// valid walk, simple after cycle removal, raw stretch within the
+// theorem envelope.
+func FuzzSelectorPath(f *testing.F) {
+	f.Add(uint32(0), uint32(1023), uint64(0), uint8(0))
+	f.Add(uint32(500), uint32(501), uint64(7), uint8(1))
+	f.Add(uint32(31), uint32(992), uint64(99), uint8(2))
+	f.Add(uint32(5), uint32(5), uint64(3), uint8(3))
+
+	sels := []*Selector{
+		MustNewSelector(mesh.MustSquare(2, 32), Options{Variant: Variant2D, Seed: 1}),
+		MustNewSelector(mesh.MustSquare(2, 32), Options{Variant: VariantGeneral, Seed: 1}),
+		MustNewSelector(mesh.MustSquareTorus(2, 32), Options{Variant: Variant2D, Seed: 1}),
+		MustNewSelector(mesh.MustSquare(3, 8), Options{Variant: VariantGeneral, Seed: 1}),
+	}
+	limits := []float64{64, 50 * 4, 64, 50 * 9}
+
+	f.Fuzz(func(t *testing.T, a, b uint32, stream uint64, selPick uint8) {
+		i := int(selPick) % len(sels)
+		sel := sels[i]
+		m := sel.Mesh()
+		s := mesh.NodeID(int(a) % m.Size())
+		d := mesh.NodeID(int(b) % m.Size())
+		p, st := sel.PathStats(s, d, stream)
+		if err := m.Validate(p, s, d); err != nil {
+			t.Fatalf("selector %d: %v", i, err)
+		}
+		if !p.IsSimple() {
+			t.Fatalf("selector %d: non-simple path", i)
+		}
+		if s != d {
+			if stretch := float64(st.RawLen) / float64(m.Dist(s, d)); stretch > limits[i] {
+				t.Fatalf("selector %d: stretch %v exceeds %v", i, stretch, limits[i])
+			}
+		}
+		if st.Len != p.Len() {
+			t.Fatalf("selector %d: stats.Len %d != path len %d", i, st.Len, p.Len())
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// SelectAllParallel routes a whole problem across `workers` goroutines
+// (0 means GOMAXPROCS). Obliviousness makes this embarrassingly
+// parallel — each packet's path depends only on (seed, stream, s, t) —
+// so the result is bit-for-bit identical to SelectAll: packet i always
+// uses stream i, regardless of scheduling.
+func (sel *Selector) SelectAllParallel(pairs []mesh.Pair, workers int) ([]mesh.Path, Aggregate) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(pairs) < 2*workers {
+		return sel.SelectAll(pairs)
+	}
+	paths := make([]mesh.Path, len(pairs))
+	stats := make([]Stats, len(pairs))
+
+	// Contiguous index ranges keep per-worker memory access local and
+	// avoid per-packet channel traffic.
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(pairs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				paths[i], stats[i] = sel.PathStats(pairs[i].S, pairs[i].T, uint64(i))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	var agg Aggregate
+	for i := range stats {
+		agg.Add(stats[i])
+	}
+	return paths, agg
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+// The parallel engine must be bit-for-bit deterministic: identical to
+// the sequential result regardless of worker count.
+func TestSelectAllParallelMatchesSequential(t *testing.T) {
+	m := mesh.MustSquare(2, 32)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 5})
+	prob := workload.RandomPermutation(m, 9)
+
+	seq, aggSeq := sel.SelectAll(prob.Pairs)
+	for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+		par, aggPar := sel.SelectAllParallel(prob.Pairs, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d paths", workers, len(par))
+		}
+		for i := range seq {
+			if len(par[i]) != len(seq[i]) {
+				t.Fatalf("workers=%d packet %d: length %d != %d",
+					workers, i, len(par[i]), len(seq[i]))
+			}
+			for j := range seq[i] {
+				if par[i][j] != seq[i][j] {
+					t.Fatalf("workers=%d packet %d: node mismatch at %d", workers, i, j)
+				}
+			}
+		}
+		if aggPar != aggSeq {
+			t.Errorf("workers=%d: aggregate %+v != %+v", workers, aggPar, aggSeq)
+		}
+	}
+}
+
+func TestSelectAllParallelSmallInput(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1})
+	pairs := []mesh.Pair{{S: 0, T: 5}, {S: 3, T: 3}}
+	paths, agg := sel.SelectAllParallel(pairs, 8)
+	if len(paths) != 2 || agg.Packets != 2 {
+		t.Fatalf("paths=%d agg=%+v", len(paths), agg)
+	}
+	for i, p := range paths {
+		if err := m.Validate(p, pairs[i].S, pairs[i].T); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSelectAllParallelEmpty(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1})
+	paths, agg := sel.SelectAllParallel(nil, 4)
+	if len(paths) != 0 || agg.Packets != 0 {
+		t.Fatalf("paths=%d agg=%+v", len(paths), agg)
+	}
+}

@@ -1,0 +1,294 @@
+// Package core implements the paper's primary contribution: the
+// oblivious path-selection algorithm of §3.3 (two dimensions) and §4
+// (d dimensions), here called algorithm H after §5.2.
+//
+// For a packet (s, t), the algorithm walks the bitonic chain of
+// regular submeshes between the leaf of s and the leaf of t through a
+// bridge submesh, selects a uniformly random node v_i in every chain
+// submesh (v_0 = s, v_last = t), and concatenates dimension-by-
+// dimension shortest subpaths between consecutive random nodes, with
+// the dimensions visited in a per-packet random order. The algorithm
+// is oblivious: each packet's path depends only on its own source,
+// destination and private coin flips.
+//
+// The random-bit consumption of each packet is tracked exactly; by
+// default the §5.3 reuse scheme is active (one dimension permutation
+// per packet plus two coordinate reservoirs drawn in the largest chain
+// submesh), giving the O(d·log(D√d)) bound of Lemma 5.4.
+package core
+
+import (
+	"fmt"
+
+	"obliviousmesh/internal/bitrand"
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+// Variant selects between the paper's two constructions.
+type Variant int
+
+const (
+	// Variant2D is the §3.3 algorithm: the bridge is the deepest
+	// common ancestor in the access graph and the monotonic phases
+	// climb every level. Requires a 2-dimensional mesh (Mode2D
+	// decomposition).
+	Variant2D Variant = iota
+	// VariantGeneral is the §4 algorithm: the monotonic phases climb
+	// type-1 submeshes to height ⌈log₂ dist⌉ and jump directly to a
+	// bridge of side Θ(d·dist) chosen among the Θ(d) translated
+	// families. Works in any dimension.
+	VariantGeneral
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Variant2D:
+		return "H-2d"
+	case VariantGeneral:
+		return "H-general"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Options configure a Selector. The zero value is a valid 2-D
+// configuration with all paper defaults.
+type Options struct {
+	Variant Variant
+
+	// Seed is the master seed; per-packet streams are split from it.
+	Seed uint64
+
+	// FixedDimOrder disables the random dimension ordering and always
+	// corrects dimension 0 first (ablation: the paper notes the random
+	// ordering alone improves Maggs et al. by a factor of d).
+	FixedDimOrder bool
+
+	// DisableBridges restricts the construction to type-1 submeshes
+	// only, turning H into access-tree routing in the style of Maggs
+	// et al. [9]: near-optimal congestion, unbounded stretch
+	// (ablation for E10 and the E7 baseline table).
+	DisableBridges bool
+
+	// FreshBits disables the §5.3 bit-reuse scheme and draws fresh
+	// random bits for every intermediate node (the naive
+	// O(d·log²(D√d)) scheme discussed before Lemma 5.4).
+	FreshBits bool
+
+	// KeepCycles skips the cycle-removal pass. The paper removes
+	// cycles ("without loss of generality, the paths obtained are
+	// acyclic", after Lemma 3.8); cycle removal never increases edge
+	// loads.
+	KeepCycles bool
+
+	// BridgeFactor scales the §4.1 bridge size rule 2(d+1)·dist
+	// (VariantGeneral only; 0 means the paper's factor 1). Exposed for
+	// the E23 ablation of the paper's constant.
+	BridgeFactor float64
+}
+
+// Stats reports per-packet accounting for one path selection.
+type Stats struct {
+	RandomBits   int64 // exact number of random bits consumed
+	BridgeHeight int   // height of the bridge submesh used
+	BridgeType   int   // family index of the bridge (1 = type-1)
+	ChainLen     int   // number of submeshes on the bitonic chain
+	RawLen       int   // path length before cycle removal
+	Len          int   // final path length
+}
+
+// Selector selects oblivious paths on a square power-of-two mesh.
+type Selector struct {
+	m   *mesh.Mesh
+	dc  *decomp.Decomposition
+	opt Options
+}
+
+// NewSelector builds a selector for m with the given options.
+func NewSelector(m *mesh.Mesh, opt Options) (*Selector, error) {
+	mode := decomp.ModeGeneral
+	if opt.Variant == Variant2D {
+		mode = decomp.Mode2D
+	}
+	dc, err := decomp.New(m, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{m: m, dc: dc, opt: opt}, nil
+}
+
+// MustNewSelector is NewSelector but panics on error.
+func MustNewSelector(m *mesh.Mesh, opt Options) *Selector {
+	s, err := NewSelector(m, opt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Mesh returns the selector's mesh.
+func (sel *Selector) Mesh() *mesh.Mesh { return sel.m }
+
+// Decomposition returns the underlying decomposition.
+func (sel *Selector) Decomposition() *decomp.Decomposition { return sel.dc }
+
+// Options returns the selector's configuration.
+func (sel *Selector) Options() Options { return sel.opt }
+
+// Chain returns the bitonic chain of submeshes the algorithm would use
+// for (s, t), and the bridge. Exposed for tests and diagnostics.
+func (sel *Selector) Chain(s, t mesh.NodeID) ([]mesh.Box, decomp.Bridge) {
+	sc, tc := sel.m.CoordOf(s), sel.m.CoordOf(t)
+	switch {
+	case sel.opt.DisableBridges:
+		return sel.type1Chain(sc, tc)
+	case sel.opt.Variant == Variant2D:
+		return sel.dc.BitonicChain2D(sc, tc)
+	default:
+		factor := sel.opt.BridgeFactor
+		if factor <= 0 {
+			factor = 1
+		}
+		return sel.dc.BitonicChainDFactor(sc, tc, factor)
+	}
+}
+
+// type1Chain is the access-tree chain (ablation): climb type-1
+// submeshes of s until one contains t, then descend type-1 submeshes
+// of t. This reproduces the tree hierarchy of Maggs et al. [9], whose
+// stretch is unbounded (two neighbors straddling the top-level cut
+// meet only at the root).
+func (sel *Selector) type1Chain(sc, tc mesh.Coord) ([]mesh.Box, decomp.Bridge) {
+	dc := sel.dc
+	h := 0
+	for ; h <= dc.K(); h++ {
+		if dc.Type1Containing(dc.LevelOf(h), sc).Contains(tc) {
+			break
+		}
+	}
+	br := decomp.Bridge{
+		Box:   dc.Type1Containing(dc.LevelOf(h), sc),
+		Level: dc.LevelOf(h),
+		Type:  1,
+	}
+	if h == 0 {
+		return []mesh.Box{br.Box}, br
+	}
+	chain := make([]mesh.Box, 0, 2*h+1)
+	chain = append(chain, dc.Type1Chain(sc, 0, h-1)...)
+	chain = append(chain, br.Box)
+	chain = append(chain, dc.Type1Chain(tc, h-1, 0)...)
+	return chain, br
+}
+
+// Path selects a path for packet (s, t). The stream identifier keys
+// the packet's private randomness: two calls with the same
+// (seed, stream, s, t) return the same path, and different streams are
+// independent. Use the packet's index in the routing problem.
+func (sel *Selector) Path(s, t mesh.NodeID, stream uint64) mesh.Path {
+	p, _ := sel.PathStats(s, t, stream)
+	return p
+}
+
+// PathStats lives in explain.go, sharing the single construction code
+// path with Explain so that traces are authoritative by construction.
+
+// drawWaypoints picks the random node v_i in every chain submesh.
+// v_0 = s and v_last = t always (their chain boxes are single nodes in
+// the bitonic construction; in the access-tree ablation with h the
+// common height the first and last boxes are the leaves as well).
+func (sel *Selector) drawWaypoints(chain []mesh.Box, s, t mesh.NodeID, rng *bitrand.Source) []mesh.NodeID {
+	d := sel.m.Dim()
+	wp := make([]mesh.NodeID, len(chain))
+	wp[0] = s
+	wp[len(chain)-1] = t
+
+	if sel.opt.FreshBits {
+		c := make(mesh.Coord, d)
+		for i := 1; i < len(chain)-1; i++ {
+			for dim := 0; dim < d; dim++ {
+				c[dim] = chain[i].Lo[dim] + rng.Intn(chain[i].Side(dim))
+			}
+			wp[i] = sel.m.NodeWrapped(c)
+		}
+		return wp
+	}
+
+	// §5.3 reuse scheme: two reservoirs sized for the largest chain
+	// submesh; consecutive submeshes alternate reservoirs so the two
+	// endpoints of every subpath are independent.
+	capBits := 0
+	for _, b := range chain {
+		if bl := ceilLog2(b.MaxSide()); bl > capBits {
+			capBits = bl
+		}
+	}
+	r1 := bitrand.NewReservoir(rng, d, capBits)
+	r2 := bitrand.NewReservoir(rng, d, capBits)
+	c := make(mesh.Coord, d)
+	for i := 1; i < len(chain)-1; i++ {
+		r := r1
+		if i%2 == 0 {
+			r = r2
+		}
+		for dim := 0; dim < d; dim++ {
+			c[dim] = chain[i].Lo[dim] + r.DrawDim(dim, chain[i].Side(dim))
+		}
+		wp[i] = sel.m.NodeWrapped(c)
+	}
+	return wp
+}
+
+// ceilLog2 returns ⌈log₂ v⌉ for v ≥ 1.
+func ceilLog2(v int) int {
+	b := 0
+	for s := 1; s < v; s <<= 1 {
+		b++
+	}
+	return b
+}
+
+// SelectAll selects a path for every pair of a routing problem; the
+// i-th packet uses stream i. Aggregate statistics are summed/maxed.
+func (sel *Selector) SelectAll(pairs []mesh.Pair) ([]mesh.Path, Aggregate) {
+	paths := make([]mesh.Path, len(pairs))
+	var agg Aggregate
+	for i, pr := range pairs {
+		p, st := sel.PathStats(pr.S, pr.T, uint64(i))
+		paths[i] = p
+		agg.Add(st)
+	}
+	return paths, agg
+}
+
+// Aggregate accumulates per-packet stats over a routing problem.
+type Aggregate struct {
+	Packets         int
+	TotalBits       int64
+	MaxBits         int64
+	MaxBridgeHeight int
+	MaxLen          int
+}
+
+// Add folds one packet's stats into the aggregate.
+func (a *Aggregate) Add(st Stats) {
+	a.Packets++
+	a.TotalBits += st.RandomBits
+	if st.RandomBits > a.MaxBits {
+		a.MaxBits = st.RandomBits
+	}
+	if st.BridgeHeight > a.MaxBridgeHeight {
+		a.MaxBridgeHeight = st.BridgeHeight
+	}
+	if st.Len > a.MaxLen {
+		a.MaxLen = st.Len
+	}
+}
+
+// MeanBits returns the mean number of random bits per packet.
+func (a Aggregate) MeanBits() float64 {
+	if a.Packets == 0 {
+		return 0
+	}
+	return float64(a.TotalBits) / float64(a.Packets)
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func sel2d(t *testing.T, side int) *Selector {
+	t.Helper()
+	s, err := NewSelector(mesh.MustSquare(2, side), Options{Variant: Variant2D, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func selGen(t *testing.T, d, side int) *Selector {
+	t.Helper()
+	s, err := NewSelector(mesh.MustSquare(d, side), Options{Variant: VariantGeneral, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSelectorValidation(t *testing.T) {
+	if _, err := NewSelector(mesh.MustSquare(3, 8), Options{Variant: Variant2D}); err == nil {
+		t.Error("Variant2D on 3-D mesh accepted")
+	}
+	if _, err := NewSelector(mesh.MustNew(8, 4), Options{}); err == nil {
+		t.Error("non-square mesh accepted")
+	}
+	// Non-power-of-two squares work through the embedding
+	// decomposition.
+	if _, err := NewSelector(mesh.MustSquare(2, 6), Options{Variant: Variant2D}); err != nil {
+		t.Errorf("non-pow2 square rejected: %v", err)
+	}
+}
+
+// Non-power-of-two meshes: exhaustive validity and sane stretch (the
+// embedding can cost extra constants near the far boundary but must
+// stay within the theorem envelope).
+func TestNonPow2Sides(t *testing.T) {
+	for _, tc := range []struct {
+		d, side int
+		v       Variant
+		limit   float64
+	}{
+		{2, 6, Variant2D, 64},
+		{2, 12, Variant2D, 64},
+		{2, 20, Variant2D, 64},
+		{3, 6, VariantGeneral, 50 * 9},
+	} {
+		m := mesh.MustSquare(tc.d, tc.side)
+		sel := MustNewSelector(m, Options{Variant: tc.v, Seed: 2})
+		for a := 0; a < m.Size(); a++ {
+			for b := 0; b < m.Size(); b++ {
+				s, d := mesh.NodeID(a), mesh.NodeID(b)
+				p, st := sel.PathStats(s, d, uint64(a+b*7))
+				if err := m.Validate(p, s, d); err != nil {
+					t.Fatalf("d=%d side=%d (%d,%d): %v", tc.d, tc.side, a, b, err)
+				}
+				if s != d {
+					if stretch := float64(st.RawLen) / float64(m.Dist(s, d)); stretch > tc.limit {
+						t.Fatalf("d=%d side=%d (%v,%v): stretch %v",
+							tc.d, tc.side, m.CoordOf(s), m.CoordOf(d), stretch)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathValidityExhaustive2D(t *testing.T) {
+	sel := sel2d(t, 8)
+	m := sel.Mesh()
+	for a := 0; a < m.Size(); a++ {
+		for b := 0; b < m.Size(); b++ {
+			s, d := mesh.NodeID(a), mesh.NodeID(b)
+			p := sel.Path(s, d, uint64(a*64+b))
+			if err := m.Validate(p, s, d); err != nil {
+				t.Fatalf("(%d,%d): %v", a, b, err)
+			}
+			if !p.IsSimple() {
+				t.Fatalf("(%d,%d): path not simple after cycle removal", a, b)
+			}
+		}
+	}
+}
+
+func TestPathValidityQuickGeneral(t *testing.T) {
+	for _, tc := range []struct{ d, side int }{{2, 32}, {3, 16}, {4, 8}, {5, 4}} {
+		sel := selGen(t, tc.d, tc.side)
+		m := sel.Mesh()
+		f := func(a, b, st uint32) bool {
+			s := mesh.NodeID(int(a) % m.Size())
+			d := mesh.NodeID(int(b) % m.Size())
+			p := sel.Path(s, d, uint64(st))
+			return m.Validate(p, s, d) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("d=%d: %v", tc.d, err)
+		}
+	}
+}
+
+// Theorem 3.4: stretch(p(s,t)) <= 64 for the 2-D algorithm. Exhaustive
+// over all pairs of a 16x16 mesh, several streams each.
+func TestTheorem34Stretch2D(t *testing.T) {
+	sel := sel2d(t, 16)
+	m := sel.Mesh()
+	worst := 0.0
+	for a := 0; a < m.Size(); a++ {
+		for b := 0; b < m.Size(); b++ {
+			if a == b {
+				continue
+			}
+			s, d := mesh.NodeID(a), mesh.NodeID(b)
+			for st := 0; st < 3; st++ {
+				p, stats := sel.PathStats(s, d, uint64(st)*100003+uint64(a))
+				// The theorem bounds the as-constructed (pre-cycle-
+				// removal) length.
+				raw := float64(stats.RawLen) / float64(m.Dist(s, d))
+				if raw > worst {
+					worst = raw
+				}
+				if raw > 64 {
+					t.Fatalf("stretch %v > 64 for (%v,%v)", raw, m.CoordOf(s), m.CoordOf(d))
+				}
+				_ = p
+			}
+		}
+	}
+	t.Logf("worst observed 2-D stretch: %.2f", worst)
+}
+
+// Theorem 4.2: the d-dimensional stretch is O(d^2). Spot check with an
+// explicit constant: stretch <= 50·d² is far beyond the proof's
+// constants and must never trip.
+func TestTheorem42StretchD(t *testing.T) {
+	for _, tc := range []struct{ d, side int }{{2, 32}, {3, 16}, {4, 8}} {
+		sel := selGen(t, tc.d, tc.side)
+		m := sel.Mesh()
+		limit := 50 * float64(tc.d*tc.d)
+		f := func(a, b, st uint32) bool {
+			s := mesh.NodeID(int(a) % m.Size())
+			d := mesh.NodeID(int(b) % m.Size())
+			if s == d {
+				return true
+			}
+			_, stats := sel.PathStats(s, d, uint64(st))
+			return float64(stats.RawLen)/float64(m.Dist(s, d)) <= limit
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("d=%d: %v", tc.d, err)
+		}
+	}
+}
+
+func TestDeterminismPerStream(t *testing.T) {
+	sel := selGen(t, 3, 16)
+	m := sel.Mesh()
+	s := m.Node(mesh.Coord{1, 2, 3})
+	d := m.Node(mesh.Coord{14, 9, 0})
+	p1 := sel.Path(s, d, 7)
+	p2 := sel.Path(s, d, 7)
+	if len(p1) != len(p2) {
+		t.Fatal("same stream, different path length")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same stream, different path")
+		}
+	}
+	// Different streams should (almost surely) differ for a long pair.
+	differs := false
+	for st := uint64(0); st < 8; st++ {
+		p := sel.Path(s, d, 100+st)
+		if len(p) != len(p1) {
+			differs = true
+			break
+		}
+		for i := range p {
+			if p[i] != p1[i] {
+				differs = true
+				break
+			}
+		}
+	}
+	if !differs {
+		t.Error("8 different streams all produced the identical path")
+	}
+}
+
+// Obliviousness: the path of a packet is a function of (s, t, stream)
+// only — the selector holds no mutable state, so interleaving other
+// queries must not change the answer.
+func TestObliviousness(t *testing.T) {
+	sel := sel2d(t, 16)
+	m := sel.Mesh()
+	s := m.Node(mesh.Coord{2, 3})
+	d := m.Node(mesh.Coord{13, 11})
+	want := sel.Path(s, d, 42)
+	// Interleave unrelated queries.
+	for i := 0; i < 50; i++ {
+		sel.Path(mesh.NodeID(i%m.Size()), mesh.NodeID((i*7)%m.Size()), uint64(i))
+	}
+	got := sel.Path(s, d, 42)
+	if len(got) != len(want) {
+		t.Fatal("path changed after unrelated queries")
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("path changed after unrelated queries")
+		}
+	}
+}
+
+func TestSelfPath(t *testing.T) {
+	sel := sel2d(t, 8)
+	p, st := sel.PathStats(5, 5, 0)
+	if len(p) != 1 || p.Len() != 0 {
+		t.Errorf("self path = %v", p)
+	}
+	if st.RandomBits != 0 {
+		t.Errorf("self path consumed %d bits", st.RandomBits)
+	}
+}
+
+// Lemma 5.4: with the §5.3 reuse scheme the number of random bits per
+// packet is O(d·log(D·√d)) — concretely: dim permutation costs
+// O(d log d) and the two reservoirs cost 2·d·⌈log₂ bridgeSide⌉, plus
+// bounded rejection overhead on clipped boxes. We assert an explicit
+// budget and that the naive scheme uses strictly more on long paths.
+func TestLemma54BitBudget(t *testing.T) {
+	for _, tc := range []struct{ d, side int }{{2, 64}, {3, 16}} {
+		m := mesh.MustSquare(tc.d, tc.side)
+		reuse := MustNewSelector(m, Options{Variant: VariantGeneral, Seed: 3})
+		naive := MustNewSelector(m, Options{Variant: VariantGeneral, Seed: 3, FreshBits: true})
+		d := tc.d
+		// Far corners: the longest pair.
+		s := mesh.NodeID(0)
+		dst := mesh.NodeID(m.Size() - 1)
+		var reuseBits, naiveBits int64
+		const trials = 50
+		for st := 0; st < trials; st++ {
+			_, r := reuse.PathStats(s, dst, uint64(st))
+			_, n := naive.PathStats(s, dst, uint64(st))
+			reuseBits += r.RandomBits
+			naiveBits += n.RandomBits
+		}
+		meanReuse := float64(reuseBits) / trials
+		meanNaive := float64(naiveBits) / trials
+		// Budget: perm (≤ 2·d·log2 d + 2d) + 2 reservoirs (2·d·log2 side)
+		// + slack for rejection sampling on clipped boxes.
+		logSide := 0
+		for v := 1; v < tc.side; v <<= 1 {
+			logSide++
+		}
+		budget := float64(2*d*(logSide+1)) + float64(3*d*(logSide+2)) + 16
+		if meanReuse > budget {
+			t.Errorf("d=%d: reuse scheme used %.1f bits, budget %.1f", d, meanReuse, budget)
+		}
+		if meanNaive <= meanReuse {
+			t.Errorf("d=%d: naive scheme (%.1f) not costlier than reuse (%.1f)",
+				d, meanNaive, meanReuse)
+		}
+	}
+}
+
+func TestFixedDimOrderAblation(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1, FixedDimOrder: true})
+	// With a fixed order and distinct streams, the FIRST subpath out
+	// of the source must always leave in dimension 0 when the first
+	// waypoint differs in both coordinates; weaker but robust check:
+	// paths remain valid.
+	s := m.Node(mesh.Coord{3, 3})
+	d := m.Node(mesh.Coord{12, 13})
+	for st := uint64(0); st < 20; st++ {
+		p := sel.Path(s, d, st)
+		if err := m.Validate(p, s, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Access-tree ablation: neighbors straddling the mesh midline must be
+// routed through the root-level hierarchy, producing stretch that
+// grows with the mesh side — the unbounded-stretch failure the
+// bridges fix (paper §1, "a packet that has destination at a
+// neighboring node may traverse the entire network").
+func TestDisableBridgesUnboundedStretch(t *testing.T) {
+	prev := 0.0
+	for _, side := range []int{8, 16, 32, 64} {
+		m := mesh.MustSquare(2, side)
+		sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1, DisableBridges: true})
+		s := m.Node(mesh.Coord{side/2 - 1, side / 2})
+		d := m.Node(mesh.Coord{side / 2, side / 2})
+		// Average over streams (individual draws vary).
+		sum := 0.0
+		const trials = 40
+		for st := 0; st < trials; st++ {
+			_, stats := sel.PathStats(s, d, uint64(st))
+			sum += float64(stats.RawLen)
+		}
+		avg := sum / trials
+		if avg <= prev {
+			t.Errorf("side %d: access-tree midline path length %.1f did not grow (prev %.1f)",
+				side, avg, prev)
+		}
+		prev = avg
+	}
+	// The bridged algorithm keeps the same pair short on the largest
+	// mesh.
+	m := mesh.MustSquare(2, 64)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1})
+	s := m.Node(mesh.Coord{31, 32})
+	d := m.Node(mesh.Coord{32, 32})
+	sum := 0.0
+	const trials = 40
+	for st := 0; st < trials; st++ {
+		_, stats := sel.PathStats(s, d, uint64(st))
+		sum += float64(stats.RawLen)
+	}
+	if avg := sum / trials; avg > 64 {
+		t.Errorf("bridged midline path averages %.1f > 64", avg)
+	}
+}
+
+func TestSelectAllAggregate(t *testing.T) {
+	sel := sel2d(t, 16)
+	m := sel.Mesh()
+	pairs := []mesh.Pair{
+		{S: 0, T: mesh.NodeID(m.Size() - 1)},
+		{S: 5, T: 5},
+		{S: 7, T: 100},
+	}
+	paths, agg := sel.SelectAll(pairs)
+	if len(paths) != 3 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	for i, p := range paths {
+		if err := m.Validate(p, pairs[i].S, pairs[i].T); err != nil {
+			t.Errorf("pair %d: %v", i, err)
+		}
+	}
+	if agg.Packets != 3 {
+		t.Errorf("agg.Packets = %d", agg.Packets)
+	}
+	if agg.MeanBits() <= 0 {
+		t.Errorf("MeanBits = %v", agg.MeanBits())
+	}
+	if agg.MaxLen < paths[0].Len() {
+		t.Errorf("MaxLen %d < first path len %d", agg.MaxLen, paths[0].Len())
+	}
+}
+
+func TestChainExposure(t *testing.T) {
+	sel := selGen(t, 3, 16)
+	m := sel.Mesh()
+	s := m.Node(mesh.Coord{1, 1, 1})
+	d := m.Node(mesh.Coord{2, 1, 1})
+	chain, br := sel.Chain(s, d)
+	if len(chain) < 3 {
+		t.Fatalf("chain too short: %d", len(chain))
+	}
+	if br.Box.MaxSide() < 2 {
+		t.Error("bridge trivially small")
+	}
+	if !chain[0].Contains(m.CoordOf(s)) || !chain[len(chain)-1].Contains(m.CoordOf(d)) {
+		t.Error("chain endpoints wrong")
+	}
+}
+
+func TestKeepCycles(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	kc := MustNewSelector(m, Options{Variant: Variant2D, Seed: 9, KeepCycles: true})
+	rc := MustNewSelector(m, Options{Variant: Variant2D, Seed: 9})
+	s := m.Node(mesh.Coord{0, 0})
+	d := m.Node(mesh.Coord{1, 0})
+	for st := uint64(0); st < 30; st++ {
+		pk, sk := kc.PathStats(s, d, st)
+		pr, sr := rc.PathStats(s, d, st)
+		if sk.RawLen != sr.RawLen {
+			t.Fatal("raw lengths differ between keep/remove variants")
+		}
+		if pk.Len() != sk.RawLen {
+			t.Error("KeepCycles still shortened the path")
+		}
+		if pr.Len() > pk.Len() {
+			t.Error("cycle removal lengthened the path")
+		}
+		if !pr.IsSimple() {
+			t.Error("cycle-removed path not simple")
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Variant2D.String() != "H-2d" || VariantGeneral.String() != "H-general" {
+		t.Error("Variant.String broken")
+	}
+	if Variant(7).String() == "" {
+		t.Error("unknown variant string empty")
+	}
+}

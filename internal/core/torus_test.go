@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func torusSel(t *testing.T, d, side int, v Variant) *Selector {
+	t.Helper()
+	m, err := mesh.SquareTorus(d, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelector(m, Options{Variant: v, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestTorusPathValidityExhaustive(t *testing.T) {
+	sel := torusSel(t, 2, 8, Variant2D)
+	m := sel.Mesh()
+	for a := 0; a < m.Size(); a++ {
+		for b := 0; b < m.Size(); b++ {
+			s, d := mesh.NodeID(a), mesh.NodeID(b)
+			p := sel.Path(s, d, uint64(a*64+b))
+			if err := m.Validate(p, s, d); err != nil {
+				t.Fatalf("(%d,%d): %v", a, b, err)
+			}
+		}
+	}
+}
+
+func TestTorusPathValidityQuick(t *testing.T) {
+	for _, tc := range []struct {
+		d, side int
+		v       Variant
+	}{
+		{2, 32, Variant2D}, {3, 16, VariantGeneral}, {4, 8, VariantGeneral},
+	} {
+		sel := torusSel(t, tc.d, tc.side, tc.v)
+		m := sel.Mesh()
+		f := func(a, b, st uint32) bool {
+			s := mesh.NodeID(int(a) % m.Size())
+			d := mesh.NodeID(int(b) % m.Size())
+			return m.Validate(sel.Path(s, d, uint64(st)), s, d) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("d=%d: %v", tc.d, err)
+		}
+	}
+}
+
+// On the torus the stretch guarantee must hold against the WRAP-AWARE
+// distance: torus wrap pairs (distance 1 across the seam) must get
+// short paths through wrapping bridges.
+func TestTorusStretchBound(t *testing.T) {
+	sel := torusSel(t, 2, 16, Variant2D)
+	m := sel.Mesh()
+	worst := 0.0
+	for a := 0; a < m.Size(); a++ {
+		for b := 0; b < m.Size(); b++ {
+			if a == b {
+				continue
+			}
+			s, d := mesh.NodeID(a), mesh.NodeID(b)
+			_, st := sel.PathStats(s, d, uint64(a))
+			stretch := float64(st.RawLen) / float64(m.Dist(s, d))
+			if stretch > worst {
+				worst = stretch
+			}
+			if stretch > 64 {
+				t.Fatalf("torus stretch %v > 64 for %v -> %v",
+					stretch, m.CoordOf(s), m.CoordOf(d))
+			}
+		}
+	}
+	t.Logf("worst torus 2-D stretch: %.2f", worst)
+}
+
+// The seam pair ((side-1,y),(0,y)) has torus distance 1; a mesh-style
+// router would drag it across the network. The torus decomposition
+// must keep it short via a wrapping bridge.
+func TestTorusSeamPairsShort(t *testing.T) {
+	m, _ := mesh.SquareTorus(2, 64)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 3})
+	s := m.Node(mesh.Coord{63, 32})
+	d := m.Node(mesh.Coord{0, 32})
+	sum := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		_, st := sel.PathStats(s, d, uint64(i))
+		sum += st.RawLen
+	}
+	if avg := float64(sum) / trials; avg > 64 {
+		t.Errorf("seam pair average path length %.1f (want O(1), bound 64)", avg)
+	}
+}
+
+func TestTorusGeneralVariantStretch(t *testing.T) {
+	sel := torusSel(t, 3, 16, VariantGeneral)
+	m := sel.Mesh()
+	limit := 50.0 * 9 // 50 d^2
+	f := func(a, b, st uint32) bool {
+		s := mesh.NodeID(int(a) % m.Size())
+		d := mesh.NodeID(int(b) % m.Size())
+		if s == d {
+			return true
+		}
+		_, stats := sel.PathStats(s, d, uint64(st))
+		return float64(stats.RawLen)/float64(m.Dist(s, d)) <= limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+package decomp
+
+import (
+	"math/bits"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// Bridge describes the bridge submesh of a bitonic path: the regular
+// submesh through which the up-phase (monotonic path from the source)
+// and down-phase (monotonic path to the destination) connect.
+type Bridge struct {
+	Box   mesh.Box
+	Level int // level of the bridge submesh
+	Type  int // family index j (1 = type-1)
+}
+
+// Height returns the bridge's height k - level.
+func (br Bridge) Height(dc *Decomposition) int { return dc.HeightOf(br.Level) }
+
+// ceilLog2 returns ⌈log₂ v⌉ for v ≥ 1.
+func ceilLog2(v int) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len(uint(v - 1))
+}
+
+// dist returns the topology-aware shortest distance between two
+// in-range coordinates.
+func (dc *Decomposition) dist(s, t mesh.Coord) int {
+	return dc.m.Dist(dc.m.Node(s), dc.m.Node(t))
+}
+
+// DeepestCommonAncestor implements the 2-D bridge rule (§3.2): the
+// deepest regular submesh containing both s and t. Lemma 3.3
+// guarantees its height is at most ⌈log₂ dist(s,t)⌉ + 2 (torus; +O(1)
+// near mesh boundaries). The scan runs from the deepest level upward
+// and the root always matches, so a bridge is always found.
+//
+// Works in both modes; in ModeGeneral it scans all families at each
+// level.
+func (dc *Decomposition) DeepestCommonAncestor(s, t mesh.Coord) Bridge {
+	for level := dc.k; level >= 0; level-- {
+		for j := 1; j <= dc.NumTypes(level); j++ {
+			b, ok := dc.TypeContaining(level, j, s)
+			if ok && dc.m.BoxContains(b, t) {
+				return Bridge{Box: b, Level: level, Type: j}
+			}
+		}
+	}
+	// Unreachable: level 0 type 1 is the whole mesh.
+	panic("decomp: no common ancestor found (root should always match)")
+}
+
+// BridgeFor implements the d-dimensional bridge rule of §4.1: let ĥ be
+// the height of the deepest level whose submeshes have side at least
+// 2(d+1)·dist(s,t); the bridge lives one level higher (height ĥ+1) and
+// is a type-ζ submesh completely containing the bounding region R of s
+// and t, whose existence Lemma 4.1 guarantees on the torus by the
+// pigeonhole principle over the ≥ d+1 families. Near the mesh boundary
+// that family may not exist, in which case the search moves up one
+// level at a time; the root always succeeds.
+func (dc *Decomposition) BridgeFor(s, t mesh.Coord) Bridge {
+	return dc.BridgeForFactor(s, t, 1)
+}
+
+// BridgeForFactor is BridgeFor with the paper's 2(d+1)·dist bridge
+// size scaled by `factor` (1 = the paper's rule). Smaller factors give
+// tighter bridges — shorter paths but fewer landing options, hence
+// more fallbacks near boundaries and worse congestion spreading;
+// larger factors do the opposite. Exposed for the E23 ablation.
+func (dc *Decomposition) BridgeForFactor(s, t mesh.Coord, factor float64) Bridge {
+	dist := dc.dist(s, t)
+	if dist == 0 {
+		lvl := dc.k
+		return Bridge{Box: dc.Type1Containing(lvl, s), Level: lvl, Type: 1}
+	}
+	// Smallest power of two ≥ factor·2(d+1)·dist is 2^ĥ; bridge at
+	// height ĥ+1.
+	target := int(factor * float64(2*(dc.d+1)*dist))
+	if target < 1 {
+		target = 1
+	}
+	hHat := ceilLog2(target)
+	height := hHat + 1
+	if height > dc.k {
+		height = dc.k
+	}
+	R := mesh.BoundingBox(s, t)
+	for h := height; h <= dc.k; h++ {
+		level := dc.LevelOf(h)
+		for j := 1; j <= dc.NumTypes(level); j++ {
+			b, ok := dc.TypeContaining(level, j, s)
+			if !ok {
+				continue
+			}
+			// Open mesh: the bridge must contain the bounding region
+			// R of Lemma 4.1. Torus: containment of both endpoints in
+			// the wrapping box (the per-dimension interval between
+			// them inside the box comes for free since box intervals
+			// are contiguous).
+			if dc.wrap {
+				if dc.m.BoxContains(b, t) {
+					return Bridge{Box: b, Level: level, Type: j}
+				}
+			} else if b.ContainsBox(R) {
+				return Bridge{Box: b, Level: level, Type: j}
+			}
+		}
+	}
+	panic("decomp: no bridge found (root should always match)")
+}
+
+// Type1Chain returns the type-1 submeshes containing c at heights
+// hFrom..hTo inclusive (ascending heights when hFrom < hTo, descending
+// otherwise). These are the monotonic-path submeshes of the access
+// graph: every element contains the previous one when ascending.
+func (dc *Decomposition) Type1Chain(c mesh.Coord, hFrom, hTo int) []mesh.Box {
+	step := 1
+	n := hTo - hFrom + 1
+	if hTo < hFrom {
+		step = -1
+		n = hFrom - hTo + 1
+	}
+	out := make([]mesh.Box, 0, n)
+	for h, i := hFrom, 0; i < n; h, i = h+step, i+1 {
+		out = append(out, dc.Type1Containing(dc.LevelOf(h), c))
+	}
+	return out
+}
+
+// BitonicChain2D builds the full 2-D bitonic chain of §3.2/§3.3 for a
+// packet from s to t: type-1 submeshes of s at heights 0..H-1, the
+// bridge (the deepest common ancestor, height H), then type-1
+// submeshes of t at heights H-1..0. Consecutive boxes always satisfy
+// the containment relation required by the path-selection algorithm.
+func (dc *Decomposition) BitonicChain2D(s, t mesh.Coord) ([]mesh.Box, Bridge) {
+	br := dc.DeepestCommonAncestor(s, t)
+	h := br.Height(dc)
+	if h == 0 {
+		// s == t: the DCA is the leaf submesh of the node itself.
+		return []mesh.Box{br.Box}, br
+	}
+	chain := make([]mesh.Box, 0, 2*h+1)
+	chain = append(chain, dc.Type1Chain(s, 0, h-1)...)
+	chain = append(chain, br.Box)
+	chain = append(chain, dc.Type1Chain(t, h-1, 0)...)
+	return chain, br
+}
+
+// BitonicChainD builds the d-dimensional bitonic chain of §4.1 for a
+// packet from s to t: type-1 submeshes of s at heights 0..h with
+// h = ⌈log₂ dist(s,t)⌉ (the submesh M1 of Theorem 4.2), a direct jump
+// to the bridge M2 at height ĥ+1, then down via the type-1 submeshes
+// of t at heights h..0 (M3 first). When the bridge is low enough that
+// the climb already reaches it, the jump degenerates gracefully.
+func (dc *Decomposition) BitonicChainD(s, t mesh.Coord) ([]mesh.Box, Bridge) {
+	return dc.BitonicChainDFactor(s, t, 1)
+}
+
+// BitonicChainDFactor is BitonicChainD with a scaled bridge rule (see
+// BridgeForFactor).
+func (dc *Decomposition) BitonicChainDFactor(s, t mesh.Coord, factor float64) ([]mesh.Box, Bridge) {
+	dist := dc.dist(s, t)
+	br := dc.BridgeForFactor(s, t, factor)
+	if dist == 0 {
+		return []mesh.Box{br.Box}, br
+	}
+	h := ceilLog2(dist)
+	if bh := br.Height(dc); h >= bh {
+		// Tiny meshes or clamped bridge: climb only to just below the
+		// bridge.
+		h = bh - 1
+	}
+	chain := make([]mesh.Box, 0, 2*(h+1)+1)
+	chain = append(chain, dc.Type1Chain(s, 0, h)...)
+	chain = append(chain, br.Box)
+	chain = append(chain, dc.Type1Chain(t, h, 0)...)
+	return chain, br
+}

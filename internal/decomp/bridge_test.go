@@ -1,0 +1,279 @@
+package decomp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 7: 3, 8: 3, 9: 4, 1024: 10}
+	for v, want := range cases {
+		if got := ceilLog2(v); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// Lemma 3.3: the deepest common ancestor of two leaves has height at
+// most log2(dist) + 3 on the mesh (the torus bound is +2; boundary
+// effects cost at most one more doubling in this construction — we
+// check the constant empirically and fail if it drifts past +3).
+func TestLemma33DCAHeight(t *testing.T) {
+	for _, side := range []int{8, 16, 32} {
+		dc := MustNew(mesh.MustSquare(2, side), Mode2D)
+		m := dc.Mesh()
+		for a := 0; a < m.Size(); a++ {
+			for b := 0; b < m.Size(); b++ {
+				s := m.CoordOf(mesh.NodeID(a))
+				tt := m.CoordOf(mesh.NodeID(b))
+				dist := s.L1(tt)
+				if dist == 0 {
+					continue
+				}
+				br := dc.DeepestCommonAncestor(s, tt)
+				h := br.Height(dc)
+				bound := int(math.Ceil(math.Log2(float64(dist)))) + 3
+				if bound > dc.K() {
+					bound = dc.K()
+				}
+				if h > bound {
+					t.Fatalf("side %d: DCA(%v,%v) height %d > log2(%d)+3 = %d (box %v)",
+						side, s, tt, h, dist, bound, br.Box)
+				}
+				if !br.Box.Contains(s) || !br.Box.Contains(tt) {
+					t.Fatalf("DCA box %v misses an endpoint", br.Box)
+				}
+			}
+		}
+	}
+}
+
+// The DCA must be deepest: no regular submesh at a deeper level
+// contains both endpoints.
+func TestDCADeepest(t *testing.T) {
+	dc := MustNew(mesh.MustSquare(2, 16), Mode2D)
+	m := dc.Mesh()
+	f := func(a, b uint32) bool {
+		s := m.CoordOf(mesh.NodeID(int(a) % m.Size()))
+		tt := m.CoordOf(mesh.NodeID(int(b) % m.Size()))
+		br := dc.DeepestCommonAncestor(s, tt)
+		for l := br.Level + 1; l <= dc.K(); l++ {
+			for j := 1; j <= dc.NumTypes(l); j++ {
+				box, ok := dc.TypeContaining(l, j, s)
+				if ok && box.Contains(tt) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 4.1 (mesh version): BridgeFor returns a regular submesh
+// containing the bounding region R of s and t, with side
+// O(d·dist(s,t)) (up to the boundary fallback).
+func TestBridgeForContainsR(t *testing.T) {
+	for _, tc := range []struct {
+		d, side int
+	}{
+		{2, 32}, {3, 16}, {4, 8},
+	} {
+		dc := MustNew(mesh.MustSquare(tc.d, tc.side), ModeGeneral)
+		m := dc.Mesh()
+		f := func(a, b uint32) bool {
+			s := m.CoordOf(mesh.NodeID(int(a) % m.Size()))
+			tt := m.CoordOf(mesh.NodeID(int(b) % m.Size()))
+			br := dc.BridgeFor(s, tt)
+			R := mesh.BoundingBox(s, tt)
+			return br.Box.ContainsBox(R)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("d=%d side=%d: %v", tc.d, tc.side, err)
+		}
+	}
+}
+
+// On the interior of a large mesh (far from boundaries), the bridge
+// side must match the paper exactly: 2^(ĥ+1) with
+// 2(d+1)·dist ≤ 2^ĥ ≤ 4(d+1)·dist.
+func TestBridgeSideInterior(t *testing.T) {
+	dc := MustNew(mesh.MustSquare(2, 256), ModeGeneral)
+	m := dc.Mesh()
+	center := 128
+	for _, dist := range []int{1, 2, 3, 5, 8} {
+		s := mesh.Coord{center, center}
+		tt := mesh.Coord{center + dist, center}
+		br := dc.BridgeFor(s, tt)
+		side := br.Box.MaxSide()
+		lo := 2 * 2 * (m.Dim() + 1) * dist // 2 * 2(d+1)dist
+		hi := 2 * 4 * (m.Dim() + 1) * dist
+		// Power-of-two between those bounds (allow the fallback to go
+		// one level coarser near clipping).
+		if side < lo/2 || side > hi*2 {
+			t.Errorf("dist %d: bridge side %d outside plausible [%d,%d]",
+				dist, side, lo, hi)
+		}
+		if !br.Box.Contains(s) || !br.Box.Contains(tt) {
+			t.Errorf("bridge misses endpoints")
+		}
+	}
+}
+
+func TestBridgeForIdenticalEndpoints(t *testing.T) {
+	dc := MustNew(mesh.MustSquare(3, 8), ModeGeneral)
+	s := mesh.Coord{3, 4, 5}
+	br := dc.BridgeFor(s, s)
+	if br.Box.Size() != 1 || !br.Box.Contains(s) {
+		t.Errorf("self bridge = %v", br.Box)
+	}
+}
+
+func TestType1Chain(t *testing.T) {
+	dc := MustNew(mesh.MustSquare(2, 16), Mode2D)
+	c := mesh.Coord{5, 9}
+	up := dc.Type1Chain(c, 0, 3)
+	if len(up) != 4 {
+		t.Fatalf("chain length %d, want 4", len(up))
+	}
+	for i, b := range up {
+		if !b.Contains(c) {
+			t.Errorf("chain[%d] = %v misses %v", i, b, c)
+		}
+		if b.MaxSide() != 1<<i {
+			t.Errorf("chain[%d] side %d, want %d", i, b.MaxSide(), 1<<i)
+		}
+		if i > 0 && !b.ContainsBox(up[i-1]) {
+			t.Errorf("chain[%d] does not contain chain[%d]", i, i-1)
+		}
+	}
+	down := dc.Type1Chain(c, 3, 0)
+	for i := range down {
+		if !down[i].Equal(up[len(up)-1-i]) {
+			t.Errorf("descending chain mismatch at %d", i)
+		}
+	}
+}
+
+// Chain invariant: consecutive elements of a bitonic chain satisfy
+// containment in the travel direction (up: next contains prev; down:
+// prev contains next), the property the path-construction and the
+// congestion analysis (appendix conditions (i)-(iii)) rely on.
+func checkChainContainment(t *testing.T, chain []mesh.Box, bridgeIdx int) {
+	t.Helper()
+	for i := 1; i < len(chain); i++ {
+		if i <= bridgeIdx {
+			if !chain[i].ContainsBox(chain[i-1]) {
+				t.Fatalf("up-phase: chain[%d]=%v does not contain chain[%d]=%v",
+					i, chain[i], i-1, chain[i-1])
+			}
+		} else {
+			if !chain[i-1].ContainsBox(chain[i]) {
+				t.Fatalf("down-phase: chain[%d]=%v does not contain chain[%d]=%v",
+					i-1, chain[i-1], i, chain[i])
+			}
+		}
+	}
+}
+
+func bridgeIndex(chain []mesh.Box, br Bridge) int {
+	for i, b := range chain {
+		if b.Equal(br.Box) {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestBitonicChain2DInvariant(t *testing.T) {
+	dc := MustNew(mesh.MustSquare(2, 32), Mode2D)
+	m := dc.Mesh()
+	f := func(a, b uint32) bool {
+		s := m.CoordOf(mesh.NodeID(int(a) % m.Size()))
+		tt := m.CoordOf(mesh.NodeID(int(b) % m.Size()))
+		chain, br := dc.BitonicChain2D(s, tt)
+		idx := bridgeIndex(chain, br)
+		if idx < 0 {
+			return false
+		}
+		if !chain[0].Contains(s) || chain[0].Size() != 1 {
+			return false
+		}
+		if !chain[len(chain)-1].Contains(tt) || chain[len(chain)-1].Size() != 1 {
+			return false
+		}
+		checkChainContainment(t, chain, idx)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitonicChainDInvariant(t *testing.T) {
+	for _, tc := range []struct{ d, side int }{{2, 32}, {3, 16}, {4, 8}, {5, 8}} {
+		dc := MustNew(mesh.MustSquare(tc.d, tc.side), ModeGeneral)
+		m := dc.Mesh()
+		f := func(a, b uint32) bool {
+			s := m.CoordOf(mesh.NodeID(int(a) % m.Size()))
+			tt := m.CoordOf(mesh.NodeID(int(b) % m.Size()))
+			chain, br := dc.BitonicChainD(s, tt)
+			idx := bridgeIndex(chain, br)
+			if idx < 0 {
+				return false
+			}
+			if !chain[0].Contains(s) || chain[0].Size() != 1 {
+				return false
+			}
+			last := chain[len(chain)-1]
+			if !last.Contains(tt) || last.Size() != 1 {
+				return false
+			}
+			checkChainContainment(t, chain, idx)
+			return !t.Failed()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("d=%d: %v", tc.d, err)
+		}
+	}
+}
+
+// Total chain-walk length bounds the path length: sum of box
+// perimeters along the chain is O(d^2 · dist) (Theorem 4.2's r1+r2+r3
+// accounting). We check the geometric sum directly.
+func TestChainLengthBudget(t *testing.T) {
+	dc := MustNew(mesh.MustSquare(3, 32), ModeGeneral)
+	m := dc.Mesh()
+	d := float64(m.Dim())
+	f := func(a, b uint32) bool {
+		s := m.CoordOf(mesh.NodeID(int(a) % m.Size()))
+		tt := m.CoordOf(mesh.NodeID(int(b) % m.Size()))
+		dist := s.L1(tt)
+		if dist == 0 {
+			return true
+		}
+		chain, _ := dc.BitonicChainD(s, tt)
+		// Max possible walk: d * sum of (maxSide-1) over consecutive
+		// hops' larger box.
+		budget := 0.0
+		for i := 1; i < len(chain); i++ {
+			bigger := chain[i]
+			if chain[i-1].MaxSide() > bigger.MaxSide() {
+				bigger = chain[i-1]
+			}
+			budget += d * float64(bigger.MaxSide()-1)
+		}
+		// Theorem 4.2: O(d²·dist); constant from the proof is ≤ ~34
+		// for r2 plus 4d for r1,r3. Use a generous explicit constant.
+		limit := (16*(d+1) + 8) * d * float64(dist)
+		return budget <= limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

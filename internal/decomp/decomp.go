@@ -1,0 +1,318 @@
+// Package decomp implements the hierarchical mesh decompositions of
+// the paper: §3.1 for two dimensions (type-1 submeshes by recursive
+// halving plus diagonally translated type-2 submeshes with corner
+// discard) and §4.1 for d dimensions (type-j submeshes, j = 1..Θ(d),
+// translated by multiples of λ = max{1, m_l / 2^⌈log₂(d+1)⌉}).
+//
+// All constructions assume a square mesh with side 2^k, as in the
+// paper. Levels run l = 0..k; the level-l submeshes have side
+// m_l = 2^(k-l); level k submeshes are the individual nodes and the
+// single level-0 submesh is the whole mesh. The height of a level is
+// k-l.
+package decomp
+
+import (
+	"fmt"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// Mode selects which of the paper's two constructions is used.
+type Mode int
+
+const (
+	// Mode2D is the §3.1 construction: one translated family
+	// (type-2) shifted by (m_l/2, m_l/2), external corner submeshes
+	// discarded. Only valid for 2-dimensional meshes.
+	Mode2D Mode = iota
+	// ModeGeneral is the §4.1 construction: 2^⌈log₂(d+1)⌉ families
+	// translated diagonally by multiples of λ, clipped to the mesh.
+	// Valid for any dimension (in 2-D it yields 4 families).
+	ModeGeneral
+)
+
+func (mo Mode) String() string {
+	switch mo {
+	case Mode2D:
+		return "2d"
+	case ModeGeneral:
+		return "general"
+	}
+	return fmt.Sprintf("Mode(%d)", int(mo))
+}
+
+// Decomposition is an immutable hierarchical decomposition of a square
+// power-of-two mesh or torus. All queries are arithmetic (no stored
+// submesh lists); EnumerateLevel materializes boxes on demand.
+//
+// On the torus — the topology the paper's proofs of Lemmas 3.3 and
+// 4.1 temporarily assume — the translated families wrap around instead
+// of being clipped, so "all the type-2 meshes are of the same size"
+// exactly as in the paper. Wrapping submeshes are represented as
+// extended boxes (Hi may exceed side-1); use the mesh's wrap-aware
+// BoxContains/ForEachNode to interpret them.
+type Decomposition struct {
+	m    *mesh.Mesh
+	mode Mode
+	d    int  // dimensions
+	k    int  // side = 2^k
+	side int  // 2^k
+	tpow int  // 2^⌈log₂(d+1)⌉ for ModeGeneral; 2 for Mode2D
+	wrap bool // torus topology
+}
+
+// New builds a decomposition of m in the given mode. The mesh must be
+// square; Mode2D additionally requires d == 2. Power-of-two sides give
+// the paper's exact construction. Other sides are handled by embedding
+// into the enclosing power-of-two grid and clipping every submesh —
+// the same mechanism the paper already uses for external translated
+// submeshes — which preserves all structural invariants the algorithm
+// needs (type-1 partition, chain containment) at the cost of slightly
+// larger constants near the far boundary. Tori still require a
+// power-of-two side (wrapping families must tile the ring exactly).
+func New(m *mesh.Mesh, mode Mode) (*Decomposition, error) {
+	k, pow2 := m.IsSquarePow2()
+	if !pow2 {
+		side := m.Side(0)
+		for i := 1; i < m.Dim(); i++ {
+			if m.Side(i) != side {
+				return nil, fmt.Errorf("decomp: mesh %v is not square", m)
+			}
+		}
+		if m.Wrap() {
+			return nil, fmt.Errorf("decomp: torus %v needs a power-of-two side", m)
+		}
+		k = ceilLog2(side)
+	}
+	d := m.Dim()
+	dc := &Decomposition{m: m, mode: mode, d: d, k: k, side: m.Side(0), wrap: m.Wrap()}
+	switch mode {
+	case Mode2D:
+		if d != 2 {
+			return nil, fmt.Errorf("decomp: Mode2D requires a 2-dimensional mesh, got d=%d", d)
+		}
+		dc.tpow = 2
+	case ModeGeneral:
+		dc.tpow = 1
+		for dc.tpow < d+1 {
+			dc.tpow <<= 1
+		}
+	default:
+		return nil, fmt.Errorf("decomp: unknown mode %v", mode)
+	}
+	return dc, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(m *mesh.Mesh, mode Mode) *Decomposition {
+	dc, err := New(m, mode)
+	if err != nil {
+		panic(err)
+	}
+	return dc
+}
+
+// Mesh returns the underlying mesh.
+func (dc *Decomposition) Mesh() *mesh.Mesh { return dc.m }
+
+// Mode returns the construction mode.
+func (dc *Decomposition) Mode() Mode { return dc.mode }
+
+// K returns k with mesh side 2^k; levels run 0..k.
+func (dc *Decomposition) K() int { return dc.k }
+
+// Levels returns the number of levels, k+1.
+func (dc *Decomposition) Levels() int { return dc.k + 1 }
+
+// SideAt returns m_l = 2^(k-l), the side length of level-l submeshes.
+func (dc *Decomposition) SideAt(level int) int { return 1 << (dc.k - level) }
+
+// HeightOf converts a level to its height k-l.
+func (dc *Decomposition) HeightOf(level int) int { return dc.k - level }
+
+// LevelOf converts a height to its level k-h.
+func (dc *Decomposition) LevelOf(height int) int { return dc.k - height }
+
+// Lambda returns the translation unit λ at the given level: m_l/2 for
+// Mode2D (§3.1) and max{1, m_l / 2^⌈log₂(d+1)⌉} for ModeGeneral (§4.1).
+func (dc *Decomposition) Lambda(level int) int {
+	ml := dc.SideAt(level)
+	lam := ml / dc.tpow
+	if lam < 1 {
+		lam = 1
+	}
+	return lam
+}
+
+// NumTypes returns the number of submesh families at the given level:
+// type-1 plus the translated families. Level 0 (the whole mesh) and
+// level k (single nodes) have only type-1 in Mode2D per §3.1 ("there
+// are k levels of type-2 submeshes, l = 1..k"); level-k translated
+// families would duplicate the node partition, so both modes collapse
+// them to 1 when λ ≥ m_l.
+func (dc *Decomposition) NumTypes(level int) int {
+	ml := dc.SideAt(level)
+	if level == 0 || ml == 1 {
+		return 1
+	}
+	t := dc.tpow
+	if t > ml {
+		t = ml
+	}
+	return t
+}
+
+// shiftOf returns the diagonal translation of family j (1-based) at
+// the given level: (j-1)·λ, reduced modulo m_l.
+func (dc *Decomposition) shiftOf(level, j int) int {
+	return ((j - 1) * dc.Lambda(level)) % dc.SideAt(level)
+}
+
+// Type1Containing returns the (unique) type-1 level-l submesh
+// containing c. For non-power-of-two meshes the box is clipped to the
+// mesh extent (the embedding construction).
+func (dc *Decomposition) Type1Containing(level int, c mesh.Coord) mesh.Box {
+	ml := dc.SideAt(level)
+	lo := make(mesh.Coord, dc.d)
+	hi := make(mesh.Coord, dc.d)
+	for i := range lo {
+		lo[i] = (c[i] / ml) * ml
+		hi[i] = lo[i] + ml - 1
+		if !dc.wrap && hi[i] > dc.side-1 {
+			hi[i] = dc.side - 1
+		}
+	}
+	return mesh.Box{Lo: lo, Hi: hi}
+}
+
+// TypeContaining returns the type-j level-l submesh containing c,
+// clipped to the mesh. ok is false when c falls in a region whose
+// type-j box was discarded (2-D corner rule) — this can only happen in
+// Mode2D with j == 2.
+func (dc *Decomposition) TypeContaining(level, j int, c mesh.Coord) (mesh.Box, bool) {
+	if j == 1 {
+		return dc.Type1Containing(level, c), true
+	}
+	ml := dc.SideAt(level)
+	shift := dc.shiftOf(level, j)
+	lo := make(mesh.Coord, dc.d)
+	hi := make(mesh.Coord, dc.d)
+	if dc.wrap {
+		// Torus: boxes wrap instead of clipping; represent the box
+		// containing c as an extended interval [a, a+m_l-1] with
+		// a in [0, side).
+		for i := range lo {
+			a := c[i] - ((c[i]-shift)%ml+ml)%ml
+			if a < 0 {
+				a += dc.side
+			}
+			lo[i], hi[i] = a, a+ml-1
+		}
+		return mesh.Box{Lo: lo, Hi: hi}, true
+	}
+	clippedDims := 0
+	for i := range lo {
+		a := c[i] - ((c[i]-shift)%ml+ml)%ml
+		b := a + ml - 1
+		if a < 0 {
+			a = 0
+			clippedDims++
+		}
+		if b > dc.side-1 {
+			b = dc.side - 1
+			clippedDims++
+		}
+		lo[i], hi[i] = a, b
+	}
+	if dc.mode == Mode2D && clippedDims >= 2 {
+		// §3.1: corner submeshes of the translated grid are discarded
+		// (they coincide with type-1 submeshes of the next level).
+		return mesh.Box{}, false
+	}
+	return mesh.Box{Lo: lo, Hi: hi}, true
+}
+
+// EnumerateLevel calls fn(j, box) for every regular submesh at the
+// given level, over all families j = 1..NumTypes(level). Boxes are
+// clipped to the mesh; 2-D discarded corners are skipped.
+func (dc *Decomposition) EnumerateLevel(level int, fn func(j int, b mesh.Box)) {
+	ml := dc.SideAt(level)
+	for j := 1; j <= dc.NumTypes(level); j++ {
+		shift := dc.shiftOf(level, j)
+		// Anchor values per dimension (same in every dimension since
+		// the shift is diagonal). Open mesh: all a ≡ shift (mod m_l)
+		// with [a, a+m_l-1] intersecting [0, side-1]. Torus: exactly
+		// side/m_l anchors, boxes wrap instead of clipping.
+		var anchors []int
+		if dc.wrap {
+			for a := shift; a < dc.side; a += ml {
+				anchors = append(anchors, a)
+			}
+		} else {
+			start := shift
+			if shift > 0 {
+				start = shift - ml
+			}
+			for a := start; a <= dc.side-1; a += ml {
+				anchors = append(anchors, a)
+			}
+		}
+		dc.enumerateBoxes(level, j, anchors, fn)
+	}
+}
+
+// enumerateBoxes walks the cartesian product of anchors over all
+// dimensions and emits the clipped boxes of family j.
+func (dc *Decomposition) enumerateBoxes(level, j int, anchors []int, fn func(j int, b mesh.Box)) {
+	ml := dc.SideAt(level)
+	idx := make([]int, dc.d)
+	for {
+		lo := make(mesh.Coord, dc.d)
+		hi := make(mesh.Coord, dc.d)
+		clippedDims := 0
+		for i := range lo {
+			a := anchors[idx[i]]
+			b := a + ml - 1
+			if !dc.wrap {
+				if a < 0 {
+					a = 0
+					clippedDims++
+				}
+				if b > dc.side-1 {
+					b = dc.side - 1
+					clippedDims++
+				}
+			}
+			lo[i], hi[i] = a, b
+		}
+		if !(dc.mode == Mode2D && j > 1 && clippedDims >= 2) {
+			fn(j, mesh.Box{Lo: lo, Hi: hi})
+		}
+		i := 0
+		for i < dc.d {
+			idx[i]++
+			if idx[i] < len(anchors) {
+				break
+			}
+			idx[i] = 0
+			i++
+		}
+		if i == dc.d {
+			return
+		}
+	}
+}
+
+// CountLevel returns the number of regular submeshes at the level.
+func (dc *Decomposition) CountLevel(level int) int {
+	n := 0
+	dc.EnumerateLevel(level, func(int, mesh.Box) { n++ })
+	return n
+}
+
+// EnumerateAll calls fn for every regular submesh at every level.
+func (dc *Decomposition) EnumerateAll(fn func(level, j int, b mesh.Box)) {
+	for l := 0; l <= dc.k; l++ {
+		dc.EnumerateLevel(l, func(j int, b mesh.Box) { fn(l, j, b) })
+	}
+}

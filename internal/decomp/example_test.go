@@ -1,0 +1,48 @@
+package decomp_test
+
+import (
+	"fmt"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+// The hierarchical decomposition of an 8x8 mesh (Figure 1).
+func ExampleDecomposition_EnumerateLevel() {
+	dc := decomp.MustNew(mesh.MustSquare(2, 8), decomp.Mode2D)
+	count := map[int]int{}
+	dc.EnumerateLevel(1, func(j int, b mesh.Box) { count[j]++ })
+	fmt.Println("type-1 boxes at level 1:", count[1])
+	fmt.Println("type-2 boxes at level 1:", count[2])
+	// Output:
+	// type-1 boxes at level 1: 4
+	// type-2 boxes at level 1: 5
+}
+
+// Bridges make neighboring nodes meet in a small submesh even when
+// the type-1 hierarchy separates them at the root.
+func ExampleDecomposition_DeepestCommonAncestor() {
+	dc := decomp.MustNew(mesh.MustSquare(2, 64), decomp.Mode2D)
+	// Midline neighbors: different type-1 halves of the whole mesh.
+	s := mesh.Coord{31, 32}
+	t := mesh.Coord{32, 32}
+	br := dc.DeepestCommonAncestor(s, t)
+	fmt.Println("bridge is small:", br.Box.MaxSide() <= 8)
+	fmt.Println("bridge is translated (type-2):", br.Type == 2)
+	// Output:
+	// bridge is small: true
+	// bridge is translated (type-2): true
+}
+
+// The d-dimensional bitonic chain of §4.
+func ExampleDecomposition_BitonicChainD() {
+	dc := decomp.MustNew(mesh.MustSquare(3, 16), decomp.ModeGeneral)
+	chain, bridge := dc.BitonicChainD(mesh.Coord{1, 1, 1}, mesh.Coord{3, 2, 1})
+	fmt.Println("chain starts at the source leaf:", chain[0].Size() == 1)
+	fmt.Println("chain ends at the destination leaf:", chain[len(chain)-1].Size() == 1)
+	fmt.Println("bridge side is O(d*dist):", bridge.Box.MaxSide() <= 32)
+	// Output:
+	// chain starts at the source leaf: true
+	// chain ends at the destination leaf: true
+	// bridge side is O(d*dist): true
+}

@@ -1,0 +1,227 @@
+package decomp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func torusDC(t *testing.T, d, side int, mode Mode) *Decomposition {
+	t.Helper()
+	m, err := mesh.SquareTorus(d, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := New(m, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+// On the torus all translated submeshes are full-size: "In this case,
+// all the type-2 meshes are of the same size" (proof of Lemma 3.3).
+func TestTorusAllBoxesFullSize(t *testing.T) {
+	for _, tc := range []struct {
+		d, side int
+		mode    Mode
+	}{
+		{2, 16, Mode2D},
+		{3, 8, ModeGeneral},
+	} {
+		dc := torusDC(t, tc.d, tc.side, tc.mode)
+		for l := 0; l <= dc.K(); l++ {
+			ml := dc.SideAt(l)
+			dc.EnumerateLevel(l, func(j int, b mesh.Box) {
+				for i := 0; i < b.Dim(); i++ {
+					if b.Side(i) != ml {
+						t.Fatalf("d=%d level %d fam %d box %v side %d != m_l %d",
+							tc.d, l, j, b, b.Side(i), ml)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Every family at every level partitions the torus exactly.
+func TestTorusFamilyPartitionExact(t *testing.T) {
+	for _, tc := range []struct {
+		d, side int
+		mode    Mode
+	}{
+		{2, 16, Mode2D},
+		{2, 8, ModeGeneral},
+		{3, 8, ModeGeneral},
+	} {
+		dc := torusDC(t, tc.d, tc.side, tc.mode)
+		m := dc.Mesh()
+		for l := 0; l <= dc.K(); l++ {
+			for j := 1; j <= dc.NumTypes(l); j++ {
+				covered := make([]int, m.Size())
+				dc.EnumerateLevel(l, func(jj int, b mesh.Box) {
+					if jj != j {
+						return
+					}
+					m.ForEachNode(b, func(c mesh.Coord, id mesh.NodeID) {
+						covered[id]++
+					})
+				})
+				for id, cnt := range covered {
+					if cnt != 1 {
+						t.Fatalf("d=%d level %d fam %d: node %d covered %d times",
+							tc.d, l, j, id, cnt)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTorusTypeContainingMatchesEnumeration(t *testing.T) {
+	dc := torusDC(t, 2, 16, Mode2D)
+	m := dc.Mesh()
+	for l := 0; l <= dc.K(); l++ {
+		for j := 1; j <= dc.NumTypes(l); j++ {
+			var boxes []mesh.Box
+			dc.EnumerateLevel(l, func(jj int, b mesh.Box) {
+				if jj == j {
+					boxes = append(boxes, b)
+				}
+			})
+			for v := 0; v < m.Size(); v++ {
+				c := m.CoordOf(mesh.NodeID(v))
+				got, ok := dc.TypeContaining(l, j, c)
+				if !ok {
+					t.Fatalf("torus TypeContaining returned !ok at level %d fam %d", l, j)
+				}
+				found := false
+				for _, b := range boxes {
+					if b.Equal(got) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("level %d fam %d at %v: box %v not in enumeration", l, j, c, got)
+				}
+				if !m.BoxContains(got, c) {
+					t.Fatalf("box %v does not contain %v", got, c)
+				}
+			}
+		}
+	}
+}
+
+// Lemma 3.3 is EXACT on the torus: the deepest common ancestor has
+// height at most ceil(log2 dist) + 2, with no boundary slack.
+func TestTorusLemma33Exact(t *testing.T) {
+	for _, side := range []int{8, 16, 32} {
+		dc := torusDC(t, 2, side, Mode2D)
+		m := dc.Mesh()
+		for a := 0; a < m.Size(); a++ {
+			for b := 0; b < m.Size(); b++ {
+				if a == b {
+					continue
+				}
+				s := m.CoordOf(mesh.NodeID(a))
+				tt := m.CoordOf(mesh.NodeID(b))
+				dist := m.Dist(mesh.NodeID(a), mesh.NodeID(b))
+				br := dc.DeepestCommonAncestor(s, tt)
+				bound := int(math.Ceil(math.Log2(float64(dist)))) + 2
+				if bound > dc.K() {
+					bound = dc.K()
+				}
+				if h := br.Height(dc); h > bound {
+					t.Fatalf("side %d: torus DCA(%v,%v) height %d > log2(%d)+2 = %d",
+						side, s, tt, h, dist, bound)
+				}
+			}
+		}
+	}
+}
+
+// Lemma 4.1 is exact on the torus: the bridge is found at exactly the
+// prescribed height ĥ+1 (no fallback to coarser levels needed).
+func TestTorusLemma41NoFallback(t *testing.T) {
+	for _, tc := range []struct{ d, side int }{{2, 64}, {3, 32}} {
+		m, err := mesh.SquareTorus(tc.d, tc.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc := MustNew(m, ModeGeneral)
+		f := func(a, b uint32) bool {
+			s := m.CoordOf(mesh.NodeID(int(a) % m.Size()))
+			tt := m.CoordOf(mesh.NodeID(int(b) % m.Size()))
+			dist := dc.dist(s, tt)
+			if dist == 0 {
+				return true
+			}
+			br := dc.BridgeFor(s, tt)
+			want := ceilLog2(2*(tc.d+1)*dist) + 1
+			if want > dc.K() {
+				want = dc.K()
+			}
+			if br.Height(dc) != want {
+				t.Logf("d=%d dist=%d: bridge height %d, prescribed %d (s=%v t=%v)",
+					tc.d, dist, br.Height(dc), want, s, tt)
+				return false
+			}
+			return m.BoxContains(br.Box, s) && m.BoxContains(br.Box, tt)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("d=%d: %v", tc.d, err)
+		}
+	}
+}
+
+// Bitonic chains on the torus keep the containment invariant
+// (wrap-aware).
+func TestTorusBitonicChainInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		d, side int
+		mode    Mode
+	}{
+		{2, 32, Mode2D},
+		{3, 16, ModeGeneral},
+	} {
+		m, _ := mesh.SquareTorus(tc.d, tc.side)
+		dc := MustNew(m, tc.mode)
+		f := func(a, b uint32) bool {
+			s := m.CoordOf(mesh.NodeID(int(a) % m.Size()))
+			tt := m.CoordOf(mesh.NodeID(int(b) % m.Size()))
+			var chain []mesh.Box
+			var br Bridge
+			if tc.mode == Mode2D {
+				chain, br = dc.BitonicChain2D(s, tt)
+			} else {
+				chain, br = dc.BitonicChainD(s, tt)
+			}
+			idx := -1
+			for i, bx := range chain {
+				if bx.Equal(br.Box) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return false
+			}
+			for i := 1; i < len(chain); i++ {
+				if i <= idx {
+					if !m.BoxContainsBox(chain[i], chain[i-1]) {
+						return false
+					}
+				} else if !m.BoxContainsBox(chain[i-1], chain[i]) {
+					return false
+				}
+			}
+			return m.BoxContains(chain[0], s) && m.BoxContains(chain[len(chain)-1], tt)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("d=%d %v: %v", tc.d, tc.mode, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+func TestE18AdaptiveShapes(t *testing.T) {
+	tb := E18Adaptive(quickCfg)
+	if len(tb.Rows) < 8 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	byKey := map[[2]string]float64{}
+	for _, row := range tb.Rows {
+		mk := mustFloat(t, row[3])
+		if mk <= 0 {
+			t.Errorf("%s/%s: makespan %v", row[0], row[1], mk)
+		}
+		byKey[[2]string{row[0], row[1]}] = mk
+	}
+	for _, wl := range []string{"random-permutation", "transpose", "tornado"} {
+		h := byKey[[2]string{wl, "H (this paper)"}]
+		ad := byKey[[2]string{wl, "adaptive-least-queue"}]
+		if h == 0 || ad == 0 {
+			t.Fatalf("%s: missing rows", wl)
+		}
+		// Adaptive (full information) should win, but H must stay
+		// within the paper's logarithmic factor — generously, 2 log2 n.
+		if ad > h {
+			t.Errorf("%s: adaptive %v slower than oblivious H %v?", wl, ad, h)
+		}
+		if h > 16*ad {
+			t.Errorf("%s: H %v more than 16x adaptive %v", wl, h, ad)
+		}
+	}
+}
+
+func TestE19SaturationMonotone(t *testing.T) {
+	tb := E19Saturation(quickCfg)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		prev := 0.0
+		for i := 1; i < len(row); i++ {
+			v := mustFloat(t, row[i])
+			if v <= 0 {
+				t.Errorf("%s: nonpositive sojourn at column %d", row[0], i)
+			}
+			// Broadly non-decreasing in load (tolerate small noise).
+			if v < prev*0.7 {
+				t.Errorf("%s: sojourn dropped sharply %v -> %v", row[0], prev, v)
+			}
+			prev = v
+		}
+	}
+}

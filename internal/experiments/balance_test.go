@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+func TestE17BalanceShapes(t *testing.T) {
+	tb := E17Balance(quickCfg)
+	if len(tb.Rows) < 8 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	byKey := map[[2]string][]float64{} // (workload, algo) -> [peakMean, gini]
+	for _, row := range tb.Rows {
+		pm := mustFloat(t, row[4])
+		gini := mustFloat(t, row[5])
+		idle := mustFloat(t, row[6])
+		if pm < 1 {
+			t.Errorf("%s/%s: peak/mean %v < 1", row[0], row[1], pm)
+		}
+		if gini < 0 || gini > 1 {
+			t.Errorf("%s/%s: Gini %v out of [0,1]", row[0], row[1], gini)
+		}
+		if idle < 0 || idle > 1 {
+			t.Errorf("%s/%s: idle fraction %v", row[0], row[1], idle)
+		}
+		byKey[[2]string{row[0], row[1]}] = []float64{pm, gini}
+	}
+	// On tornado, H must be distinctly better balanced than dim-order.
+	h := byKey[[2]string{"tornado", "H (this paper)"}]
+	dor := byKey[[2]string{"tornado", "dim-order"}]
+	if h == nil || dor == nil {
+		t.Fatal("missing tornado rows")
+	}
+	if h[1] >= dor[1] {
+		t.Errorf("tornado: H Gini %v not below dim-order %v", h[1], dor[1])
+	}
+}

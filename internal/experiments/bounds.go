@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"obliviousmesh/internal/baseline"
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/flow"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/sim"
+	"obliviousmesh/internal/stats"
+	"obliviousmesh/internal/workload"
+)
+
+// simOptions builds simulator options for online-arrival runs.
+func simOptions(delays []int) sim.Options {
+	return sim.Options{Discipline: sim.FurthestToGo, Delays: delays}
+}
+
+// E15Bounds brackets the uncomputable C* between certified lower
+// bounds (the paper's boundary congestion B, and the fractional
+// multicommodity-flow dual) and achievable upper bounds (the offline
+// rerouting heuristic), then restates H's competitive ratio against
+// the BEST lower bound — the fair version of the Theorem 3.9 ratio.
+func E15Bounds(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title: "E15 — bracketing C*: combinatorial vs flow lower bounds vs offline",
+		Header: []string{"workload", "B-based LB", "flow dual LB", "flow frac UB",
+			"offline C", "C(H)", "C(H)/bestLB", "C(H)/(bestLB log2 n)"},
+	}
+	side := cfg.pick(16, 32)
+	m := mesh.MustSquare(2, side)
+	dc := decomp.MustNew(m, decomp.Mode2D)
+	sel := core.MustNewSelector(m, core.Options{Variant: core.Variant2D, Seed: cfg.Seed})
+	probs := []workload.Problem{
+		workload.RandomPermutation(m, cfg.Seed+31),
+		workload.Transpose(m),
+		workload.Tornado(m),
+		workload.BitComplement(m),
+	}
+	iters := cfg.pick(16, 40)
+	for _, prob := range probs {
+		combLB := metrics.CongestionLowerBound(dc, prob.Pairs)
+		est := flow.EstimateCongestion(m, prob.Pairs, flow.Options{Iterations: iters})
+		off := baseline.Offline{M: m}
+		cOff := metrics.Congestion(m, off.Route(prob.Pairs))
+		paths, _ := sel.SelectAll(prob.Pairs)
+		cH := metrics.Congestion(m, paths)
+		best := combLB
+		if f := est.IntegralLB(); f > best {
+			best = f
+		}
+		t.AddRow(prob.Name, combLB, est.DualLB, est.PrimalUB, cOff, cH,
+			float64(cH)/float64(best),
+			float64(cH)/(float64(best)*log2f(m.Size())))
+	}
+	t.AddNote("bestLB = max(B-based, ceil(flow dual)); C* lies in [bestLB, offline C]")
+	t.AddNote("the paper's Theorem 3.9 ratio C/(C* log n) is at most the last column")
+	return t
+}
+
+// E16Online exercises the property the introduction sells obliviousness
+// on: packets "continuously arrive in the network" and each selects
+// its path at injection time with no global knowledge. Packets are
+// injected over a time window at a controlled offered load and the
+// simulator measures steady in-network latency (sojourn) until drain.
+func E16Online(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title:  "E16 — online arrivals: sojourn time vs offered load",
+		Header: []string{"offered load", "algorithm", "packets", "avg sojourn", "max sojourn", "drain makespan"},
+	}
+	side := cfg.pick(16, 32)
+	m := mesh.MustSquare(2, side)
+	horizon := cfg.pick(60, 150)
+
+	// Offered load ρ: expected per-step per-edge utilization from
+	// uniform random pairs is K·E[dist]/E where K packets inject per
+	// step; pick K = ρ·E/E[dist].
+	meanDist := 2.0 * float64(side) / 3.0
+	edges := float64(m.NumEdges())
+
+	tree, _ := baseline.AccessTree(m, cfg.Seed)
+	algos := []baseline.PathSelector{
+		baseline.Named{Label: "H (this paper)", Sel: core.MustNewSelector(m,
+			core.Options{Variant: core.Variant2D, Seed: cfg.Seed})},
+		baseline.DimOrder{M: m},
+		baseline.Named{Label: "access-tree [9]", Sel: tree},
+	}
+	for _, rho := range []float64{0.2, 0.5, 0.8} {
+		k := int(rho * edges / meanDist)
+		if k < 1 {
+			k = 1
+		}
+		// One arrival schedule shared by all algorithms.
+		prob := workload.RandomPairs(m, k*horizon, cfg.Seed+uint64(rho*100))
+		delays := make([]int, prob.N())
+		for i := range delays {
+			delays[i] = i / k // k injections per step
+		}
+		for _, a := range algos {
+			paths := baseline.SelectAll(a, prob.Pairs)
+			res := sim.RunOpts(m, paths, simOptions(delays))
+			t.AddRow(rho, a.Name(), prob.N(), res.AvgSojourn, res.MaxSojourn, res.Makespan)
+		}
+	}
+	t.AddNote("K packets of uniform random (s,t) inject per step for the horizon; sojourn = delivery - injection")
+	t.AddNote("oblivious selection needs no traffic knowledge at injection time — the online setting of §1")
+	t.AddNote("uniform random traffic is dimension-order's best case; its failure mode is the structured Pi_A of E6, not load")
+	return t
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import "testing"
+
+func TestE15BoundsConsistent(t *testing.T) {
+	tb := E15Bounds(quickCfg)
+	if len(tb.Rows) < 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		combLB := mustFloat(t, row[1])
+		dual := mustFloat(t, row[2])
+		frac := mustFloat(t, row[3])
+		off := mustFloat(t, row[4])
+		cH := mustFloat(t, row[5])
+		// Order: every LB <= offline C (an achievable congestion).
+		if combLB > off+1e-9 {
+			t.Errorf("%s: combinatorial LB %v > offline %v", row[0], combLB, off)
+		}
+		if dual > off+1 {
+			t.Errorf("%s: flow dual %v > offline+1 %v", row[0], dual, off)
+		}
+		// Dual <= fractional primal.
+		if dual > frac+1e-6 {
+			t.Errorf("%s: dual %v > primal %v", row[0], dual, frac)
+		}
+		// H's congestion at least the best LB.
+		best := combLB
+		if dual > best {
+			best = dual
+		}
+		if cH+1e-9 < best-1 {
+			t.Errorf("%s: C(H) %v below a certified LB %v", row[0], cH, best)
+		}
+		if ratio := mustFloat(t, row[7]); ratio > 2 {
+			t.Errorf("%s: C/(bestLB log n) = %v", row[0], ratio)
+		}
+	}
+}
+
+func TestE16OnlineShapes(t *testing.T) {
+	tb := E16Online(quickCfg)
+	if len(tb.Rows) < 6 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// Sojourn grows with offered load for each algorithm, and all
+	// packets drain.
+	lastByAlgo := map[string]float64{}
+	for _, row := range tb.Rows {
+		algo := row[1]
+		soj := mustFloat(t, row[3])
+		if soj <= 0 {
+			t.Errorf("%s at load %s: nonpositive sojourn", algo, row[0])
+		}
+		if prev, ok := lastByAlgo[algo]; ok && soj < prev*0.5 {
+			t.Errorf("%s: sojourn dropped sharply with higher load (%v -> %v)",
+				algo, prev, soj)
+		}
+		lastByAlgo[algo] = soj
+		if mk := mustFloat(t, row[5]); mk <= 0 {
+			t.Errorf("%s: no makespan", algo)
+		}
+		if ms := mustFloat(t, row[4]); ms < soj {
+			t.Errorf("%s: max sojourn %v below mean %v", algo, ms, soj)
+		}
+	}
+}

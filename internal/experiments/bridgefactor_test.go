@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+func TestE23BridgeFactorSweep(t *testing.T) {
+	tb := E23BridgeFactor(quickCfg)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// The degenerate factor must show real fallback pressure; the
+	// paper's factor must show none on random pairs.
+	if fb := mustFloat(t, tb.Rows[0][6]); fb < 0.2 {
+		t.Errorf("factor %s fallback rate %v suspiciously low", tb.Rows[0][0], fb)
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "1" {
+			if fb := mustFloat(t, row[6]); fb != 0 {
+				t.Errorf("paper factor has fallback rate %v", fb)
+			}
+		}
+	}
+	var paperStretch, paperNorm float64
+	for _, row := range tb.Rows {
+		ms := mustFloat(t, row[1])
+		norm := mustFloat(t, row[4])
+		if ms <= 1 || ms > 200 {
+			t.Errorf("factor %s: max stretch %v implausible", row[0], ms)
+		}
+		if norm <= 0 || norm > 4 {
+			t.Errorf("factor %s: normalized congestion %v", row[0], norm)
+		}
+		if row[0] == "1" {
+			paperStretch, paperNorm = ms, norm
+		}
+	}
+	if paperStretch == 0 {
+		t.Fatal("missing the paper's factor-1 row")
+	}
+	// The paper's operating point must satisfy both theorem envelopes.
+	if paperStretch > 200 || paperNorm > 2 {
+		t.Errorf("paper point off the envelope: stretch %v, norm %v", paperStretch, paperNorm)
+	}
+	// Monotonicity of stretch in the factor (non-decreasing).
+	prev := 0.0
+	for _, row := range tb.Rows {
+		ms := mustFloat(t, row[1])
+		if ms+1e-9 < prev {
+			t.Errorf("stretch decreased with larger factor: %v after %v", ms, prev)
+		}
+		prev = ms
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/stats"
+	"obliviousmesh/internal/workload"
+)
+
+// E14Charging reproduces the paper's congestion accounting from the
+// inside (Lemmas 3.5-3.8): the expected load on a fixed edge e
+// decomposes over the heights of the chain hops crossing it, each
+// height contributing expected load at most 16·C* (8·C* for each of
+// the two families at the height, Lemma 3.7), for a total of
+// E[C(e)] <= 16·C*·(log₂ D + 3) (Lemma 3.8). The experiment traces
+// every packet with Explain, attributes each crossing segment to the
+// height of the larger endpoint box of its hop, and compares the
+// per-height and total expectations to the lemma bounds computed from
+// the certified lower bound LB <= C*.
+func E14Charging(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title:  "E14 (Lemmas 3.5-3.8) — per-height congestion charging on a fixed edge",
+		Header: []string{"workload", "height", "E[load on e] (mean over seeds)", "lemma bound 16*LB", "ok"},
+	}
+	side := cfg.pick(16, 32)
+	m := mesh.MustSquare(2, side)
+	dc := decomp.MustNew(m, decomp.Mode2D)
+
+	// A central edge, the most loaded region for symmetric workloads.
+	center := m.Node(mesh.Coord{side/2 - 1, side / 2})
+	right, _ := m.Step(center, 0, +1)
+	e, _ := m.EdgeBetween(center, right)
+
+	trials := cfg.pick(8, 30)
+	probs := []workload.Problem{
+		workload.RandomPermutation(m, cfg.Seed+21),
+		workload.Tornado(m),
+	}
+	for _, prob := range probs {
+		lb := metrics.CongestionLowerBound(dc, prob.Pairs)
+		maxD := m.MaxDist(prob.Pairs)
+		// loads[h] accumulates the load on e from hops whose larger box
+		// has height h, across all seeds.
+		loads := map[int]float64{}
+		total := 0.0
+		for tr := 0; tr < trials; tr++ {
+			sel := core.MustNewSelector(m, core.Options{
+				Variant: core.Variant2D, Seed: cfg.Seed + uint64(997*tr+3),
+			})
+			for i, pr := range prob.Pairs {
+				trace := sel.Explain(pr.S, pr.T, uint64(i))
+				for si, seg := range trace.Segments {
+					crossings := 0
+					m.PathEdges(seg, func(ee mesh.EdgeID) {
+						if ee == e {
+							crossings++
+						}
+					})
+					if crossings == 0 {
+						continue
+					}
+					// Height of the larger endpoint box of the hop.
+					hA := dc.HeightOf(levelOfSide(dc, trace.Chain[si]))
+					hB := dc.HeightOf(levelOfSide(dc, trace.Chain[si+1]))
+					h := hA
+					if hB > h {
+						h = hB
+					}
+					loads[h] += float64(crossings)
+					total += float64(crossings)
+				}
+			}
+		}
+		bound := 16 * float64(lb)
+		for h := 1; h <= dc.K(); h++ {
+			mean := loads[h] / float64(trials)
+			if loads[h] == 0 && h > ceilLog2Int(maxD)+3 {
+				continue
+			}
+			t.AddRow(prob.Name, h, mean, bound, mean <= bound)
+		}
+		totalMean := total / float64(trials)
+		totalBound := bound * (log2f(maxD*2) + 3)
+		t.AddRow(prob.Name, "total", totalMean, totalBound, totalMean <= totalBound)
+	}
+	t.AddNote("edge e is the central horizontal edge %s; heights attribute each crossing hop to its larger submesh", m.EdgeString(e))
+	t.AddNote("Lemma 3.8: E[C(e)] <= 16 C* (log2 D + 3); per-height contributions are each <= 16 C* (two families x 8 C*, Lemma 3.7)")
+	return t
+}
+
+// levelOfSide recovers the decomposition level of a chain box from its
+// largest side (all regular boxes at level l have max side m_l; in
+// 2-D the clipped translated boxes still have max side <= m_l and
+// > m_{l+1}).
+func levelOfSide(dc *decomp.Decomposition, b mesh.Box) int {
+	s := b.MaxSide()
+	for l := dc.Levels() - 1; l >= 0; l-- {
+		if dc.SideAt(l) >= s {
+			return l
+		}
+	}
+	return 0
+}
+
+func ceilLog2Int(v int) int {
+	b := 0
+	for s := 1; s < v; s <<= 1 {
+		b++
+	}
+	return b
+}

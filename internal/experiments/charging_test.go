@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestE14ChargingWithinLemmaBounds(t *testing.T) {
+	tb := E14Charging(quickCfg)
+	if len(tb.Rows) < 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	sawTotal := false
+	for _, row := range tb.Rows {
+		if row[4] != "true" {
+			t.Errorf("%s height %s: load %s exceeds lemma bound %s",
+				row[0], row[1], row[2], row[3])
+		}
+		if row[1] == "total" {
+			sawTotal = true
+			if v := mustFloat(t, row[2]); v <= 0 {
+				t.Errorf("%s: zero total load on the central edge", row[0])
+			}
+		}
+	}
+	if !sawTotal {
+		t.Error("missing total rows")
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE24DynamicsConservation(t *testing.T) {
+	tb := E24Dynamics(quickCfg)
+	if len(tb.Rows) != 12 {
+		t.Fatalf("%d rows, want 12 (2 workloads x 2 routers x 3 phases)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		inFlight := mustFloat(t, row[3])
+		moved := mustFloat(t, row[4])
+		queued := mustFloat(t, row[5])
+		if moved < 0 || queued < 0 || inFlight < 0 {
+			t.Errorf("%v: negative cell", row)
+		}
+		// moved + queued = active at step start >= in flight at step
+		// end (arrivals leave).
+		if moved+queued < inFlight {
+			t.Errorf("%v: conservation broken (%v + %v < %v)", row[:3], moved, queued, inFlight)
+		}
+		if !strings.Contains(row[2], "% of makespan") {
+			t.Errorf("phase cell %q malformed", row[2])
+		}
+	}
+	// Every router's 90% phase has fewer in flight than its 10% phase.
+	type key struct{ wl, r string }
+	first := map[key]float64{}
+	for _, row := range tb.Rows {
+		k := key{row[0], row[1]}
+		v := mustFloat(t, row[3])
+		if strings.HasPrefix(row[2], "10%") {
+			first[k] = v
+		}
+		if strings.HasPrefix(row[2], "90%") {
+			if v >= first[k] {
+				t.Errorf("%v: no drain (10%%: %v, 90%%: %v)", k, first[k], v)
+			}
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quickCfg = Config{Seed: 1, Quick: true}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestE1StretchBoundHolds(t *testing.T) {
+	tb := E1Stretch2D(quickCfg)
+	if len(tb.Rows) < 3 {
+		t.Fatal("too few rows")
+	}
+	for _, row := range tb.Rows {
+		if row[6] != "true" {
+			t.Errorf("side %s: stretch bound violated (max %s)", row[0], row[2])
+		}
+		if ms := mustFloat(t, row[2]); ms > 64 || ms < 1 {
+			t.Errorf("max stretch %v out of (1,64]", ms)
+		}
+	}
+}
+
+func TestE2CongestionRatioBounded(t *testing.T) {
+	tb := E2Congestion2D(quickCfg)
+	for _, row := range tb.Rows {
+		ratio := mustFloat(t, row[6])
+		// Theorem 3.9's constant is large; empirically the ratio sits
+		// well under 4. Fail above 8 as a regression tripwire.
+		if ratio > 8 {
+			t.Errorf("%s side %s: C/(LB log n) = %v too large", row[0], row[1], ratio)
+		}
+		if ratio <= 0 {
+			t.Errorf("%s: nonpositive ratio", row[0])
+		}
+	}
+}
+
+func TestE3StretchQuadraticExponent(t *testing.T) {
+	tb := E3StretchD(quickCfg)
+	if len(tb.Rows) < 3 {
+		t.Fatal("too few rows")
+	}
+	for _, row := range tb.Rows {
+		if v := mustFloat(t, row[5]); v > 50 {
+			t.Errorf("d=%s: max/d^2 = %v blows the O(d^2) shape", row[0], v)
+		}
+	}
+	// The fitted exponent note must exist and the exponent must not
+	// exceed the theorem's 2 by much.
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "exponent") {
+			found = true
+			fields := strings.Fields(n)
+			for i, f := range fields {
+				if f == "exponent" && i+1 < len(fields) {
+					if v, err := strconv.ParseFloat(fields[i+1], 64); err == nil && v > 2.6 {
+						t.Errorf("fit exponent %v > 2.6", v)
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("missing exponent note")
+	}
+}
+
+func TestE4CongestionD(t *testing.T) {
+	tb := E4CongestionD(quickCfg)
+	for _, row := range tb.Rows {
+		if v := mustFloat(t, row[6]); v > 4 {
+			t.Errorf("d=%s: C/(d^2 LB log n) = %v too large", row[0], v)
+		}
+	}
+}
+
+func TestE5BitsNearFormula(t *testing.T) {
+	tb := E5RandomBits(quickCfg)
+	for _, row := range tb.Rows {
+		dist := mustFloat(t, row[2])
+		reuse := mustFloat(t, row[3])
+		naive := mustFloat(t, row[4])
+		ratio := mustFloat(t, row[6])
+		if reuse <= 0 {
+			t.Error("no bits consumed")
+		}
+		// §5.3's saving is asymptotic in the chain length: the reuse
+		// scheme pre-pays two full reservoirs, so it only beats the
+		// naive scheme once the chain is long (large distance).
+		if dist >= 32 && naive < reuse {
+			t.Errorf("D=%v: naive (%v) cheaper than reuse (%v)", dist, naive, reuse)
+		}
+		// The constant in O(d log(D sqrt d)) is modest; 12 is generous.
+		if ratio > 12 {
+			t.Errorf("bits/formula ratio %v too large", ratio)
+		}
+	}
+}
+
+func TestE6SeparationGrowsWithL(t *testing.T) {
+	tb := E6Adversarial(quickCfg)
+	if len(tb.Rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	prevDim := 0.0
+	for _, row := range tb.Rows {
+		n := mustFloat(t, row[2])
+		lOverD := mustFloat(t, row[3])
+		cDim := mustFloat(t, row[4])
+		if n < lOverD {
+			t.Errorf("l=%s: |Pi_A| = %v < l/d = %v", row[1], n, lOverD)
+		}
+		// Deterministic congestion on Pi_A equals |Pi_A| (all paths
+		// cross the pinned edge).
+		if cDim < n {
+			t.Errorf("l=%s: C(dim-order) = %v < |Pi_A| = %v", row[1], cDim, n)
+		}
+		if cDim < prevDim {
+			t.Errorf("dim-order congestion not monotone in l")
+		}
+		prevDim = cDim
+		// H must sit below the Lemma 5.2 envelope.
+		cH := mustFloat(t, row[5])
+		lem52 := mustFloat(t, row[6])
+		if cH > 4*lem52 {
+			t.Errorf("l=%s: C(H)=%v far above the Lemma 5.2 shape %v", row[1], cH, lem52)
+		}
+	}
+	// The final (largest-l) row must show a real separation.
+	last := tb.Rows[len(tb.Rows)-1]
+	if sep := mustFloat(t, last[8]); sep < 1.2 {
+		t.Errorf("dim-order/H separation %v too small at l=%s", sep, last[1])
+	}
+}
+
+func TestE7OnlyHControlsBoth(t *testing.T) {
+	tb := E7Baselines(quickCfg)
+	// On nearest-neighbor: H's stretch stays small, valiant's is huge.
+	var hStretch, valStretch float64
+	var haveH, haveVal bool
+	for _, row := range tb.Rows {
+		if row[0] != "nearest-neighbor" {
+			continue
+		}
+		switch row[1] {
+		case "H (this paper)":
+			hStretch = mustFloat(t, row[4])
+			haveH = true
+		case "valiant":
+			valStretch = mustFloat(t, row[4])
+			haveVal = true
+		}
+	}
+	if !haveH || !haveVal {
+		t.Fatal("missing rows")
+	}
+	if hStretch > 64 {
+		t.Errorf("H stretch %v > 64", hStretch)
+	}
+	if valStretch < 4*hStretch {
+		t.Errorf("valiant stretch %v not clearly worse than H %v on local traffic",
+			valStretch, hStretch)
+	}
+}
+
+func TestE8StructureCensus(t *testing.T) {
+	tb := E8Structure(quickCfg)
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty census")
+	}
+	// Root level: exactly 1 submesh.
+	if tb.Rows[0][5] != "1" {
+		t.Errorf("root row = %v", tb.Rows[0])
+	}
+	foundMargin := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "measured max margin") {
+			foundMargin = true
+		}
+	}
+	if !foundMargin {
+		t.Error("missing Lemma 3.3 margin note")
+	}
+}
+
+func TestE9MakespanNearCPlusD(t *testing.T) {
+	tb := E9Simulation(quickCfg)
+	for _, row := range tb.Rows {
+		ratio := mustFloat(t, row[6])
+		if ratio < 0.5 {
+			t.Errorf("%s/%s: makespan below the C+D bound? ratio %v", row[0], row[1], ratio)
+		}
+		if row[1] == "H (this paper)" && ratio > 4 {
+			t.Errorf("H makespan ratio %v too large", ratio)
+		}
+	}
+}
+
+func TestE10AblationShapes(t *testing.T) {
+	tb := E10Ablations(quickCfg)
+	// Bridges off must be strictly worse at side 64 than bridges on.
+	var on64, off64 float64
+	for _, row := range tb.Rows {
+		if row[0] == "a: bridges" && strings.Contains(row[2], "side 64") {
+			if row[1] == "bridges on" {
+				on64 = mustFloat(t, row[3])
+			} else {
+				off64 = mustFloat(t, row[3])
+			}
+		}
+	}
+	if on64 == 0 || off64 == 0 {
+		t.Fatal("missing bridge ablation rows")
+	}
+	if off64 < 3*on64 {
+		t.Errorf("bridges-off midline length %v not clearly worse than on %v", off64, on64)
+	}
+	// Bit reuse must beat fresh bits.
+	var reuse, fresh float64
+	for _, row := range tb.Rows {
+		if row[0] == "c: random bits" {
+			if strings.Contains(row[1], "reuse") {
+				reuse = mustFloat(t, row[3])
+			} else {
+				fresh = mustFloat(t, row[3])
+			}
+		}
+	}
+	if reuse == 0 || fresh == 0 || fresh <= reuse {
+		t.Errorf("bit ablation: reuse %v vs fresh %v", reuse, fresh)
+	}
+}
+
+func TestF1F2Census(t *testing.T) {
+	f1 := F1Decomposition2D(quickCfg)
+	// Level 1: 4 type-1 and 5 type-2 (corner discard), per Figure 1.
+	want := map[[2]string]string{
+		{"1", "1"}: "4",
+		{"1", "2"}: "5",
+		{"2", "1"}: "16",
+		{"2", "2"}: "21",
+	}
+	for _, row := range f1.Rows {
+		key := [2]string{row[0], row[1]}
+		if w, ok := want[key]; ok && row[2] != w {
+			t.Errorf("F1 level %s type %s: %s boxes, want %s", row[0], row[1], row[2], w)
+		}
+	}
+	f2 := F2DecompositionD(quickCfg)
+	// d=3 must show 4 families at interior levels.
+	fams := map[string]map[string]bool{}
+	for _, row := range f2.Rows {
+		if fams[row[0]] == nil {
+			fams[row[0]] = map[string]bool{}
+		}
+		fams[row[0]][row[1]] = true
+	}
+	if len(fams["1"]) != 4 {
+		t.Errorf("F2 level 1 families = %d, want 4", len(fams["1"]))
+	}
+}
+
+func TestRenderDecomposition2D(t *testing.T) {
+	tb := F1Decomposition2D(quickCfg)
+	_ = tb
+	dcStr := RenderDecomposition2D(
+		mustDecomp(t), 1, 2)
+	lines := strings.Split(strings.TrimSpace(dcStr), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+	// Discarded corners leave '.' cells at the four corners.
+	if lines[1][0] != '.' || lines[8][7] != '.' {
+		t.Errorf("corner cells not blank:\n%s", dcStr)
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	results := All(quickCfg)
+	if len(results) != 26 {
+		t.Fatalf("%d experiments, want 26", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if r.Table == nil || len(r.Table.Header) == 0 {
+			t.Errorf("%s: empty table", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Table.String() == "" || r.Table.Markdown() == "" {
+			t.Errorf("%s renders empty", r.ID)
+		}
+	}
+	// Index must agree with All, in order.
+	idx := Index()
+	if len(idx) != len(results) {
+		t.Fatalf("Index has %d entries, All has %d", len(idx), len(results))
+	}
+	for i, r := range results {
+		if idx[i].ID != r.ID {
+			t.Errorf("Index[%d] = %s, All[%d] = %s", i, idx[i].ID, i, r.ID)
+		}
+		if idx[i].Title == "" {
+			t.Errorf("Index[%d] has empty title", i)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/sim"
+	"obliviousmesh/internal/stats"
+)
+
+// F1Decomposition2D regenerates Figure 1: the 8x8 two-dimensional
+// decomposition, levels 1 and 2, types 1 and 2, as a census table
+// (cmd/decompviz renders the same data as ASCII grids).
+func F1Decomposition2D(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title:  "F1 (Figure 1) — 8x8 mesh decomposition census",
+		Header: []string{"level", "type", "boxes", "side range", "example box"},
+	}
+	dc := decomp.MustNew(mesh.MustSquare(2, 8), decomp.Mode2D)
+	censusInto(t, dc)
+	t.AddNote("type-2 corner submeshes are discarded per §3.1 (covered by next-level type-1)")
+	return t
+}
+
+// F2DecompositionD regenerates Figure 2: the d=3 decomposition with
+// its 4 translated families (λ = m_l/4).
+func F2DecompositionD(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title:  "F2 (Figure 2) — 3-dimensional mesh decomposition census (4 families)",
+		Header: []string{"level", "type", "boxes", "side range", "example box"},
+	}
+	dc := decomp.MustNew(mesh.MustSquare(3, 16), decomp.ModeGeneral)
+	censusInto(t, dc)
+	t.AddNote("d=3: lambda = max(1, m_l/4); families shifted diagonally by (j-1)*lambda, clipped to the mesh")
+	return t
+}
+
+func censusInto(t *stats.Table, dc *decomp.Decomposition) {
+	for l := 0; l < dc.Levels(); l++ {
+		for j := 1; j <= dc.NumTypes(l); j++ {
+			count := 0
+			minSide, maxSide := 1<<30, 0
+			var example mesh.Box
+			dc.EnumerateLevel(l, func(jj int, b mesh.Box) {
+				if jj != j {
+					return
+				}
+				if count == 0 {
+					example = mesh.Box{Lo: b.Lo.Clone(), Hi: b.Hi.Clone()}
+				}
+				count++
+				if s := b.MinSide(); s < minSide {
+					minSide = s
+				}
+				if s := b.MaxSide(); s > maxSide {
+					maxSide = s
+				}
+			})
+			if count == 0 {
+				continue
+			}
+			t.AddRow(l, j, count, fmt.Sprintf("%d..%d", minSide, maxSide), example.String())
+		}
+	}
+}
+
+// RenderDecomposition2D draws the boxes of one (level, type) family of
+// a 2-D decomposition as an ASCII grid, the textual analogue of
+// Figure 1. Each box is filled with a distinct letter.
+func RenderDecomposition2D(dc *decomp.Decomposition, level, typ int) string {
+	m := dc.Mesh()
+	if m.Dim() != 2 {
+		return "(rendering only available for 2-D meshes)"
+	}
+	side := m.Side(0)
+	grid := make([][]byte, side)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", side))
+	}
+	label := byte('a')
+	dc.EnumerateLevel(level, func(j int, b mesh.Box) {
+		if j != typ {
+			return
+		}
+		for x := b.Lo[0]; x <= b.Hi[0]; x++ {
+			for y := b.Lo[1]; y <= b.Hi[1]; y++ {
+				grid[y][x] = label
+			}
+		}
+		if label == 'z' {
+			label = 'A'
+		} else {
+			label++
+		}
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "level %d, type %d (side %d):\n", level, typ, dc.SideAt(level))
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// simRun adapts sim.Run for the experiment tables.
+func simRun(m *mesh.Mesh, paths []mesh.Path) sim.Result {
+	return sim.Run(m, paths, sim.FurthestToGo)
+}

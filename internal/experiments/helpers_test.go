@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+func mustDecomp(t *testing.T) *decomp.Decomposition {
+	t.Helper()
+	return decomp.MustNew(mesh.MustSquare(2, 8), decomp.Mode2D)
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestE22HypercubeSeparation(t *testing.T) {
+	tb := E22Hypercube(quickCfg)
+	if len(tb.Rows) < 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	prevSep := 0.0
+	for _, row := range tb.Rows {
+		cDet := mustFloat(t, row[3])
+		cVal := mustFloat(t, row[4])
+		if cDet <= 0 || cVal <= 0 {
+			t.Errorf("dim %s %s: zero congestion", row[0], row[2])
+		}
+		if row[2] != "transpose" {
+			continue
+		}
+		sep := mustFloat(t, row[6])
+		// Separation grows with dimension on the transpose workload.
+		if sep < prevSep {
+			t.Errorf("transpose separation not growing: %v after %v", sep, prevSep)
+		}
+		prevSep = sep
+	}
+	// The largest quick dimension must already show bit-fixing clearly
+	// worse than Valiant on transpose.
+	if prevSep < 1.5 {
+		t.Errorf("final transpose det/rand separation %v < 1.5", prevSep)
+	}
+}

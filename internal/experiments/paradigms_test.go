@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestE21ParadigmsComplete(t *testing.T) {
+	tb := E21Paradigms(quickCfg)
+	if len(tb.Rows) != 9 {
+		t.Fatalf("%d rows, want 9 (3 workloads x 3 paradigms)", len(tb.Rows))
+	}
+	byWl := map[string]map[string]float64{}
+	for _, row := range tb.Rows {
+		mk := mustFloat(t, row[2])
+		if mk <= 0 {
+			t.Errorf("%s/%s: makespan %v", row[0], row[1], mk)
+		}
+		ov := mustFloat(t, row[4])
+		if ov < 0 {
+			t.Errorf("%s/%s: negative overhead", row[0], row[1])
+		}
+		if byWl[row[0]] == nil {
+			byWl[row[0]] = map[string]float64{}
+		}
+		byWl[row[0]][row[1]] = mk
+	}
+	for wl, rows := range byWl {
+		h := rows["oblivious H + buffers"]
+		ad := rows["adaptive minimal + buffers"]
+		if h == 0 || ad == 0 {
+			t.Fatalf("%s: missing paradigms", wl)
+		}
+		// H within a generous log-factor envelope of adaptive.
+		if h > 16*ad {
+			t.Errorf("%s: oblivious %v more than 16x adaptive %v", wl, h, ad)
+		}
+	}
+}

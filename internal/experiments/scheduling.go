@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/sim"
+	"obliviousmesh/internal/stats"
+	"obliviousmesh/internal/workload"
+)
+
+// E12Scheduling compares scheduling disciplines over H's path systems:
+// furthest-to-go greedy, FIFO greedy, and random initial delays in the
+// style of Leighton–Maggs–Rao. The paper's premise is that C and D of
+// the *path system* govern the routing time (Ω(C+D) for any
+// scheduler); the experiment shows all reasonable schedulers land
+// within a small constant of C+D on H's paths, so path quality, not
+// scheduling cleverness, is the binding constraint.
+func E12Scheduling(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title:  "E12 — scheduling disciplines over H's paths: makespan vs C+D",
+		Header: []string{"workload", "discipline", "C", "D", "makespan", "makespan/(C+D)", "avg latency"},
+	}
+	side := cfg.pick(16, 32)
+	m := mesh.MustSquare(2, side)
+	sel := core.MustNewSelector(m, core.Options{Variant: core.Variant2D, Seed: cfg.Seed})
+	probs := []workload.Problem{
+		workload.RandomPermutation(m, cfg.Seed+5),
+		workload.Tornado(m),
+		workload.BitComplement(m),
+	}
+	for _, prob := range probs {
+		paths, _ := sel.SelectAll(prob.Pairs)
+		c := metrics.Congestion(m, paths)
+		d := metrics.Dilation(paths)
+		runs := []struct {
+			name string
+			opt  sim.Options
+		}{
+			{"furthest-to-go", sim.Options{Discipline: sim.FurthestToGo}},
+			{"fifo", sim.Options{Discipline: sim.FIFO}},
+			{"random delays [0,C)", sim.Options{
+				Discipline: sim.FurthestToGo,
+				Delays:     sim.UniformDelays(len(paths), c-1, cfg.Seed+77),
+			}},
+		}
+		for _, r := range runs {
+			res := sim.RunOpts(m, paths, r.opt)
+			t.AddRow(prob.Name, r.name, c, d, res.Makespan,
+				float64(res.Makespan)/float64(c+d), res.AvgLatency)
+		}
+	}
+	t.AddNote("Omega(C+D) holds for every discipline; random delays trade a longer warm-up for smoother queues")
+	return t
+}
+
+// E13Concentration probes the "with high probability" part of
+// Theorems 3.9/4.3: across many independent seeds, the congestion of H
+// on a fixed problem concentrates tightly around its mean (Chernoff
+// behaviour from the independence of the per-packet choices).
+func E13Concentration(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title:  "E13 (Theorems 3.9/4.3, w.h.p.) — congestion concentration over seeds",
+		Header: []string{"workload", "side", "seeds", "mean C", "std C", "min C", "max C", "max/mean"},
+	}
+	side := cfg.pick(16, 32)
+	m := mesh.MustSquare(2, side)
+	dc := decomp.MustNew(m, decomp.Mode2D)
+	trials := cfg.pick(12, 50)
+	for _, prob := range []workload.Problem{
+		workload.RandomPermutation(m, cfg.Seed+8),
+		workload.Transpose(m),
+	} {
+		var cs []float64
+		for s := 0; s < trials; s++ {
+			sel := core.MustNewSelector(m, core.Options{
+				Variant: core.Variant2D, Seed: cfg.Seed + uint64(7919*s+13),
+			})
+			paths, _ := sel.SelectAll(prob.Pairs)
+			cs = append(cs, float64(metrics.Congestion(m, paths)))
+		}
+		sum := stats.Summarize(cs)
+		t.AddRow(prob.Name, side, trials, sum.Mean, sum.Std, sum.Min, sum.Max,
+			sum.Max/sum.Mean)
+	}
+	_ = dc
+	t.AddNote("independent per-packet path choices give Chernoff concentration: the max over seeds stays within a small factor of the mean")
+	return t
+}

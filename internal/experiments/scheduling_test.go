@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestE12SchedulingBounds(t *testing.T) {
+	tb := E12Scheduling(quickCfg)
+	if len(tb.Rows) < 6 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		c := mustFloat(t, row[2])
+		d := mustFloat(t, row[3])
+		mk := mustFloat(t, row[4])
+		ratio := mustFloat(t, row[5])
+		// Makespan >= max(C, D) always; ratio therefore >= 1/2 of C+D
+		// only when C ~= D... the hard floor is max(C,D)/(C+D) >= 0.5
+		// only if C==D; the universal floor is max/(C+D).
+		floor := c
+		if d > c {
+			floor = d
+		}
+		if mk < floor {
+			t.Errorf("%s/%s: makespan %v < max(C,D) %v", row[0], row[1], mk, floor)
+		}
+		// Greedy over H's paths should never be catastrophically bad.
+		if ratio > 6 {
+			t.Errorf("%s/%s: makespan/(C+D) = %v", row[0], row[1], ratio)
+		}
+		lat := mustFloat(t, row[6])
+		if lat <= 0 || lat > mk {
+			t.Errorf("%s/%s: avg latency %v vs makespan %v", row[0], row[1], lat, mk)
+		}
+	}
+}
+
+func TestE13ConcentrationTight(t *testing.T) {
+	tb := E13Concentration(quickCfg)
+	for _, row := range tb.Rows {
+		mean := mustFloat(t, row[3])
+		std := mustFloat(t, row[4])
+		maxOverMean := mustFloat(t, row[7])
+		if mean <= 0 {
+			t.Fatal("zero mean congestion")
+		}
+		// Concentration: relative std well under 1, max within 2x mean.
+		if std/mean > 0.5 {
+			t.Errorf("%s: relative std %v too wide", row[0], std/mean)
+		}
+		if maxOverMean > 2 {
+			t.Errorf("%s: max/mean = %v", row[0], maxOverMean)
+		}
+	}
+}

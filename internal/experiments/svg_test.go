@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+func TestRenderDecompositionSVG(t *testing.T) {
+	dc := decomp.MustNew(mesh.MustSquare(2, 8), decomp.Mode2D)
+	svg, err := RenderDecompositionSVG(dc, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not an SVG document")
+	}
+	// Level-1 type-2 has 5 boxes after corner discard.
+	if got := strings.Count(svg, "<rect"); got != 5+1 { // +1 background
+		t.Errorf("%d rects, want 6", got)
+	}
+	// 64 lattice nodes.
+	if got := strings.Count(svg, "<circle"); got != 64 {
+		t.Errorf("%d circles, want 64", got)
+	}
+}
+
+func TestRenderDecompositionSVGTorusSplits(t *testing.T) {
+	m, _ := mesh.SquareTorus(2, 8)
+	dc := decomp.MustNew(m, decomp.Mode2D)
+	svg, err := RenderDecompositionSVG(dc, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torus level-1 type-2: 4 full boxes; the wrapping ones split into
+	// fragments: box grid 2x2 with shift 2 on side 8 -> anchors 2, 6;
+	// anchor-6 boxes wrap and split in that dimension.
+	// 1 (interior) + 2 (wrap in x) + 2 (wrap in y) + 4 (wrap both) = 9
+	// fragments, +1 background rect.
+	if got := strings.Count(svg, "<rect"); got != 10 {
+		t.Errorf("%d rects, want 10", got)
+	}
+}
+
+func TestRenderDecompositionSVGRejects3D(t *testing.T) {
+	dc := decomp.MustNew(mesh.MustSquare(3, 8), decomp.ModeGeneral)
+	if _, err := RenderDecompositionSVG(dc, 1, 1); err == nil {
+		t.Error("3-D mesh accepted")
+	}
+}
+
+func TestSplitInterval(t *testing.T) {
+	if got := splitInterval(2, 5, 8); len(got) != 1 || got[0] != [2]int{2, 5} {
+		t.Errorf("in-range split = %v", got)
+	}
+	got := splitInterval(6, 9, 8)
+	if len(got) != 2 || got[0] != [2]int{6, 7} || got[1] != [2]int{0, 1} {
+		t.Errorf("wrap split = %v", got)
+	}
+}

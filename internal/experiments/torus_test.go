@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE11TorusMargins(t *testing.T) {
+	tb := E11Torus(quickCfg)
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, row := range tb.Rows {
+		switch {
+		case strings.Contains(row[2], "DCA height margin") && strings.HasPrefix(row[0], "torus"):
+			// Lemma 3.3 is exact on the torus.
+			if m := mustFloat(t, row[3]); m > 2 {
+				t.Errorf("torus DCA margin %v > 2 (side %s)", m, row[1])
+			}
+		case strings.Contains(row[2], "DCA height margin"):
+			if m := mustFloat(t, row[3]); m > 3 {
+				t.Errorf("mesh DCA margin %v > 3 (side %s)", m, row[1])
+			}
+		case strings.Contains(row[2], "max stretch"):
+			if s := mustFloat(t, row[3]); s > 64 {
+				t.Errorf("%s stretch %v > 64", row[0], s)
+			}
+		case strings.Contains(row[2], "seam pair"):
+			if l := mustFloat(t, row[3]); l > 32 {
+				t.Errorf("seam pair mean length %v too long", l)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"obliviousmesh/internal/baseline"
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/stats"
+	"obliviousmesh/internal/workload"
+)
+
+// E20WorstCase hunts for bad instances against H itself: Maggs et al.
+// prove every oblivious algorithm has instances with C = Ω(C*·log n /
+// log log n), so H cannot be uniformly constant-competitive. The
+// experiment sweeps the structured workload zoo plus adversarial
+// constructions targeted at H (modal-path pinning, §5.1 style) and
+// random permutations, and reports the worst observed C/(LB·log₂ n) —
+// the empirical competitive envelope, to compare against Theorem 3.9's
+// O(1).
+func E20WorstCase(cfg Config) *stats.Table {
+	t := &stats.Table{
+		Title:  "E20 — adversarial search against H: worst observed competitive ratios",
+		Header: []string{"instance", "N", "C(H)", "LB<=C*", "C/LB", "C/(LB log2 n)"},
+	}
+	side := cfg.pick(16, 32)
+	m := mesh.MustSquare(2, side)
+	dc := decomp.MustNew(m, decomp.Mode2D)
+	sel := core.MustNewSelector(m, core.Options{Variant: core.Variant2D, Seed: cfg.Seed})
+	h := baseline.Named{Label: "H", Sel: sel}
+
+	probs := []workload.Problem{
+		workload.RandomPermutation(m, cfg.Seed+61),
+		workload.Transpose(m),
+		workload.Tornado(m),
+		workload.BitComplement(m),
+		workload.NearestNeighbor(m),
+		workload.EdgeToEdge(m, cfg.Seed+62),
+	}
+	if p, err := workload.BitReversal(m); err == nil {
+		probs = append(probs, p)
+	}
+	if p, err := workload.Shuffle(m); err == nil {
+		probs = append(probs, p)
+	}
+	if p, err := workload.LocalExchange(m, side/4); err == nil {
+		probs = append(probs, p)
+	}
+	// §5.1-style construction aimed at H's own modal paths.
+	if p, _, err := workload.Adversarial(m, side/4, h.Path, cfg.pick(5, 15)); err == nil {
+		p.Name = "adversarial-vs-H"
+		probs = append(probs, p)
+	}
+	// A few extra random permutations to sample the typical case.
+	extra := cfg.pick(2, 8)
+	for i := 0; i < extra; i++ {
+		probs = append(probs, workload.RandomPermutation(m, cfg.Seed+100+uint64(i)))
+	}
+
+	worst := 0.0
+	worstName := ""
+	for _, prob := range probs {
+		paths := baseline.SelectAll(h, prob.Pairs)
+		c := metrics.Congestion(m, paths)
+		lb := metrics.CongestionLowerBound(dc, prob.Pairs)
+		if lb < 1 {
+			lb = 1
+		}
+		ratio := float64(c) / float64(lb)
+		norm := ratio / log2f(m.Size())
+		t.AddRow(prob.Name, prob.N(), c, lb, ratio, norm)
+		if norm > worst {
+			worst = norm
+			worstName = prob.Name
+		}
+	}
+	t.AddNote("worst observed C/(LB log2 n) = %.3f on %q — the Theorem 3.9 constant for this instance zoo", worst, worstName)
+	t.AddNote("Maggs et al. prove SOME instance forces Omega(log n / log log n) for every oblivious algorithm; none of these reach it")
+	return t
+}

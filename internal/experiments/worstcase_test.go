@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE20WorstCaseEnvelope(t *testing.T) {
+	tb := E20WorstCase(quickCfg)
+	if len(tb.Rows) < 10 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	sawAdversarial := false
+	for _, row := range tb.Rows {
+		norm := mustFloat(t, row[5])
+		if norm <= 0 {
+			t.Errorf("%s: nonpositive normalized ratio", row[0])
+		}
+		// The Theorem 3.9 envelope with a generous constant.
+		if norm > 4 {
+			t.Errorf("%s: C/(LB log n) = %v breaks the envelope", row[0], norm)
+		}
+		if strings.HasPrefix(row[0], "adversarial-vs-H") {
+			sawAdversarial = true
+		}
+	}
+	if !sawAdversarial {
+		t.Error("missing the targeted adversarial instance")
+	}
+	foundWorst := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "worst observed") {
+			foundWorst = true
+		}
+	}
+	if !foundWorst {
+		t.Error("missing worst-case note")
+	}
+}

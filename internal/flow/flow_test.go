@@ -1,0 +1,113 @@
+package flow
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/baseline"
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/workload"
+)
+
+func TestSingleCommodity(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	pairs := []mesh.Pair{{S: 0, T: mesh.NodeID(m.Size() - 1)}}
+	est := EstimateCongestion(m, pairs, Options{})
+	// One unit of demand: fractional optimum is well under 1 (it can
+	// split across many paths); the dual LB cannot exceed 1.
+	if est.DualLB > 1+1e-9 {
+		t.Errorf("DualLB = %v > 1 for a single commodity", est.DualLB)
+	}
+	if est.DualLB <= 0 {
+		t.Errorf("DualLB = %v, want positive", est.DualLB)
+	}
+	if est.PrimalUB < est.DualLB-1e-9 {
+		t.Errorf("primal %v below dual %v", est.PrimalUB, est.DualLB)
+	}
+	if est.IntegralLB() != 1 {
+		t.Errorf("IntegralLB = %d, want 1", est.IntegralLB())
+	}
+}
+
+func TestEmptyAndSelfPairs(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	if est := EstimateCongestion(m, nil, Options{}); est.DualLB != 0 {
+		t.Errorf("empty problem LB = %v", est.DualLB)
+	}
+	if est := EstimateCongestion(m, []mesh.Pair{{S: 3, T: 3}}, Options{}); est.DualLB != 0 {
+		t.Errorf("self-pair LB = %v", est.DualLB)
+	}
+}
+
+// The dual LB must never exceed any achievable integral congestion.
+func TestDualIsALowerBound(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	for _, prob := range []workload.Problem{
+		workload.Transpose(m),
+		workload.Tornado(m),
+		workload.RandomPermutation(m, 5),
+	} {
+		est := EstimateCongestion(m, prob.Pairs, Options{Iterations: 24})
+		// Any concrete routing upper-bounds C*.
+		off := baseline.Offline{M: m}
+		c := metrics.Congestion(m, off.Route(prob.Pairs))
+		if float64(est.IntegralLB()) > float64(c)+1e-9 {
+			t.Errorf("%s: dual LB %v exceeds achievable congestion %d",
+				prob.Name, est.DualLB, c)
+		}
+		if est.DualLB <= 0 {
+			t.Errorf("%s: nonpositive dual LB", prob.Name)
+		}
+		// Primal (fractional) must be sandwiched above the dual.
+		if est.PrimalUB < est.DualLB-1e-6 {
+			t.Errorf("%s: primal %v < dual %v", prob.Name, est.PrimalUB, est.DualLB)
+		}
+	}
+}
+
+// On the tornado workload all packets of a row must cross the row's
+// central cut: the fractional optimum is at least N_row/2 per row's
+// two escape directions... concretely the bisection argument gives
+// C* >= side/4 per row bundle; the flow LB should be within a factor
+// ~2 of the combinatorial bound.
+func TestDualBeatsOrMatchesCombinatorial(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	dc := decomp.MustNew(m, decomp.Mode2D)
+	for _, prob := range []workload.Problem{
+		workload.Tornado(m),
+		workload.Transpose(m),
+	} {
+		comb := metrics.CongestionLowerBound(dc, prob.Pairs)
+		est := EstimateCongestion(m, prob.Pairs, Options{Iterations: 24})
+		if est.DualLB < float64(comb)/4 {
+			t.Errorf("%s: flow LB %v far below combinatorial LB %d",
+				prob.Name, est.DualLB, comb)
+		}
+	}
+}
+
+func TestGroupedDuplicates(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	// 10 identical commodities across the mesh: LB should scale ~10x
+	// the single-commodity value.
+	single := EstimateCongestion(m,
+		[]mesh.Pair{{S: 0, T: mesh.NodeID(m.Size() - 1)}}, Options{Iterations: 16})
+	many := make([]mesh.Pair, 10)
+	for i := range many {
+		many[i] = mesh.Pair{S: 0, T: mesh.NodeID(m.Size() - 1)}
+	}
+	multi := EstimateCongestion(m, many, Options{Iterations: 16})
+	if multi.DualLB < 5*single.DualLB {
+		t.Errorf("10 duplicate commodities LB %v not ~10x single %v",
+			multi.DualLB, single.DualLB)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	est := EstimateCongestion(m, []mesh.Pair{{S: 0, T: 15}}, Options{Iterations: -1, Epsilon: -2})
+	if est.Iterations != 32 {
+		t.Errorf("default iterations = %d", est.Iterations)
+	}
+}

@@ -1,0 +1,201 @@
+// Package hotpotato implements bufferless (deflection) routing on the
+// synchronous mesh: every packet in the network MUST move every step
+// (nodes have no buffers), and packets that lose the contention for
+// their productive edges are deflected along whatever free edge
+// remains. This is the routing regime of the paper's companion
+// literature (Busch et al. on hot-potato routing) and completes the
+// paradigm spectrum next to oblivious path selection (the paper) and
+// buffered adaptive routing (package adaptive).
+//
+// The implementation uses oldest-first priority: the oldest packet in
+// the network always wins its contention and therefore always takes a
+// productive hop, which guarantees progress and termination.
+package hotpotato
+
+import (
+	"fmt"
+	"sort"
+
+	"obliviousmesh/internal/bitrand"
+	"obliviousmesh/internal/mesh"
+)
+
+// Result reports a completed bufferless routing run.
+type Result struct {
+	Makespan    int
+	AvgLatency  float64 // mean arrival step
+	MaxLatency  int
+	TotalHops   int // includes deflections
+	Deflections int // non-productive hops taken
+	Delivered   int
+}
+
+type hpacket struct {
+	at      mesh.NodeID
+	dst     mesh.NodeID
+	born    int // injection step (for age priority)
+	arrived int
+}
+
+// Run routes the pairs bufferlessly. Injection is gated: a packet
+// enters only on a step when its source node currently holds no other
+// packet (a node can host at most one packet at a time in the
+// bufferless model; at most 2d in flight per node is the usual
+// relaxation — we use the strict one-per-node variant for clarity).
+// Deterministic given the seed.
+func Run(m *mesh.Mesh, pairs []mesh.Pair, seed uint64) Result {
+	rng := bitrand.NewSource(seed | 1)
+	pkts := make([]hpacket, len(pairs))
+	waiting := make([]int, 0, len(pairs)) // not yet injected
+	for i, pr := range pairs {
+		pkts[i] = hpacket{at: pr.S, dst: pr.T, arrived: -1, born: -1}
+		if pr.S == pr.T {
+			pkts[i].arrived = 0
+			continue
+		}
+		waiting = append(waiting, i)
+	}
+
+	occupied := make([]int, m.Size()) // node -> resident packet count
+	inFlight := 0
+	res := Result{}
+	step := 0
+	totalLatency := 0
+	d := m.Dim()
+	var nbuf [16]mesh.NodeID
+
+	for inFlight > 0 || len(waiting) > 0 {
+		step++
+		// Inject waiting packets whose source is free.
+		remaining := waiting[:0]
+		for _, pi := range waiting {
+			if occupied[pkts[pi].at] == 0 {
+				occupied[pkts[pi].at]++
+				pkts[pi].born = step - 1
+				inFlight++
+				continue
+			}
+			remaining = append(remaining, pi)
+		}
+		waiting = remaining
+
+		// Active packets, oldest first (ties by index).
+		var order []int
+		for i := range pkts {
+			if pkts[i].born >= 0 && pkts[i].arrived == -1 {
+				order = append(order, i)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			pa, pb := pkts[order[a]], pkts[order[b]]
+			if pa.born != pb.born {
+				return pa.born < pb.born
+			}
+			return order[a] < order[b]
+		})
+
+		// Claim edges: every packet must take SOME free edge; prefer
+		// productive ones, break ties randomly.
+		edgeTaken := map[mesh.EdgeID]bool{}
+		type move struct {
+			pkt        int
+			next       mesh.NodeID
+			productive bool
+		}
+		var moves []move
+		for _, pi := range order {
+			p := &pkts[pi]
+			curC := m.CoordOf(p.at)
+			dstC := m.CoordOf(p.dst)
+			// Productive candidates first.
+			var productive, free []mesh.NodeID
+			for dim := 0; dim < d; dim++ {
+				if dir, ok := productiveDir(m, dim, curC[dim], dstC[dim]); ok {
+					if next, ok2 := m.Step(p.at, dim, dir); ok2 {
+						if e, _ := m.EdgeBetween(p.at, next); !edgeTaken[e] {
+							productive = append(productive, next)
+						}
+					}
+				}
+			}
+			for _, next := range m.Neighbors(p.at, nbuf[:0]) {
+				if e, _ := m.EdgeBetween(p.at, next); !edgeTaken[e] {
+					free = append(free, next)
+				}
+			}
+			var next mesh.NodeID
+			isProd := false
+			switch {
+			case len(productive) > 0:
+				next = productive[rng.Intn(len(productive))]
+				isProd = true
+			case len(free) > 0:
+				next = free[rng.Intn(len(free))]
+			default:
+				// All incident edges taken: the packet stalls this
+				// step (possible at low degree); it keeps its node.
+				continue
+			}
+			e, _ := m.EdgeBetween(p.at, next)
+			edgeTaken[e] = true
+			moves = append(moves, move{pkt: pi, next: next, productive: isProd})
+		}
+		// Apply moves simultaneously; multiple packets may land on one
+		// node transiently (they are on wires, not buffered).
+		for _, mv := range moves {
+			p := &pkts[mv.pkt]
+			occupied[p.at]--
+			p.at = mv.next
+			res.TotalHops++
+			if !mv.productive {
+				res.Deflections++
+			}
+			if p.at == p.dst {
+				p.arrived = step
+				lat := step - p.born
+				totalLatency += lat
+				if lat > res.MaxLatency {
+					res.MaxLatency = lat
+				}
+				inFlight--
+				continue
+			}
+			occupied[p.at]++
+		}
+		if step > 100*m.Size()+100 {
+			panic(fmt.Sprintf("hotpotato: no convergence after %d steps (%d in flight)",
+				step, inFlight))
+		}
+	}
+	res.Makespan = step
+	res.Delivered = len(pairs)
+	moving := 0
+	for _, pr := range pairs {
+		if pr.S != pr.T {
+			moving++
+		}
+	}
+	if moving > 0 {
+		res.AvgLatency = float64(totalLatency) / float64(moving)
+	}
+	return res
+}
+
+// productiveDir mirrors the adaptive package's helper.
+func productiveDir(m *mesh.Mesh, dim, cur, dst int) (int, bool) {
+	if cur == dst {
+		return 0, false
+	}
+	if !m.Wrap() || m.Side(dim) <= 2 {
+		if dst > cur {
+			return 1, true
+		}
+		return -1, true
+	}
+	s := m.Side(dim)
+	fwd := ((dst-cur)%s + s) % s
+	if fwd <= s-fwd {
+		return 1, true
+	}
+	return -1, true
+}

@@ -1,0 +1,110 @@
+package hotpotato
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+func TestSinglePacketNoDeflections(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	pairs := []mesh.Pair{{S: m.Node(mesh.Coord{0, 0}), T: m.Node(mesh.Coord{5, 2})}}
+	r := Run(m, pairs, 1)
+	if r.Makespan != 7 || r.Deflections != 0 || r.TotalHops != 7 {
+		t.Errorf("alone packet: %+v", r)
+	}
+	if r.Delivered != 1 {
+		t.Errorf("delivered %d", r.Delivered)
+	}
+}
+
+func TestAllDeliveredPermutation(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	prob := workload.RandomPermutation(m, 5)
+	r := Run(m, prob.Pairs, 3)
+	if r.Delivered != prob.N() {
+		t.Fatalf("delivered %d/%d", r.Delivered, prob.N())
+	}
+	// Bufferless hops include deflections: total >= sum of distances.
+	if r.TotalHops < m.TotalDist(prob.Pairs) {
+		t.Errorf("total hops %d below total distance %d", r.TotalHops, m.TotalDist(prob.Pairs))
+	}
+	if r.TotalHops != m.TotalDist(prob.Pairs)+2*r.Deflections {
+		// Every deflection moves one step away and must be undone:
+		// hops = dist + 2*deflections exactly for this minimal+deflect
+		// model on the mesh... deflections along a different dimension
+		// keep L1 parity, so the identity holds.
+		t.Errorf("hops %d != dist %d + 2*deflections %d",
+			r.TotalHops, m.TotalDist(prob.Pairs), r.Deflections)
+	}
+	if r.AvgLatency <= 0 || r.MaxLatency < int(r.AvgLatency) {
+		t.Errorf("latency stats: %+v", r)
+	}
+}
+
+func TestDeflectionsHappenUnderContention(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	// Heavy convergence: everyone to one corner region.
+	prob := workload.HotSpot(m, 48, 1, 7)
+	r := Run(m, prob.Pairs, 1)
+	if r.Delivered != prob.N() {
+		t.Fatalf("delivered %d/%d", r.Delivered, prob.N())
+	}
+	if r.Deflections == 0 {
+		t.Error("hot-spot traffic produced zero deflections (suspicious)")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	prob := workload.Transpose(m)
+	a := Run(m, prob.Pairs, 11)
+	b := Run(m, prob.Pairs, 11)
+	if a != b {
+		t.Errorf("same seed differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestTorusBufferless(t *testing.T) {
+	m := mesh.MustSquareTorus(2, 8)
+	prob := workload.Tornado(m)
+	r := Run(m, prob.Pairs, 2)
+	if r.Delivered != prob.N() {
+		t.Fatalf("delivered %d/%d", r.Delivered, prob.N())
+	}
+}
+
+func TestSelfPairs(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	r := Run(m, []mesh.Pair{{S: 5, T: 5}}, 1)
+	if r.Makespan != 0 || r.Delivered != 1 {
+		t.Errorf("self pair: %+v", r)
+	}
+}
+
+// Oldest-first priority must bound the worst latency reasonably even
+// under all-to-one pressure (progress guarantee: the oldest packet
+// always advances).
+func TestOldestFirstProgress(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	target := m.Node(mesh.Coord{4, 4})
+	var pairs []mesh.Pair
+	for v := 0; v < m.Size(); v += 3 {
+		if mesh.NodeID(v) != target {
+			pairs = append(pairs, mesh.Pair{S: mesh.NodeID(v), T: target})
+		}
+	}
+	r := Run(m, pairs, 9)
+	if r.Delivered != len(pairs) {
+		t.Fatalf("delivered %d/%d", r.Delivered, len(pairs))
+	}
+	// Destination degree 4: >= ceil(N/4) steps are necessary... and the
+	// bufferless dance must stay within a generous polynomial budget.
+	if r.Makespan < (len(pairs)+3)/4 {
+		t.Errorf("makespan %d below the degree bound", r.Makespan)
+	}
+	if r.Makespan > 50*len(pairs) {
+		t.Errorf("makespan %d suspiciously large", r.Makespan)
+	}
+}

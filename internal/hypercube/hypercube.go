@@ -1,0 +1,167 @@
+// Package hypercube implements the n-node hypercube network and its
+// classical oblivious routers: deterministic bit-fixing and Valiant–
+// Brebner two-phase randomized routing [14]. The paper's related-work
+// section leans on this topology twice — Valiant & Brebner's original
+// analysis, and the Borodin–Hopcroft / Kaklamanis-Krizanc-Tsantilas
+// lower bounds showing DETERMINISTIC oblivious routing cannot
+// approximate the minimal load on such networks ("which justifies the
+// necessity for randomization", §1). Experiment E22 reproduces that
+// justification: bit-fixing collapses on the transpose permutation
+// while Valiant's randomized version does not.
+//
+// Nodes are the integers 0..2^dim-1; two nodes are adjacent iff their
+// labels differ in exactly one bit.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+
+	"obliviousmesh/internal/bitrand"
+)
+
+// Cube is an immutable hypercube topology.
+type Cube struct {
+	dim int
+	n   int
+}
+
+// New constructs the dim-dimensional hypercube (2^dim nodes).
+func New(dim int) (*Cube, error) {
+	if dim < 1 || dim > 30 {
+		return nil, fmt.Errorf("hypercube: dimension %d out of [1,30]", dim)
+	}
+	return &Cube{dim: dim, n: 1 << dim}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(dim int) *Cube {
+	c, err := New(dim)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dim returns the number of dimensions (bits).
+func (c *Cube) Dim() int { return c.dim }
+
+// Size returns the node count 2^dim.
+func (c *Cube) Size() int { return c.n }
+
+// NumEdges returns dim * 2^(dim-1).
+func (c *Cube) NumEdges() int { return c.dim * c.n / 2 }
+
+// Dist returns the Hamming distance between node labels.
+func (c *Cube) Dist(a, b int) int { return bits.OnesCount(uint(a ^ b)) }
+
+// EdgeID identifies the undirected edge along bit `bit` whose lower
+// endpoint (bit cleared) is u: EdgeID = bit*n + u.
+type EdgeID int
+
+// Edge returns the edge crossed when flipping `bit` at node u.
+func (c *Cube) Edge(u, bit int) EdgeID {
+	lower := u &^ (1 << bit)
+	return EdgeID(bit*c.n + lower)
+}
+
+// EdgeSpace sizes flat per-edge counters.
+func (c *Cube) EdgeSpace() int { return c.dim * c.n }
+
+// Path is a node sequence with consecutive labels differing in one bit.
+type Path []int
+
+// Len returns the edge count.
+func (p Path) Len() int { return len(p) - 1 }
+
+// Validate checks p is a hypercube walk from s to t.
+func (c *Cube) Validate(p Path, s, t int) error {
+	if len(p) == 0 {
+		return fmt.Errorf("hypercube: empty path")
+	}
+	if p[0] != s || p[len(p)-1] != t {
+		return fmt.Errorf("hypercube: endpoints (%d,%d), want (%d,%d)",
+			p[0], p[len(p)-1], s, t)
+	}
+	for i := 1; i < len(p); i++ {
+		if bits.OnesCount(uint(p[i-1]^p[i])) != 1 {
+			return fmt.Errorf("hypercube: step %d not an edge", i)
+		}
+	}
+	return nil
+}
+
+// BitFixing is the canonical deterministic oblivious router: correct
+// the differing bits in ascending order. Stretch 1; but by
+// Borodin–Hopcroft-style averaging there are permutations forcing
+// congestion Ω(√n / dim) on it.
+func (c *Cube) BitFixing(s, t int) Path {
+	p := Path{s}
+	cur := s
+	diff := s ^ t
+	for bit := 0; bit < c.dim; bit++ {
+		if diff&(1<<bit) != 0 {
+			cur ^= 1 << bit
+			p = append(p, cur)
+		}
+	}
+	return p
+}
+
+// Valiant routes via a uniformly random intermediate node w using
+// bit-fixing for both phases [14]: congestion O(dim) w.h.p. for any
+// permutation — the randomization the paper's §1 invokes.
+func (c *Cube) Valiant(s, t int, seed, stream uint64) Path {
+	rng := bitrand.Split(seed, stream^uint64(s)<<20^uint64(t))
+	w := rng.Intn(c.n)
+	p1 := c.BitFixing(s, w)
+	p2 := c.BitFixing(w, t)
+	return append(p1, p2[1:]...)
+}
+
+// Congestion tallies the max undirected edge load of a path set.
+func (c *Cube) Congestion(paths []Path) int {
+	loads := make([]int32, c.EdgeSpace())
+	max := int32(0)
+	for _, p := range paths {
+		for i := 1; i < len(p); i++ {
+			bit := bits.TrailingZeros(uint(p[i-1] ^ p[i]))
+			e := c.Edge(p[i-1], bit)
+			loads[e]++
+			if loads[e] > max {
+				max = loads[e]
+			}
+		}
+	}
+	return int(max)
+}
+
+// Transpose is the permutation that swaps the high and low halves of
+// the node label (dim must be even): the classical worst case for
+// bit-fixing, forcing congestion Ω(√n / dim)... concretely √n / 2 on
+// the middle edges.
+func (c *Cube) Transpose() ([][2]int, error) {
+	if c.dim%2 != 0 {
+		return nil, fmt.Errorf("hypercube: transpose needs even dimension, got %d", c.dim)
+	}
+	half := c.dim / 2
+	mask := (1 << half) - 1
+	pairs := make([][2]int, c.n)
+	for v := 0; v < c.n; v++ {
+		lo := v & mask
+		hi := v >> half
+		pairs[v] = [2]int{v, lo<<half | hi}
+	}
+	return pairs, nil
+}
+
+// RandomPermutation returns a uniform permutation pairing.
+func (c *Cube) RandomPermutation(seed uint64) [][2]int {
+	rng := bitrand.NewSource(seed | 1)
+	perm := rng.Perm(c.n)
+	pairs := make([][2]int, c.n)
+	for v := 0; v < c.n; v++ {
+		pairs[v] = [2]int{v, perm[v]}
+	}
+	return pairs
+}

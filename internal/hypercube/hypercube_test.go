@@ -1,0 +1,153 @@
+package hypercube
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := New(31); err == nil {
+		t.Error("dim 31 accepted")
+	}
+	c := MustNew(4)
+	if c.Size() != 16 || c.Dim() != 4 || c.NumEdges() != 32 {
+		t.Errorf("cube: %+v", c)
+	}
+}
+
+func TestDist(t *testing.T) {
+	c := MustNew(4)
+	if c.Dist(0b0000, 0b1111) != 4 || c.Dist(5, 5) != 0 || c.Dist(0b0001, 0b0011) != 1 {
+		t.Error("Hamming distance wrong")
+	}
+}
+
+func TestBitFixingShortestAndOrdered(t *testing.T) {
+	c := MustNew(6)
+	f := func(a, b uint16) bool {
+		s := int(a) % c.Size()
+		d := int(b) % c.Size()
+		p := c.BitFixing(s, d)
+		if c.Validate(p, s, d) != nil {
+			return false
+		}
+		if p.Len() != c.Dist(s, d) {
+			return false
+		}
+		// Bits are corrected in ascending order.
+		lastBit := -1
+		for i := 1; i < len(p); i++ {
+			bit := trailing(p[i-1] ^ p[i])
+			if bit <= lastBit {
+				return false
+			}
+			lastBit = bit
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func trailing(v int) int {
+	b := 0
+	for v&1 == 0 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+func TestValiantValid(t *testing.T) {
+	c := MustNew(8)
+	f := func(a, b uint16, st uint8) bool {
+		s := int(a) % c.Size()
+		d := int(b) % c.Size()
+		p := c.Valiant(s, d, 1, uint64(st))
+		return c.Validate(p, s, d) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	c := MustNew(4)
+	pairs, err := c.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0b1101 -> 0b0111 (swap halves 11|01 -> 01|11).
+	if pairs[0b1101][1] != 0b0111 {
+		t.Errorf("transpose(1101) = %04b", pairs[0b1101][1])
+	}
+	// Permutation check.
+	seen := make([]bool, c.Size())
+	for _, pr := range pairs {
+		if seen[pr[1]] {
+			t.Fatal("not a permutation")
+		}
+		seen[pr[1]] = true
+	}
+	if _, err := MustNew(5).Transpose(); err == nil {
+		t.Error("odd dimension accepted")
+	}
+}
+
+// The related-work claim (Borodin–Hopcroft / Kaklamanis et al. via the
+// classical Valiant example): bit-fixing on the transpose permutation
+// suffers congestion ~sqrt(n), while Valiant's randomized router stays
+// near the O(dim) level.
+func TestRandomizationJustification(t *testing.T) {
+	c := MustNew(10) // 1024 nodes, sqrt(n) = 32
+	pairs, err := c.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detPaths, valPaths []Path
+	for i, pr := range pairs {
+		detPaths = append(detPaths, c.BitFixing(pr[0], pr[1]))
+		valPaths = append(valPaths, c.Valiant(pr[0], pr[1], 7, uint64(i)))
+	}
+	det := c.Congestion(detPaths)
+	val := c.Congestion(valPaths)
+	if det < 16 {
+		t.Errorf("bit-fixing transpose congestion %d, expected ~sqrt(n)=32", det)
+	}
+	if val*2 > det {
+		t.Errorf("valiant congestion %d not clearly below bit-fixing %d", val, det)
+	}
+	if val > 4*c.Dim() {
+		t.Errorf("valiant congestion %d above the O(dim) level", val)
+	}
+}
+
+func TestCongestionCounts(t *testing.T) {
+	c := MustNew(3)
+	p := c.BitFixing(0, 7)
+	if got := c.Congestion([]Path{p, p, p}); got != 3 {
+		t.Errorf("congestion = %d, want 3", got)
+	}
+	if got := c.Congestion(nil); got != 0 {
+		t.Errorf("empty congestion = %d", got)
+	}
+}
+
+func TestRandomPermutation(t *testing.T) {
+	c := MustNew(6)
+	pairs := c.RandomPermutation(3)
+	seen := make([]bool, c.Size())
+	for i, pr := range pairs {
+		if pr[0] != i {
+			t.Fatal("sources not identity-ordered")
+		}
+		if seen[pr[1]] {
+			t.Fatal("duplicate destination")
+		}
+		seen[pr[1]] = true
+	}
+}

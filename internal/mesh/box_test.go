@@ -1,0 +1,226 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(Coord{0, 2}, Coord{3, 5})
+	if b.String() != "[0,3][2,5]" {
+		t.Errorf("String = %q", b.String())
+	}
+	if b.Side(0) != 4 || b.Side(1) != 4 {
+		t.Errorf("sides = %d,%d", b.Side(0), b.Side(1))
+	}
+	if b.Size() != 16 {
+		t.Errorf("size = %d", b.Size())
+	}
+	if !b.Contains(Coord{0, 2}) || !b.Contains(Coord{3, 5}) {
+		t.Error("corners not contained")
+	}
+	if b.Contains(Coord{4, 3}) || b.Contains(Coord{2, 1}) {
+		t.Error("outside point contained")
+	}
+	if b.MinSide() != 4 || b.MaxSide() != 4 {
+		t.Error("min/max side wrong")
+	}
+}
+
+func TestNewBoxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted box should panic")
+		}
+	}()
+	NewBox(Coord{3}, Coord{1})
+}
+
+func TestCubeAt(t *testing.T) {
+	b := CubeAt(Coord{2, 4, 6}, 3)
+	want := NewBox(Coord{2, 4, 6}, Coord{4, 6, 8})
+	if !b.Equal(want) {
+		t.Errorf("CubeAt = %v, want %v", b, want)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := NewBox(Coord{0, 0}, Coord{3, 3})
+	b := NewBox(Coord{2, 2}, Coord{5, 5})
+	got, ok := a.Intersect(b)
+	if !ok || !got.Equal(NewBox(Coord{2, 2}, Coord{3, 3})) {
+		t.Errorf("intersect = %v, ok=%v", got, ok)
+	}
+	c := NewBox(Coord{4, 0}, Coord{5, 1})
+	if _, ok := a.Intersect(c); ok {
+		t.Error("disjoint boxes intersect")
+	}
+	if a.Overlaps(c) {
+		t.Error("Overlaps wrong for disjoint boxes")
+	}
+	if !a.Overlaps(b) {
+		t.Error("Overlaps wrong for overlapping boxes")
+	}
+}
+
+func TestContainsBox(t *testing.T) {
+	outer := NewBox(Coord{0, 0}, Coord{7, 7})
+	inner := NewBox(Coord{2, 2}, Coord{5, 5})
+	if !outer.ContainsBox(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.ContainsBox(outer) {
+		t.Error("inner should not contain outer")
+	}
+	if !outer.ContainsBox(outer) {
+		t.Error("box should contain itself")
+	}
+}
+
+func TestClipBox(t *testing.T) {
+	m := MustNew(8, 8)
+	b, ok := m.ClipBox(NewBox(Coord{6, 6}, Coord{10, 10}))
+	// Note: NewBox validates ordering, construct raw box for negatives.
+	if !ok || !b.Equal(NewBox(Coord{6, 6}, Coord{7, 7})) {
+		t.Errorf("clip = %v ok=%v", b, ok)
+	}
+	raw := Box{Lo: Coord{-3, -3}, Hi: Coord{-1, 4}}
+	if _, ok := m.ClipBox(raw); ok {
+		t.Error("fully outside box should clip to empty")
+	}
+	raw2 := Box{Lo: Coord{-2, 3}, Hi: Coord{1, 5}}
+	b2, ok := m.ClipBox(raw2)
+	if !ok || !b2.Equal(NewBox(Coord{0, 3}, Coord{1, 5})) {
+		t.Errorf("clip = %v ok=%v", b2, ok)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	b := BoundingBox(Coord{5, 1}, Coord{2, 4})
+	if !b.Equal(NewBox(Coord{2, 1}, Coord{5, 4})) {
+		t.Errorf("BoundingBox = %v", b)
+	}
+	if !b.Contains(Coord{5, 1}) || !b.Contains(Coord{2, 4}) {
+		t.Error("bounding box misses its defining points")
+	}
+}
+
+// TestOutDegree cross-checks the arithmetic boundary-edge count
+// against brute-force edge counting.
+func TestOutDegree(t *testing.T) {
+	m := MustNew(6, 5)
+	bruteOut := func(b Box) int {
+		cnt := 0
+		m.Edges(func(e EdgeID) {
+			lo, hi, _ := m.EdgeEndpoints(e)
+			lin := b.Contains(m.CoordOf(lo))
+			hin := b.Contains(m.CoordOf(hi))
+			if lin != hin {
+				cnt++
+			}
+		})
+		return cnt
+	}
+	boxes := []Box{
+		NewBox(Coord{0, 0}, Coord{5, 4}), // whole mesh: 0
+		NewBox(Coord{0, 0}, Coord{0, 0}), // corner node
+		NewBox(Coord{2, 2}, Coord{3, 3}), // interior 2x2
+		NewBox(Coord{0, 0}, Coord{5, 0}), // full row
+		NewBox(Coord{1, 1}, Coord{4, 3}),
+		NewBox(Coord{0, 2}, Coord{2, 4}),
+	}
+	for _, b := range boxes {
+		if got, want := m.OutDegree(b), bruteOut(b); got != want {
+			t.Errorf("OutDegree(%v) = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestOutDegree3D(t *testing.T) {
+	m := MustSquare(3, 4)
+	brute := func(b Box) int {
+		cnt := 0
+		m.Edges(func(e EdgeID) {
+			lo, hi, _ := m.EdgeEndpoints(e)
+			if b.Contains(m.CoordOf(lo)) != b.Contains(m.CoordOf(hi)) {
+				cnt++
+			}
+		})
+		return cnt
+	}
+	f := func(a, b, c, x, y, z uint8) bool {
+		lo := Coord{int(a) % 4, int(b) % 4, int(c) % 4}
+		hi := Coord{int(x) % 4, int(y) % 4, int(z) % 4}
+		box := BoundingBox(lo, hi)
+		return m.OutDegree(box) == brute(box)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma A.4: out(M') >= size(M')^((d-1)/d) for any submesh. Verified
+// on random boxes of a 3-D mesh.
+func TestOutDegreeLemmaA4(t *testing.T) {
+	m := MustSquare(3, 8)
+	f := func(a, b, c, x, y, z uint8) bool {
+		lo := Coord{int(a) % 8, int(b) % 8, int(c) % 8}
+		hi := Coord{int(x) % 8, int(y) % 8, int(z) % 8}
+		box := BoundingBox(lo, hi)
+		if box.Size() == m.Size() {
+			return true // whole mesh has out-degree 0 by definition
+		}
+		out := float64(m.OutDegree(box))
+		n := float64(box.Size())
+		// n'^(2/3) for d=3.
+		bound := powFrac(n, 2, 3)
+		return out >= bound-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func powFrac(x float64, num, den int) float64 {
+	return math.Pow(x, float64(num)/float64(den))
+}
+
+func TestForEachNode(t *testing.T) {
+	m := MustNew(4, 4)
+	b := NewBox(Coord{1, 1}, Coord{2, 3})
+	var visited []NodeID
+	m.ForEachNode(b, func(c Coord, id NodeID) {
+		if !b.Contains(c) {
+			t.Errorf("visited %v outside box", c)
+		}
+		visited = append(visited, id)
+	})
+	if len(visited) != b.Size() {
+		t.Errorf("visited %d nodes, want %d", len(visited), b.Size())
+	}
+	seen := map[NodeID]bool{}
+	for _, id := range visited {
+		if seen[id] {
+			t.Errorf("node %d visited twice", id)
+		}
+		seen[id] = true
+	}
+	// Clipping behaviour.
+	var n int
+	m.ForEachNode(Box{Lo: Coord{3, 3}, Hi: Coord{9, 9}}, func(Coord, NodeID) { n++ })
+	if n != 1 {
+		t.Errorf("clipped iteration visited %d, want 1", n)
+	}
+}
+
+func TestExtent(t *testing.T) {
+	m := MustNew(3, 4)
+	e := m.Extent()
+	if !e.Equal(NewBox(Coord{0, 0}, Coord{2, 3})) {
+		t.Errorf("Extent = %v", e)
+	}
+	if e.Size() != m.Size() {
+		t.Error("extent size mismatch")
+	}
+}

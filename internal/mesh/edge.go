@@ -1,0 +1,100 @@
+package mesh
+
+import "fmt"
+
+// EdgeID identifies an undirected mesh edge. The edge along dimension
+// i leaving node u in the +i direction (to coordinate c_i + 1, modulo
+// the side on the torus) has EdgeID i*n + u. On the open mesh only
+// nodes with c_i < side-1 own a +i edge; on the torus every node of a
+// wrapping dimension does. The ID space is d*n with some invalid
+// slots, which are never produced by EdgeBetween and make flat-slice
+// congestion counters trivial.
+type EdgeID int
+
+// EdgeSpace returns the size of the EdgeID space (d*n), suitable for
+// allocating per-edge counters indexed by EdgeID.
+func (m *Mesh) EdgeSpace() int { return len(m.dims) * m.size }
+
+// EdgeBetween returns the EdgeID connecting nodes a and b, or ok=false
+// when a and b are not adjacent.
+func (m *Mesh) EdgeBetween(a, b NodeID) (EdgeID, bool) {
+	if a == b {
+		return 0, false
+	}
+	av, bv := int(a), int(b)
+	dim := -1
+	var owner int // node owning the +dim edge
+	for i, s := range m.dims {
+		ai, bi := av%s, bv%s
+		av /= s
+		bv /= s
+		if ai == bi {
+			continue
+		}
+		if dim != -1 {
+			return 0, false // differ in two dimensions
+		}
+		switch {
+		case bi == ai+1:
+			dim, owner = i, int(a)
+		case ai == bi+1:
+			dim, owner = i, int(b)
+		case m.wrapDim(i) && ai == s-1 && bi == 0:
+			dim, owner = i, int(a)
+		case m.wrapDim(i) && bi == s-1 && ai == 0:
+			dim, owner = i, int(b)
+		default:
+			return 0, false
+		}
+	}
+	if dim == -1 {
+		return 0, false
+	}
+	return EdgeID(dim*m.size + owner), true
+}
+
+// EdgeEndpoints returns the two endpoints of e — the owning node
+// first, then the node one +dim step away — and the dimension the
+// edge runs along.
+func (m *Mesh) EdgeEndpoints(e EdgeID) (lo, hi NodeID, dim int) {
+	dim = int(e) / m.size
+	lo = NodeID(int(e) % m.size)
+	hi, _ = m.Step(lo, dim, +1)
+	return lo, hi, dim
+}
+
+// ValidEdge reports whether e denotes an actual mesh edge.
+func (m *Mesh) ValidEdge(e EdgeID) bool {
+	if e < 0 || int(e) >= m.EdgeSpace() {
+		return false
+	}
+	dim := int(e) / m.size
+	u := int(e) % m.size
+	ci := (u / m.strides[dim]) % m.dims[dim]
+	if m.wrapDim(dim) {
+		return true
+	}
+	return ci < m.dims[dim]-1
+}
+
+// Edges calls fn for every undirected edge of the mesh.
+func (m *Mesh) Edges(fn func(e EdgeID)) {
+	for dim := range m.dims {
+		if m.dims[dim] == 1 {
+			continue
+		}
+		wrap := m.wrapDim(dim)
+		for u := 0; u < m.size; u++ {
+			ci := (u / m.strides[dim]) % m.dims[dim]
+			if wrap || ci < m.dims[dim]-1 {
+				fn(EdgeID(dim*m.size + u))
+			}
+		}
+	}
+}
+
+// EdgeString renders e as "u--v" in coordinates, for diagnostics.
+func (m *Mesh) EdgeString(e EdgeID) string {
+	lo, hi, _ := m.EdgeEndpoints(e)
+	return fmt.Sprintf("%v--%v", m.CoordOf(lo), m.CoordOf(hi))
+}

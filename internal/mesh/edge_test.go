@@ -1,0 +1,119 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeBetween(t *testing.T) {
+	m := MustNew(4, 4)
+	a := m.Node(Coord{1, 1})
+	b := m.Node(Coord{2, 1})
+	e, ok := m.EdgeBetween(a, b)
+	if !ok {
+		t.Fatal("adjacent nodes reported non-adjacent")
+	}
+	lo, hi, dim := m.EdgeEndpoints(e)
+	if lo != a || hi != b || dim != 0 {
+		t.Errorf("endpoints (%d,%d,dim%d), want (%d,%d,dim0)", lo, hi, dim, a, b)
+	}
+	// Symmetric.
+	e2, ok := m.EdgeBetween(b, a)
+	if !ok || e2 != e {
+		t.Error("EdgeBetween not symmetric")
+	}
+	// Non-adjacent.
+	if _, ok := m.EdgeBetween(a, m.Node(Coord{3, 1})); ok {
+		t.Error("distance-2 nodes reported adjacent")
+	}
+	if _, ok := m.EdgeBetween(a, a); ok {
+		t.Error("self loop reported as edge")
+	}
+	// Wrap-around trap: (3,0) and (0,1) differ by exactly stride 1 in
+	// the linearization but are NOT adjacent.
+	x := m.Node(Coord{3, 0})
+	y := m.Node(Coord{0, 1})
+	if _, ok := m.EdgeBetween(x, y); ok {
+		t.Error("linearization wrap-around misdetected as adjacency")
+	}
+}
+
+func TestEdgeBetweenMatchesDist(t *testing.T) {
+	m := MustNew(5, 3, 2)
+	for a := 0; a < m.Size(); a++ {
+		for b := 0; b < m.Size(); b++ {
+			_, ok := m.EdgeBetween(NodeID(a), NodeID(b))
+			adjacent := m.Dist(NodeID(a), NodeID(b)) == 1
+			if ok != adjacent {
+				t.Fatalf("EdgeBetween(%v,%v)=%v but dist=%d",
+					m.CoordOf(NodeID(a)), m.CoordOf(NodeID(b)), ok,
+					m.Dist(NodeID(a), NodeID(b)))
+			}
+		}
+	}
+}
+
+func TestEdgesEnumerationValidAndUnique(t *testing.T) {
+	m := MustNew(4, 3)
+	seen := map[EdgeID]bool{}
+	m.Edges(func(e EdgeID) {
+		if !m.ValidEdge(e) {
+			t.Errorf("enumerated invalid edge %d", e)
+		}
+		if seen[e] {
+			t.Errorf("edge %d enumerated twice", e)
+		}
+		seen[e] = true
+		lo, hi, _ := m.EdgeEndpoints(e)
+		if m.Dist(lo, hi) != 1 {
+			t.Errorf("edge %d endpoints not adjacent", e)
+		}
+	})
+	if len(seen) != m.NumEdges() {
+		t.Errorf("enumerated %d edges, want %d", len(seen), m.NumEdges())
+	}
+}
+
+func TestValidEdgeBounds(t *testing.T) {
+	m := MustNew(4, 4)
+	if m.ValidEdge(-1) {
+		t.Error("negative edge valid")
+	}
+	if m.ValidEdge(EdgeID(m.EdgeSpace())) {
+		t.Error("out-of-space edge valid")
+	}
+	// The +0 edge of a node on the dim-0 upper boundary is invalid.
+	bad := EdgeID(0*m.Size() + int(m.Node(Coord{3, 1})))
+	if m.ValidEdge(bad) {
+		t.Error("boundary +0 edge should be invalid")
+	}
+}
+
+func TestEdgeRoundTripQuick(t *testing.T) {
+	m := MustSquare(3, 4)
+	f := func(raw uint32) bool {
+		u := NodeID(int(raw) % m.Size())
+		for _, v := range m.Neighbors(u, nil) {
+			e, ok := m.EdgeBetween(u, v)
+			if !ok {
+				return false
+			}
+			lo, hi, _ := m.EdgeEndpoints(e)
+			if !(lo == u && hi == v) && !(lo == v && hi == u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	m := MustNew(4, 4)
+	e, _ := m.EdgeBetween(m.Node(Coord{0, 0}), m.Node(Coord{1, 0}))
+	if s := m.EdgeString(e); s != "(0,0)--(1,0)" {
+		t.Errorf("EdgeString = %q", s)
+	}
+}

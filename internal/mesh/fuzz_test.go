@@ -1,0 +1,93 @@
+package mesh
+
+import "testing"
+
+// Native fuzz targets: `go test` exercises the seed corpus; `go test
+// -fuzz=FuzzX` explores further. All invariants here must hold for
+// arbitrary inputs after masking into range.
+
+func FuzzStaircasePath(f *testing.F) {
+	f.Add(uint32(0), uint32(63), false, uint8(0))
+	f.Add(uint32(10), uint32(53), true, uint8(1))
+	f.Add(uint32(7), uint32(7), true, uint8(2))
+	meshes := []*Mesh{MustSquare(2, 8), MustSquareTorus(2, 8)}
+	perms := [][]int{{0, 1}, {1, 0}}
+	f.Fuzz(func(t *testing.T, a, b uint32, torus bool, permSel uint8) {
+		m := meshes[0]
+		if torus {
+			m = meshes[1]
+		}
+		s := NodeID(int(a) % m.Size())
+		d := NodeID(int(b) % m.Size())
+		perm := perms[int(permSel)%2]
+		p := m.StaircasePath(s, d, perm)
+		if err := m.Validate(p, s, d); err != nil {
+			t.Fatalf("invalid path: %v", err)
+		}
+		if p.Len() != m.Dist(s, d) {
+			t.Fatalf("length %d != dist %d", p.Len(), m.Dist(s, d))
+		}
+		if !p.IsSimple() {
+			t.Fatal("staircase not simple")
+		}
+	})
+}
+
+func FuzzRemoveCycles(f *testing.F) {
+	f.Add(uint32(0), []byte{1, 2, 3, 0, 1})
+	f.Add(uint32(5), []byte{})
+	f.Add(uint32(63), []byte{0, 0, 0, 0})
+	m := MustSquare(2, 8)
+	f.Fuzz(func(t *testing.T, start uint32, steps []byte) {
+		if len(steps) > 200 {
+			steps = steps[:200]
+		}
+		cur := NodeID(int(start) % m.Size())
+		p := Path{cur}
+		for _, s := range steps {
+			nb := m.Neighbors(cur, nil)
+			cur = nb[int(s)%len(nb)]
+			p = append(p, cur)
+		}
+		out := p.RemoveCycles()
+		if !out.IsSimple() {
+			t.Fatal("not simple after RemoveCycles")
+		}
+		if out.Source() != p.Source() || out.Dest() != p.Dest() {
+			t.Fatal("endpoints changed")
+		}
+		if err := m.Validate(out, p.Source(), p.Dest()); err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() > p.Len() {
+			t.Fatal("cycle removal lengthened the path")
+		}
+	})
+}
+
+func FuzzEdgeBetween(f *testing.F) {
+	f.Add(uint32(3), uint32(4), false)
+	f.Add(uint32(0), uint32(7), true)
+	meshes := []*Mesh{MustSquare(2, 8), MustSquareTorus(2, 8)}
+	f.Fuzz(func(t *testing.T, a, b uint32, torus bool) {
+		m := meshes[0]
+		if torus {
+			m = meshes[1]
+		}
+		x := NodeID(int(a) % m.Size())
+		y := NodeID(int(b) % m.Size())
+		e, ok := m.EdgeBetween(x, y)
+		if ok != (m.Dist(x, y) == 1) {
+			t.Fatalf("EdgeBetween(%d,%d)=%v, dist=%d", x, y, ok, m.Dist(x, y))
+		}
+		if ok {
+			if !m.ValidEdge(e) {
+				t.Fatal("returned invalid edge id")
+			}
+			lo, hi, _ := m.EdgeEndpoints(e)
+			if !(lo == x && hi == y) && !(lo == y && hi == x) {
+				t.Fatalf("endpoints (%d,%d) for edge between %d,%d", lo, hi, x, y)
+			}
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("New() with no dims should fail")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("New(4,0) should fail")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("New(-1) should fail")
+	}
+	m, err := New(4, 8)
+	if err != nil {
+		t.Fatalf("New(4,8): %v", err)
+	}
+	if m.Size() != 32 {
+		t.Errorf("size = %d, want 32", m.Size())
+	}
+	if m.Dim() != 2 {
+		t.Errorf("dim = %d, want 2", m.Dim())
+	}
+}
+
+func TestSquare(t *testing.T) {
+	m, err := Square(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 64 {
+		t.Errorf("size = %d, want 64", m.Size())
+	}
+	for i := 0; i < 3; i++ {
+		if m.Side(i) != 4 {
+			t.Errorf("side(%d) = %d, want 4", i, m.Side(i))
+		}
+	}
+	if _, err := Square(0, 4); err == nil {
+		t.Error("Square(0,4) should fail")
+	}
+}
+
+func TestNumEdges(t *testing.T) {
+	cases := []struct {
+		dims []int
+		want int
+	}{
+		{[]int{2}, 1},
+		{[]int{5}, 4},
+		{[]int{2, 2}, 4},
+		{[]int{3, 3}, 12},     // 2*3 horizontal + 2*3 vertical
+		{[]int{4, 4}, 24},     // 3*4*2
+		{[]int{2, 2, 2}, 12},  // 3 * 4
+		{[]int{4, 4, 4}, 144}, // 3 * 3*16
+		{[]int{1, 5}, 4},      // degenerate dimension
+		{[]int{8, 8}, 112},    // 7*8*2
+		{[]int{16, 16}, 480},  // 15*16*2
+		{[]int{3, 4, 5}, 133}, // 2*20 + 3*15 + 4*12
+		{[]int{1, 1, 1}, 0},   // single node
+		{[]int{1, 1, 7}, 6},   // line in last dim
+	}
+	for _, c := range cases {
+		m := MustNew(c.dims...)
+		if m.NumEdges() != c.want {
+			t.Errorf("%v: NumEdges = %d, want %d", c.dims, m.NumEdges(), c.want)
+		}
+		// Cross-check against the enumerator.
+		n := 0
+		m.Edges(func(EdgeID) { n++ })
+		if n != c.want {
+			t.Errorf("%v: Edges() visits %d, want %d", c.dims, n, c.want)
+		}
+	}
+}
+
+func TestNodeCoordRoundTrip(t *testing.T) {
+	m := MustNew(3, 5, 2)
+	for id := 0; id < m.Size(); id++ {
+		c := m.CoordOf(NodeID(id))
+		if !m.InBounds(c) {
+			t.Fatalf("CoordOf(%d) = %v out of bounds", id, c)
+		}
+		if back := m.Node(c); back != NodeID(id) {
+			t.Fatalf("Node(CoordOf(%d)) = %d", id, back)
+		}
+	}
+}
+
+func TestNodeCoordRoundTripQuick(t *testing.T) {
+	m := MustSquare(4, 8)
+	f := func(raw uint32) bool {
+		id := NodeID(int(raw) % m.Size())
+		return m.Node(m.CoordOf(id)) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistMatchesCoordL1(t *testing.T) {
+	m := MustNew(4, 6, 3)
+	f := func(a, b uint32) bool {
+		x := NodeID(int(a) % m.Size())
+		y := NodeID(int(b) % m.Size())
+		return m.Dist(x, y) == m.CoordOf(x).L1(m.CoordOf(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetricTriangle(t *testing.T) {
+	m := MustSquare(3, 4)
+	f := func(a, b, c uint32) bool {
+		x := NodeID(int(a) % m.Size())
+		y := NodeID(int(b) % m.Size())
+		z := NodeID(int(c) % m.Size())
+		if m.Dist(x, y) != m.Dist(y, x) {
+			return false
+		}
+		if m.Dist(x, x) != 0 {
+			return false
+		}
+		return m.Dist(x, z) <= m.Dist(x, y)+m.Dist(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	m := MustNew(4, 4)
+	corner := m.Node(Coord{0, 0})
+	nb := m.Neighbors(corner, nil)
+	if len(nb) != 2 || m.Degree(corner) != 2 {
+		t.Errorf("corner neighbors = %v, degree = %d", nb, m.Degree(corner))
+	}
+	edge := m.Node(Coord{1, 0})
+	if m.Degree(edge) != 3 {
+		t.Errorf("edge node degree = %d, want 3", m.Degree(edge))
+	}
+	inner := m.Node(Coord{1, 2})
+	nb = m.Neighbors(inner, nil)
+	if len(nb) != 4 {
+		t.Errorf("inner neighbors = %v, want 4", nb)
+	}
+	for _, v := range nb {
+		if m.Dist(inner, v) != 1 {
+			t.Errorf("neighbor %v at distance %d", m.CoordOf(v), m.Dist(inner, v))
+		}
+	}
+}
+
+func TestNeighborsConsistency(t *testing.T) {
+	m := MustNew(3, 4, 2)
+	for id := 0; id < m.Size(); id++ {
+		u := NodeID(id)
+		nb := m.Neighbors(u, nil)
+		if len(nb) != m.Degree(u) {
+			t.Fatalf("node %d: %d neighbors, degree %d", id, len(nb), m.Degree(u))
+		}
+		for _, v := range nb {
+			// Adjacency must be mutual.
+			found := false
+			for _, w := range m.Neighbors(v, nil) {
+				if w == u {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric adjacency %d -> %d", u, v)
+			}
+		}
+	}
+}
+
+func TestStep(t *testing.T) {
+	m := MustNew(4, 4)
+	n := m.Node(Coord{1, 2})
+	up, ok := m.Step(n, 0, +1)
+	if !ok || !m.CoordOf(up).Equal(Coord{2, 2}) {
+		t.Errorf("Step +0 = %v, ok=%v", m.CoordOf(up), ok)
+	}
+	if _, ok := m.Step(m.Node(Coord{3, 2}), 0, +1); ok {
+		t.Error("Step off the +0 boundary should fail")
+	}
+	if _, ok := m.Step(m.Node(Coord{0, 2}), 0, -1); ok {
+		t.Error("Step off the -0 boundary should fail")
+	}
+}
+
+func TestIsSquarePow2(t *testing.T) {
+	if k, ok := MustSquare(2, 8).IsSquarePow2(); !ok || k != 3 {
+		t.Errorf("8x8: k=%d ok=%v", k, ok)
+	}
+	if _, ok := MustNew(8, 4).IsSquarePow2(); ok {
+		t.Error("8x4 should not be square")
+	}
+	if _, ok := MustSquare(2, 6).IsSquarePow2(); ok {
+		t.Error("6x6 should not be pow2")
+	}
+	if k, ok := MustSquare(3, 1).IsSquarePow2(); !ok || k != 0 {
+		t.Errorf("1x1x1: k=%d ok=%v", k, ok)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := MustNew(8, 8).String(); s != "mesh 8x8" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (Coord{1, 2, 3}).String(); s != "(1,2,3)" {
+		t.Errorf("Coord.String = %q", s)
+	}
+}
+
+func TestCoordClone(t *testing.T) {
+	c := Coord{1, 2}
+	d := c.Clone()
+	d[0] = 9
+	if c[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+	if c.Equal(Coord{1}) || !c.Equal(Coord{1, 2}) {
+		t.Error("Equal misbehaves")
+	}
+}

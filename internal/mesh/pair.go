@@ -1,0 +1,32 @@
+package mesh
+
+// Pair is a single packet transfer request: a source and a destination
+// node. A routing problem Π (paper §2) is a slice of pairs.
+type Pair struct {
+	S, T NodeID
+}
+
+// Dist returns the shortest-path distance of the pair on m.
+func (m *Mesh) PairDist(p Pair) int { return m.Dist(p.S, p.T) }
+
+// MaxDist returns D, the maximum shortest distance over the problem
+// (paper §2). Zero for an empty problem.
+func (m *Mesh) MaxDist(pairs []Pair) int {
+	max := 0
+	for _, p := range pairs {
+		if d := m.Dist(p.S, p.T); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TotalDist returns the sum of shortest distances over the problem,
+// the "total work" lower bound numerator.
+func (m *Mesh) TotalDist(pairs []Pair) int {
+	sum := 0
+	for _, p := range pairs {
+		sum += m.Dist(p.S, p.T)
+	}
+	return sum
+}

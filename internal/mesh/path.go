@@ -1,0 +1,150 @@
+package mesh
+
+import "fmt"
+
+// Path is a walk through the mesh: a sequence of nodes in which
+// consecutive nodes are adjacent. A path of a single node is the empty
+// path of a packet whose source equals its destination. The length |p|
+// of a path is its number of edges, len(p)-1.
+type Path []NodeID
+
+// Len returns the number of edges of the path (the paper's |p|).
+func (p Path) Len() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Source returns the first node of the path.
+func (p Path) Source() NodeID { return p[0] }
+
+// Dest returns the last node of the path.
+func (p Path) Dest() NodeID { return p[len(p)-1] }
+
+// Validate checks that p is a walk on m from src to dst: non-empty,
+// endpoints as given, and every consecutive pair adjacent.
+func (m *Mesh) Validate(p Path, src, dst NodeID) error {
+	if len(p) == 0 {
+		return fmt.Errorf("mesh: empty path")
+	}
+	if p[0] != src {
+		return fmt.Errorf("mesh: path starts at %d, want source %d", p[0], src)
+	}
+	if p[len(p)-1] != dst {
+		return fmt.Errorf("mesh: path ends at %d, want destination %d", p[len(p)-1], dst)
+	}
+	for i := 1; i < len(p); i++ {
+		if _, ok := m.EdgeBetween(p[i-1], p[i]); !ok {
+			return fmt.Errorf("mesh: path step %d: nodes %v and %v not adjacent",
+				i, m.CoordOf(p[i-1]), m.CoordOf(p[i]))
+		}
+	}
+	return nil
+}
+
+// PathEdges calls fn with the EdgeID of every edge of p, in order.
+func (m *Mesh) PathEdges(p Path, fn func(e EdgeID)) {
+	for i := 1; i < len(p); i++ {
+		e, ok := m.EdgeBetween(p[i-1], p[i])
+		if !ok {
+			panic(fmt.Sprintf("mesh: invalid path step %v -> %v",
+				m.CoordOf(p[i-1]), m.CoordOf(p[i])))
+		}
+		fn(e)
+	}
+}
+
+// RemoveCycles returns a simple path visiting a subset of p's nodes in
+// order, with all cycles excised (the paper notes after Lemma 3.8 that
+// cycles can always be removed without increasing congestion). The
+// input is not modified. Runs in O(len(p)).
+func (p Path) RemoveCycles() Path {
+	if len(p) <= 2 {
+		return append(Path(nil), p...)
+	}
+	// last[v] = last index at which node v occurs.
+	last := make(map[NodeID]int, len(p))
+	for i, v := range p {
+		last[v] = i
+	}
+	out := make(Path, 0, len(p))
+	for i := 0; i < len(p); i++ {
+		v := p[i]
+		out = append(out, v)
+		if j := last[v]; j > i {
+			i = j // skip the cycle; v itself already emitted
+		}
+	}
+	return out
+}
+
+// IsSimple reports whether p visits no node twice.
+func (p Path) IsSimple() bool {
+	seen := make(map[NodeID]struct{}, len(p))
+	for _, v := range p {
+		if _, dup := seen[v]; dup {
+			return false
+		}
+		seen[v] = struct{}{}
+	}
+	return true
+}
+
+// Stretch returns |p| / dist(src,dst). For src == dst the stretch is
+// defined as 1 (the path must be the trivial single-node path).
+func (m *Mesh) Stretch(p Path) float64 {
+	d := m.Dist(p.Source(), p.Dest())
+	if d == 0 {
+		return 1
+	}
+	return float64(p.Len()) / float64(d)
+}
+
+// StaircasePath constructs the dimension-by-dimension shortest path
+// from a to b, correcting coordinates in the order given by perm (a
+// permutation of 0..d-1). In two dimensions this is the "at most
+// one-bend path" of §3.3. On the torus each dimension takes the
+// shorter ring direction (ties go +). The result has length exactly
+// dist(a,b).
+func (m *Mesh) StaircasePath(a, b NodeID, perm []int) Path {
+	ac := m.CoordOf(a)
+	bc := m.CoordOf(b)
+	path := make(Path, 0, m.Dist(a, b)+1)
+	path = append(path, a)
+	id := a
+	for _, dim := range perm {
+		s := m.dims[dim]
+		delta := bc[dim] - ac[dim]
+		steps, dir := delta, 1
+		if steps < 0 {
+			steps, dir = -steps, -1
+		}
+		if m.wrapDim(dim) {
+			fwd := ((delta % s) + s) % s
+			if fwd <= s-fwd {
+				steps, dir = fwd, 1
+			} else {
+				steps, dir = s-fwd, -1
+			}
+		}
+		for k := 0; k < steps; k++ {
+			next, ok := m.Step(id, dim, dir)
+			if !ok {
+				panic("mesh: staircase stepped off the mesh")
+			}
+			id = next
+			path = append(path, id)
+		}
+	}
+	return path
+}
+
+// IdentityPerm returns the permutation 0,1,...,d-1.
+func IdentityPerm(d int) []int {
+	p := make([]int, d)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

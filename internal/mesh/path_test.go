@@ -1,0 +1,219 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStaircasePath2D(t *testing.T) {
+	m := MustNew(8, 8)
+	s := m.Node(Coord{1, 1})
+	d := m.Node(Coord{5, 4})
+	p := m.StaircasePath(s, d, []int{0, 1})
+	if err := m.Validate(p, s, d); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != m.Dist(s, d) {
+		t.Errorf("len = %d, want %d", p.Len(), m.Dist(s, d))
+	}
+	// Dimension-0-first: the second node must differ in x.
+	if !m.CoordOf(p[1]).Equal(Coord{2, 1}) {
+		t.Errorf("first step = %v, want (2,1)", m.CoordOf(p[1]))
+	}
+	// Reversed order: the second node must differ in y.
+	p2 := m.StaircasePath(s, d, []int{1, 0})
+	if !m.CoordOf(p2[1]).Equal(Coord{1, 2}) {
+		t.Errorf("first step (y-first) = %v, want (1,2)", m.CoordOf(p2[1]))
+	}
+	// One-bend property (§3.3): a 2-D staircase changes direction at
+	// most once.
+	bends := countBends(m, p)
+	if bends > 1 {
+		t.Errorf("one-bend path has %d bends", bends)
+	}
+}
+
+func countBends(m *Mesh, p Path) int {
+	bends := 0
+	lastDim := -1
+	for i := 1; i < len(p); i++ {
+		_, _, dim := m.EdgeEndpoints(mustEdge(m, p[i-1], p[i]))
+		if lastDim != -1 && dim != lastDim {
+			bends++
+		}
+		lastDim = dim
+	}
+	return bends
+}
+
+func mustEdge(m *Mesh, a, b NodeID) EdgeID {
+	e, ok := m.EdgeBetween(a, b)
+	if !ok {
+		panic("not adjacent")
+	}
+	return e
+}
+
+func TestStaircasePathTrivial(t *testing.T) {
+	m := MustNew(4, 4)
+	s := m.Node(Coord{2, 2})
+	p := m.StaircasePath(s, s, []int{0, 1})
+	if len(p) != 1 || p.Len() != 0 {
+		t.Errorf("self path = %v", p)
+	}
+	if err := m.Validate(p, s, s); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaircasePathQuick(t *testing.T) {
+	m := MustSquare(3, 8)
+	perms := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {2, 0, 1}}
+	f := func(a, b, pi uint32) bool {
+		s := NodeID(int(a) % m.Size())
+		d := NodeID(int(b) % m.Size())
+		perm := perms[int(pi)%len(perms)]
+		p := m.StaircasePath(s, d, perm)
+		if m.Validate(p, s, d) != nil {
+			return false
+		}
+		return p.Len() == m.Dist(s, d) && p.IsSimple()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m := MustNew(4, 4)
+	a := m.Node(Coord{0, 0})
+	b := m.Node(Coord{1, 0})
+	c := m.Node(Coord{3, 3})
+	if err := m.Validate(Path{}, a, b); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := m.Validate(Path{a, b}, b, b); err == nil {
+		t.Error("wrong source accepted")
+	}
+	if err := m.Validate(Path{a, b}, a, a); err == nil {
+		t.Error("wrong destination accepted")
+	}
+	if err := m.Validate(Path{a, c}, a, c); err == nil {
+		t.Error("teleporting path accepted")
+	}
+	if err := m.Validate(Path{a, b}, a, b); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+}
+
+func TestRemoveCycles(t *testing.T) {
+	m := MustNew(4, 4)
+	n := func(x, y int) NodeID { return m.Node(Coord{x, y}) }
+	// Walk that revisits (1,0): the excision must keep the prefix up
+	// to the first visit and resume after the last one.
+	p := Path{n(0, 0), n(1, 0), n(1, 1), n(2, 1), n(2, 0), n(1, 0), n(1, 1), n(1, 2)}
+	out := p.RemoveCycles()
+	if err := m.Validate(out, p.Source(), p.Dest()); err != nil {
+		t.Fatalf("cycle-free path invalid: %v", err)
+	}
+	if !out.IsSimple() {
+		t.Errorf("RemoveCycles left a repeat: %v", out)
+	}
+	if out.Len() >= p.Len() {
+		t.Errorf("no shortening: %d -> %d", p.Len(), out.Len())
+	}
+}
+
+func TestRemoveCyclesNoCycle(t *testing.T) {
+	m := MustNew(4, 4)
+	p := m.StaircasePath(m.Node(Coord{0, 0}), m.Node(Coord{3, 3}), []int{0, 1})
+	out := p.RemoveCycles()
+	if len(out) != len(p) {
+		t.Errorf("acyclic path changed length %d -> %d", len(p), len(out))
+	}
+	for i := range p {
+		if out[i] != p[i] {
+			t.Errorf("acyclic path perturbed at %d", i)
+		}
+	}
+}
+
+func TestRemoveCyclesQuickSimple(t *testing.T) {
+	m := MustSquare(2, 8)
+	// Random walks always reduce to simple paths with same endpoints.
+	f := func(start uint32, steps []uint8) bool {
+		cur := NodeID(int(start) % m.Size())
+		p := Path{cur}
+		for _, s := range steps {
+			nb := m.Neighbors(cur, nil)
+			cur = nb[int(s)%len(nb)]
+			p = append(p, cur)
+		}
+		out := p.RemoveCycles()
+		if !out.IsSimple() {
+			return false
+		}
+		return out.Source() == p.Source() && out.Dest() == p.Dest() &&
+			m.Validate(out, p.Source(), p.Dest()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStretch(t *testing.T) {
+	m := MustNew(8, 8)
+	s, d := m.Node(Coord{0, 0}), m.Node(Coord{3, 0})
+	direct := m.StaircasePath(s, d, []int{0, 1})
+	if got := m.Stretch(direct); got != 1 {
+		t.Errorf("shortest path stretch = %v", got)
+	}
+	detour := Path{s, m.Node(Coord{0, 1}), m.Node(Coord{1, 1}), m.Node(Coord{2, 1}),
+		m.Node(Coord{3, 1}), d}
+	// length 5 vs dist 3... wait dist((0,0),(3,0)) = 3, len 5.
+	if got, want := m.Stretch(detour), 5.0/3.0; got != want {
+		t.Errorf("stretch = %v, want %v", got, want)
+	}
+	if got := m.Stretch(Path{s}); got != 1 {
+		t.Errorf("trivial path stretch = %v", got)
+	}
+}
+
+func TestPathEdgesCount(t *testing.T) {
+	m := MustNew(8, 8)
+	p := m.StaircasePath(m.Node(Coord{1, 2}), m.Node(Coord{6, 7}), []int{1, 0})
+	n := 0
+	m.PathEdges(p, func(EdgeID) { n++ })
+	if n != p.Len() {
+		t.Errorf("PathEdges visited %d, want %d", n, p.Len())
+	}
+}
+
+func TestIdentityPerm(t *testing.T) {
+	p := IdentityPerm(4)
+	for i, v := range p {
+		if v != i {
+			t.Fatalf("IdentityPerm[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPairHelpers(t *testing.T) {
+	m := MustNew(8, 8)
+	pairs := []Pair{
+		{S: m.Node(Coord{0, 0}), T: m.Node(Coord{7, 7})},
+		{S: m.Node(Coord{1, 1}), T: m.Node(Coord{1, 2})},
+	}
+	if d := m.MaxDist(pairs); d != 14 {
+		t.Errorf("MaxDist = %d", d)
+	}
+	if d := m.TotalDist(pairs); d != 15 {
+		t.Errorf("TotalDist = %d", d)
+	}
+	if d := m.PairDist(pairs[1]); d != 1 {
+		t.Errorf("PairDist = %d", d)
+	}
+	if d := m.MaxDist(nil); d != 0 {
+		t.Errorf("MaxDist(nil) = %d", d)
+	}
+}

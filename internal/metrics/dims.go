@@ -1,0 +1,38 @@
+package metrics
+
+import "obliviousmesh/internal/mesh"
+
+// DimLoad summarizes the load carried by the edges of one dimension.
+type DimLoad struct {
+	Dim   int
+	Total int64   // sum of loads over the dimension's edges
+	Max   int     // max load on a single edge of the dimension
+	Share float64 // Total / grand total (0 when the network is idle)
+}
+
+// LoadByDimension splits an edge-load vector by the dimension each
+// edge runs along. Fixed-dimension-order routing concentrates each
+// movement phase in specific dimensions/regions; the split quantifies
+// it (used alongside Distribution in balance analyses).
+func LoadByDimension(m *mesh.Mesh, loads []int32) []DimLoad {
+	out := make([]DimLoad, m.Dim())
+	var grand int64
+	for i := range out {
+		out[i].Dim = i
+	}
+	m.Edges(func(e mesh.EdgeID) {
+		_, _, dim := m.EdgeEndpoints(e)
+		v := loads[e]
+		out[dim].Total += int64(v)
+		if int(v) > out[dim].Max {
+			out[dim].Max = int(v)
+		}
+		grand += int64(v)
+	})
+	if grand > 0 {
+		for i := range out {
+			out[i].Share = float64(out[i].Total) / float64(grand)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func TestLoadByDimensionRowTraffic(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	// Pure horizontal paths: all load in dimension 0.
+	var paths []mesh.Path
+	for y := 0; y < 8; y++ {
+		paths = append(paths, m.StaircasePath(
+			m.Node(mesh.Coord{0, y}), m.Node(mesh.Coord{7, y}), []int{0, 1}))
+	}
+	d := LoadByDimension(m, EdgeLoads(m, paths))
+	if len(d) != 2 {
+		t.Fatalf("%d dims", len(d))
+	}
+	if d[0].Share != 1 || d[1].Share != 0 {
+		t.Errorf("shares = %v / %v, want 1 / 0", d[0].Share, d[1].Share)
+	}
+	if d[0].Total != 56 { // 8 rows x 7 edges
+		t.Errorf("dim-0 total = %d, want 56", d[0].Total)
+	}
+	if d[0].Max != 1 {
+		t.Errorf("dim-0 max = %d", d[0].Max)
+	}
+}
+
+func TestLoadByDimensionBalanced(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	// Diagonal staircases split the load between dimensions.
+	var paths []mesh.Path
+	for i := 0; i < 8; i++ {
+		paths = append(paths, m.StaircasePath(
+			m.Node(mesh.Coord{0, 0}), m.Node(mesh.Coord{7, 7}),
+			[]int{i % 2, 1 - i%2}))
+	}
+	d := LoadByDimension(m, EdgeLoads(m, paths))
+	if math.Abs(d[0].Share-0.5) > 1e-9 || math.Abs(d[1].Share-0.5) > 1e-9 {
+		t.Errorf("shares = %v / %v, want 0.5 / 0.5", d[0].Share, d[1].Share)
+	}
+}
+
+func TestLoadByDimensionIdle(t *testing.T) {
+	m := mesh.MustSquare(3, 4)
+	d := LoadByDimension(m, make([]int32, m.EdgeSpace()))
+	for _, dl := range d {
+		if dl.Share != 0 || dl.Total != 0 || dl.Max != 0 {
+			t.Errorf("idle network dim %d: %+v", dl.Dim, dl)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"sort"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// LoadDistribution summarizes how evenly a path system spreads load
+// over the edges: congestion is only the max; the distribution shape
+// tells whether the algorithm balances (the point of randomized
+// oblivious routing) or merely relocates hot spots.
+type LoadDistribution struct {
+	Edges    int     // number of edges
+	Mean     float64 // mean load
+	Max      int     // C
+	P50      float64
+	P90      float64
+	P99      float64
+	PeakMean float64 // Max / Mean (peak-to-average ratio)
+	Gini     float64 // Gini coefficient of edge loads, 0 = perfectly even
+	IdleFrac float64 // fraction of edges carrying no load
+}
+
+// Distribution computes the load distribution of a path system.
+func Distribution(m *mesh.Mesh, loads []int32) LoadDistribution {
+	var vals []float64
+	m.Edges(func(e mesh.EdgeID) {
+		vals = append(vals, float64(loads[e]))
+	})
+	d := LoadDistribution{Edges: len(vals)}
+	if len(vals) == 0 {
+		return d
+	}
+	sort.Float64s(vals)
+	sum := 0.0
+	idle := 0
+	for _, v := range vals {
+		sum += v
+		if v == 0 {
+			idle++
+		}
+	}
+	n := float64(len(vals))
+	d.Mean = sum / n
+	d.Max = int(vals[len(vals)-1])
+	d.P50 = quantileSorted(vals, 0.50)
+	d.P90 = quantileSorted(vals, 0.90)
+	d.P99 = quantileSorted(vals, 0.99)
+	d.IdleFrac = float64(idle) / n
+	if d.Mean > 0 {
+		d.PeakMean = float64(d.Max) / d.Mean
+	}
+	// Gini via the sorted-weights formula:
+	// G = (2·Σ i·x_i)/(n·Σ x_i) − (n+1)/n, with 1-based i over sorted x.
+	if sum > 0 {
+		weighted := 0.0
+		for i, v := range vals {
+			weighted += float64(i+1) * v
+		}
+		d.Gini = 2*weighted/(n*sum) - (n+1)/n
+	}
+	return d
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

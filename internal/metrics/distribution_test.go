@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func TestDistributionUniform(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	loads := make([]int32, m.EdgeSpace())
+	m.Edges(func(e mesh.EdgeID) { loads[e] = 3 })
+	d := Distribution(m, loads)
+	if d.Edges != m.NumEdges() {
+		t.Errorf("edges = %d", d.Edges)
+	}
+	if d.Mean != 3 || d.Max != 3 || d.PeakMean != 1 {
+		t.Errorf("uniform: %+v", d)
+	}
+	if math.Abs(d.Gini) > 1e-9 {
+		t.Errorf("uniform Gini = %v, want 0", d.Gini)
+	}
+	if d.IdleFrac != 0 {
+		t.Errorf("idle frac = %v", d.IdleFrac)
+	}
+}
+
+func TestDistributionSingleHotEdge(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	loads := make([]int32, m.EdgeSpace())
+	var first mesh.EdgeID = -1
+	m.Edges(func(e mesh.EdgeID) {
+		if first == -1 {
+			first = e
+		}
+	})
+	loads[first] = 10
+	d := Distribution(m, loads)
+	if d.Max != 10 {
+		t.Errorf("max = %d", d.Max)
+	}
+	// All load on one of 24 edges: extremely unequal.
+	if d.Gini < 0.9 {
+		t.Errorf("hot-edge Gini = %v, want near 1", d.Gini)
+	}
+	if d.IdleFrac < 0.9 {
+		t.Errorf("idle frac = %v", d.IdleFrac)
+	}
+	if d.PeakMean < 20 {
+		t.Errorf("peak/mean = %v", d.PeakMean)
+	}
+}
+
+func TestDistributionQuantilesOrdered(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	loads := make([]int32, m.EdgeSpace())
+	i := int32(0)
+	m.Edges(func(e mesh.EdgeID) {
+		loads[e] = i % 7
+		i++
+	})
+	d := Distribution(m, loads)
+	if !(d.P50 <= d.P90 && d.P90 <= d.P99 && d.P99 <= float64(d.Max)) {
+		t.Errorf("quantiles disordered: %+v", d)
+	}
+	if d.Gini <= 0 || d.Gini >= 1 {
+		t.Errorf("Gini = %v out of (0,1)", d.Gini)
+	}
+}
+
+func TestDistributionEmptyMesh(t *testing.T) {
+	m := mesh.MustNew(1)
+	d := Distribution(m, make([]int32, m.EdgeSpace()))
+	if d.Edges != 0 || d.Mean != 0 {
+		t.Errorf("single-node mesh: %+v", d)
+	}
+}

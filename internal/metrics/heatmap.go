@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// heatGlyphs maps load deciles to characters, light to heavy.
+var heatGlyphs = []byte(" .:-=+*#%@")
+
+// LoadHeatmap renders the edge loads of a 2-dimensional mesh as an
+// ASCII heatmap: nodes are 'o', horizontal and vertical edges are
+// drawn between them with a glyph proportional to load/max. For
+// non-2-D meshes it returns a short notice instead.
+func LoadHeatmap(m *mesh.Mesh, loads []int32) string {
+	if m.Dim() != 2 {
+		return "(heatmap rendering only available for 2-D meshes)\n"
+	}
+	max := MaxLoad(loads)
+	if max == 0 {
+		max = 1
+	}
+	glyph := func(e mesh.EdgeID) byte {
+		idx := int(loads[e]) * (len(heatGlyphs) - 1) / max
+		return heatGlyphs[idx]
+	}
+	w, h := m.Side(0), m.Side(1)
+	var b strings.Builder
+	fmt.Fprintf(&b, "edge-load heatmap (max %d):\n", max)
+	for y := 0; y < h; y++ {
+		// Node row with horizontal edges.
+		for x := 0; x < w; x++ {
+			b.WriteByte('o')
+			if x < w-1 || m.Wrap() {
+				u := m.Node(mesh.Coord{x, y})
+				v, ok := m.Step(u, 0, +1)
+				if ok {
+					e, _ := m.EdgeBetween(u, v)
+					g := glyph(e)
+					b.WriteByte(g)
+					b.WriteByte(g)
+				}
+			}
+		}
+		b.WriteByte('\n')
+		// Vertical edge row.
+		if y < h-1 || m.Wrap() {
+			for x := 0; x < w; x++ {
+				u := m.Node(mesh.Coord{x, y})
+				v, ok := m.Step(u, 1, +1)
+				if ok {
+					e, _ := m.EdgeBetween(u, v)
+					b.WriteByte(glyph(e))
+				} else {
+					b.WriteByte(' ')
+				}
+				if x < w-1 || m.Wrap() {
+					b.WriteString("  ")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "scale: '%s' = 0 ... '%c' = %d\n",
+		string(heatGlyphs[0]), heatGlyphs[len(heatGlyphs)-1], max)
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func TestLoadHeatmap(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	// One hot horizontal path along row 0.
+	p := m.StaircasePath(m.Node(mesh.Coord{0, 0}), m.Node(mesh.Coord{3, 0}), []int{0, 1})
+	loads := EdgeLoads(m, []mesh.Path{p, p, p})
+	out := LoadHeatmap(m, loads)
+	if !strings.Contains(out, "max 3") {
+		t.Errorf("missing max annotation:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// First grid line is row y=0: must contain the heaviest glyph '@'.
+	if !strings.Contains(lines[1], "@") {
+		t.Errorf("hot row not rendered hot:\n%s", out)
+	}
+	// Node glyphs present.
+	if strings.Count(lines[1], "o") != 4 {
+		t.Errorf("row 0 should have 4 nodes:\n%s", out)
+	}
+	// An idle row renders spaces between nodes.
+	if !strings.Contains(lines[5], "o o o o") && !strings.Contains(lines[5], "o  o") {
+		t.Logf("idle row: %q", lines[5])
+	}
+}
+
+func TestLoadHeatmapNon2D(t *testing.T) {
+	m := mesh.MustSquare(3, 4)
+	out := LoadHeatmap(m, make([]int32, m.EdgeSpace()))
+	if !strings.Contains(out, "only available") {
+		t.Errorf("non-2-D notice missing: %q", out)
+	}
+}
+
+func TestLoadHeatmapZeroLoads(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	out := LoadHeatmap(m, make([]int32, m.EdgeSpace()))
+	if !strings.Contains(out, "max") {
+		t.Error("zero-load heatmap should still render")
+	}
+	// The scale legend mentions '@'; the grid itself must not.
+	lines := strings.Split(out, "\n")
+	for _, line := range lines[1 : len(lines)-2] {
+		if strings.Contains(line, "@") {
+			t.Errorf("zero loads rendered hot: %q", line)
+		}
+	}
+}
+
+func TestLoadHeatmapTorus(t *testing.T) {
+	m := mesh.MustSquareTorus(2, 4)
+	// Load the wrap edge of row 0.
+	u := m.Node(mesh.Coord{3, 0})
+	v := m.Node(mesh.Coord{0, 0})
+	loads := EdgeLoads(m, []mesh.Path{{u, v}})
+	out := LoadHeatmap(m, loads)
+	if !strings.Contains(out, "@") {
+		t.Errorf("torus wrap edge not rendered:\n%s", out)
+	}
+}

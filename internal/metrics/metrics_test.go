@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+func twoD(t *testing.T, side int) (*mesh.Mesh, *decomp.Decomposition) {
+	t.Helper()
+	m := mesh.MustSquare(2, side)
+	return m, decomp.MustNew(m, decomp.Mode2D)
+}
+
+func TestEdgeLoadsAndCongestion(t *testing.T) {
+	m, _ := twoD(t, 8)
+	row := func(y int) mesh.Path {
+		return m.StaircasePath(m.Node(mesh.Coord{0, y}), m.Node(mesh.Coord{7, y}), []int{0, 1})
+	}
+	paths := []mesh.Path{row(0), row(0), row(1)}
+	loads := EdgeLoads(m, paths)
+	if got := MaxLoad(loads); got != 2 {
+		t.Errorf("congestion = %d, want 2", got)
+	}
+	e, v := ArgMaxLoad(loads)
+	if v != 2 {
+		t.Errorf("ArgMaxLoad = %d", v)
+	}
+	_, _, dim := m.EdgeEndpoints(e)
+	if dim != 0 {
+		t.Errorf("hot edge dim = %d, want 0", dim)
+	}
+	if got := Congestion(m, paths); got != 2 {
+		t.Errorf("Congestion = %d", got)
+	}
+}
+
+func TestEdgeLoadsCountsRepeats(t *testing.T) {
+	m, _ := twoD(t, 4)
+	a, b := m.Node(mesh.Coord{0, 0}), m.Node(mesh.Coord{1, 0})
+	// A walk that crosses edge a-b twice.
+	p := mesh.Path{a, b, a, b}
+	loads := EdgeLoads(m, []mesh.Path{p})
+	if got := MaxLoad(loads); got != 3 {
+		t.Errorf("repeated edge counted %d, want 3", got)
+	}
+}
+
+func TestDilationStretch(t *testing.T) {
+	m, _ := twoD(t, 8)
+	p1 := m.StaircasePath(0, m.Node(mesh.Coord{3, 0}), []int{0, 1})
+	p2 := mesh.Path{m.Node(mesh.Coord{0, 1}), m.Node(mesh.Coord{0, 2}),
+		m.Node(mesh.Coord{1, 2}), m.Node(mesh.Coord{1, 1})}
+	paths := []mesh.Path{p1, p2}
+	if got := Dilation(paths); got != 3 {
+		t.Errorf("dilation = %d", got)
+	}
+	max, mean := StretchStats(m, paths)
+	// p1 stretch 1, p2: len 3 dist 1 → 3.
+	if max != 3 || mean != 2 {
+		t.Errorf("stretch max=%v mean=%v", max, mean)
+	}
+	if mx, mn := StretchStats(m, nil); mx != 0 || mn != 0 {
+		t.Error("empty stretch stats nonzero")
+	}
+}
+
+func TestBoundaryCongestionOf(t *testing.T) {
+	m, _ := twoD(t, 8)
+	// All 16 nodes of the left 4x4 corner send to the right half.
+	var pairs []mesh.Pair
+	box := mesh.NewBox(mesh.Coord{0, 0}, mesh.Coord{3, 3})
+	m.ForEachNode(box, func(c mesh.Coord, id mesh.NodeID) {
+		pairs = append(pairs, mesh.Pair{S: id, T: m.Node(mesh.Coord{7, c[1]})})
+	})
+	// out(box) = 4 (right face) + 4 (bottom face) = 8; all 16 cross.
+	got := BoundaryCongestionOf(m, box, pairs)
+	if got != 2 {
+		t.Errorf("B(box) = %v, want 2", got)
+	}
+	// Pairs entirely inside the box do not count.
+	inside := append(pairs, mesh.Pair{S: m.Node(mesh.Coord{0, 0}), T: m.Node(mesh.Coord{1, 1})})
+	if got := BoundaryCongestionOf(m, box, inside); got != 2 {
+		t.Errorf("B with internal pair = %v, want 2", got)
+	}
+	// Whole mesh: no outgoing edges.
+	if got := BoundaryCongestionOf(m, m.Extent(), pairs); got != 0 {
+		t.Errorf("B(whole mesh) = %v", got)
+	}
+}
+
+func TestBoundaryCongestionRegularMatchesDirect(t *testing.T) {
+	m, dc := twoD(t, 8)
+	// Local exchange style traffic: left half <-> right half rows.
+	var pairs []mesh.Pair
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 4; x++ {
+			pairs = append(pairs, mesh.Pair{
+				S: m.Node(mesh.Coord{x, y}),
+				T: m.Node(mesh.Coord{x + 4, y}),
+			})
+		}
+	}
+	fast, bestBox := BoundaryCongestion(dc, pairs)
+	// Cross-check against the direct per-box computation over every
+	// regular submesh.
+	slow := 0.0
+	dc.EnumerateAll(func(level, j int, b mesh.Box) {
+		if v := BoundaryCongestionOf(m, b, pairs); v > slow {
+			slow = v
+		}
+	})
+	if fast != slow {
+		t.Errorf("fast B = %v, direct B = %v", fast, slow)
+	}
+	if !bestBox.Contains(mesh.Coord{3, 4}) && !bestBox.Contains(mesh.Coord{4, 4}) {
+		t.Logf("best box %v (informational)", bestBox)
+	}
+	if fast <= 0 {
+		t.Error("B must be positive for crossing traffic")
+	}
+}
+
+func TestBoundaryCongestionGeneralMode(t *testing.T) {
+	m := mesh.MustSquare(3, 8)
+	dc := decomp.MustNew(m, decomp.ModeGeneral)
+	var pairs []mesh.Pair
+	for v := 0; v < m.Size(); v++ {
+		c := m.CoordOf(mesh.NodeID(v))
+		tc := c.Clone()
+		tc[0] = 7 - c[0]
+		pairs = append(pairs, mesh.Pair{S: mesh.NodeID(v), T: m.Node(tc)})
+	}
+	fast, _ := BoundaryCongestion(dc, pairs)
+	slow := 0.0
+	dc.EnumerateAll(func(level, j int, b mesh.Box) {
+		if v := BoundaryCongestionOf(m, b, pairs); v > slow {
+			slow = v
+		}
+	})
+	if fast != slow {
+		t.Errorf("fast B = %v, direct B = %v", fast, slow)
+	}
+}
+
+func TestWorkLowerBound(t *testing.T) {
+	m, _ := twoD(t, 4)
+	pairs := []mesh.Pair{{S: 0, T: mesh.NodeID(m.Size() - 1)}} // dist 6
+	// E = 24 edges, total 6 → ceil(6/24) = 1.
+	if got := WorkLowerBound(m, pairs); got != 1 {
+		t.Errorf("work LB = %d", got)
+	}
+	if got := WorkLowerBound(m, nil); got != 0 {
+		t.Errorf("empty work LB = %d", got)
+	}
+	// 25 copies → total 150 / 24 → ceil = 7.
+	many := make([]mesh.Pair, 25)
+	for i := range many {
+		many[i] = pairs[0]
+	}
+	if got := WorkLowerBound(m, many); got != 7 {
+		t.Errorf("work LB = %d, want 7", got)
+	}
+}
+
+func TestNodeDemandLowerBound(t *testing.T) {
+	m, _ := twoD(t, 4)
+	corner := m.Node(mesh.Coord{0, 0}) // degree 2
+	pairs := []mesh.Pair{
+		{S: corner, T: 5}, {S: corner, T: 6}, {S: corner, T: 7},
+		{S: corner, T: corner}, // self pair ignored
+	}
+	if got := NodeDemandLowerBound(m, pairs); got != 2 {
+		t.Errorf("node LB = %d, want ceil(3/2)=2", got)
+	}
+}
+
+func TestCongestionLowerBoundPositive(t *testing.T) {
+	m, dc := twoD(t, 8)
+	pairs := []mesh.Pair{{S: 0, T: mesh.NodeID(m.Size() - 1)}}
+	if got := CongestionLowerBound(dc, pairs); got < 1 {
+		t.Errorf("LB = %d, want >= 1", got)
+	}
+	if got := CongestionLowerBound(dc, nil); got != 0 {
+		t.Errorf("empty LB = %d", got)
+	}
+	selfOnly := []mesh.Pair{{S: 3, T: 3}}
+	if got := CongestionLowerBound(dc, selfOnly); got != 0 {
+		t.Errorf("self-only LB = %d", got)
+	}
+}
+
+func TestLowerBoundIsActuallyLower(t *testing.T) {
+	// For an explicit problem whose optimum we can eyeball: all nodes
+	// of the left half send straight across to the mirrored node.
+	m, dc := twoD(t, 8)
+	var pairs []mesh.Pair
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 4; x++ {
+			pairs = append(pairs, mesh.Pair{
+				S: m.Node(mesh.Coord{x, y}),
+				T: m.Node(mesh.Coord{7 - x, y}),
+			})
+		}
+	}
+	lb := CongestionLowerBound(dc, pairs)
+	// Row-parallel shortest paths achieve congestion 4 (four paths of
+	// each row cross the middle column edge of that row).
+	var paths []mesh.Path
+	for _, pr := range pairs {
+		paths = append(paths, m.StaircasePath(pr.S, pr.T, []int{0, 1}))
+	}
+	c := Congestion(m, paths)
+	if lb > c {
+		t.Errorf("lower bound %d exceeds an achievable congestion %d", lb, c)
+	}
+	if lb < 2 {
+		t.Errorf("LB = %d suspiciously small for 32 packets crossing a bisection of 8 edges", lb)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	m, dc := twoD(t, 8)
+	pairs := []mesh.Pair{
+		{S: m.Node(mesh.Coord{0, 0}), T: m.Node(mesh.Coord{7, 7})},
+		{S: m.Node(mesh.Coord{3, 3}), T: m.Node(mesh.Coord{3, 4})},
+	}
+	var paths []mesh.Path
+	for _, pr := range pairs {
+		paths = append(paths, m.StaircasePath(pr.S, pr.T, []int{0, 1}))
+	}
+	r := Evaluate(dc, pairs, paths)
+	if r.Congestion < 1 || r.Dilation != 14 || r.MaxStretch != 1 || r.LowerBound < 1 {
+		t.Errorf("report = %+v", r)
+	}
+}

@@ -1,0 +1,111 @@
+package serial
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+func TestCompactRoundTrip(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	prob := workload.Transpose(m)
+	opt := core.Options{Variant: core.Variant2D, Seed: 13}
+	sel := core.MustNewSelector(m, opt)
+	paths, _ := sel.SelectAll(prob.Pairs)
+
+	var compact, full bytes.Buffer
+	if err := SaveCompact(&compact, prob, opt, paths); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRun(&full, Run{Problem: prob, Algorithm: "H", Seed: 13, Paths: paths}); err != nil {
+		t.Fatal(err)
+	}
+	if compact.Len()*4 > full.Len() {
+		t.Errorf("compact form (%d bytes) not much smaller than full (%d bytes)",
+			compact.Len(), full.Len())
+	}
+
+	backProb, backPaths, err := LoadCompact(&compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backProb.N() != prob.N() || backProb.Name != prob.Name {
+		t.Fatalf("problem identity lost")
+	}
+	if len(backPaths) != len(paths) {
+		t.Fatalf("%d paths", len(backPaths))
+	}
+	for i := range paths {
+		if len(backPaths[i]) != len(paths[i]) {
+			t.Fatalf("path %d length differs", i)
+		}
+		for j := range paths[i] {
+			if backPaths[i][j] != paths[i][j] {
+				t.Fatalf("path %d node %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCompactChecksumGuardsDrift(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	prob := workload.Tornado(m)
+	opt := core.Options{Variant: core.Variant2D, Seed: 3}
+	sel := core.MustNewSelector(m, opt)
+	paths, _ := sel.SelectAll(prob.Pairs)
+
+	var buf bytes.Buffer
+	if err := SaveCompact(&buf, prob, opt, paths); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the checksum field.
+	s := strings.Replace(buf.String(), `"checksum": `, `"checksum": 1`, 1)
+	if _, _, err := LoadCompact(strings.NewReader(s)); err == nil {
+		t.Error("corrupted checksum accepted")
+	}
+}
+
+func TestCompactOptionsPreserved(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	prob := workload.RandomPermutation(m, 2)
+	opt := core.Options{
+		Variant: core.VariantGeneral, Seed: 5,
+		FixedDimOrder: true, FreshBits: true, BridgeFactor: 0.5,
+	}
+	sel := core.MustNewSelector(m, opt)
+	paths, _ := sel.SelectAll(prob.Pairs)
+	var buf bytes.Buffer
+	if err := SaveCompact(&buf, prob, opt, paths); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild must honor every option (the checksum proves it).
+	if _, _, err := LoadCompact(&buf); err != nil {
+		t.Fatalf("options not preserved: %v", err)
+	}
+}
+
+func TestCompactRejectsBadVariant(t *testing.T) {
+	bad := `{"mesh":{"dims":[4,4]},"workload":"x","variant":"bogus","seed":1,"pairs":[],"checksum":0}`
+	if _, _, err := LoadCompact(strings.NewReader(bad)); err == nil {
+		t.Error("bogus variant accepted")
+	}
+}
+
+func TestPathsChecksumSensitivity(t *testing.T) {
+	a := []mesh.Path{{1, 2, 3}}
+	b := []mesh.Path{{1, 2, 4}}
+	c := []mesh.Path{{1, 2}, {3}}
+	if PathsChecksum(a) == PathsChecksum(b) {
+		t.Error("checksum ignores node change")
+	}
+	if PathsChecksum(a) == PathsChecksum(c) {
+		t.Error("checksum ignores framing")
+	}
+	if PathsChecksum(a) != PathsChecksum([]mesh.Path{{1, 2, 3}}) {
+		t.Error("checksum not deterministic")
+	}
+}

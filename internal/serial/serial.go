@@ -1,0 +1,165 @@
+// Package serial persists routing problems and routing runs (problem
+// + selected paths + quality report) as JSON, so experiments can be
+// exported, diffed and replayed. Decoding re-validates everything
+// against the reconstructed mesh: a tampered or stale file fails
+// loudly instead of corrupting an evaluation.
+package serial
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/workload"
+)
+
+// MeshSpec serializes a topology.
+type MeshSpec struct {
+	Dims []int `json:"dims"`
+	Wrap bool  `json:"wrap,omitempty"`
+}
+
+// Spec captures a mesh's identity.
+func Spec(m *mesh.Mesh) MeshSpec {
+	return MeshSpec{Dims: m.Sides(), Wrap: m.Wrap()}
+}
+
+// Build reconstructs the mesh.
+func (s MeshSpec) Build() (*mesh.Mesh, error) {
+	if s.Wrap {
+		return mesh.NewTorus(s.Dims...)
+	}
+	return mesh.New(s.Dims...)
+}
+
+// ProblemFile is the on-disk form of a routing problem.
+type ProblemFile struct {
+	Mesh  MeshSpec    `json:"mesh"`
+	Name  string      `json:"name"`
+	Pairs [][2]int    `json:"pairs"`
+	Meta  interface{} `json:"meta,omitempty"`
+}
+
+// SaveProblem writes a problem as JSON.
+func SaveProblem(w io.Writer, p workload.Problem) error {
+	pf := ProblemFile{Mesh: Spec(p.M), Name: p.Name, Pairs: make([][2]int, len(p.Pairs))}
+	for i, pr := range p.Pairs {
+		pf.Pairs[i] = [2]int{int(pr.S), int(pr.T)}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(pf)
+}
+
+// LoadProblem reads a problem and validates every pair against the
+// reconstructed mesh.
+func LoadProblem(r io.Reader) (workload.Problem, error) {
+	var pf ProblemFile
+	if err := json.NewDecoder(r).Decode(&pf); err != nil {
+		return workload.Problem{}, fmt.Errorf("serial: decode problem: %w", err)
+	}
+	m, err := pf.Mesh.Build()
+	if err != nil {
+		return workload.Problem{}, fmt.Errorf("serial: rebuild mesh: %w", err)
+	}
+	prob := workload.Problem{M: m, Name: pf.Name, Pairs: make([]mesh.Pair, len(pf.Pairs))}
+	for i, pr := range pf.Pairs {
+		if pr[0] < 0 || pr[0] >= m.Size() || pr[1] < 0 || pr[1] >= m.Size() {
+			return workload.Problem{}, fmt.Errorf("serial: pair %d (%d,%d) out of range for %v",
+				i, pr[0], pr[1], m)
+		}
+		prob.Pairs[i] = mesh.Pair{S: mesh.NodeID(pr[0]), T: mesh.NodeID(pr[1])}
+	}
+	return prob, nil
+}
+
+// RunFile is the on-disk form of a completed routing run.
+type RunFile struct {
+	Mesh      MeshSpec        `json:"mesh"`
+	Workload  string          `json:"workload"`
+	Algorithm string          `json:"algorithm"`
+	Seed      uint64          `json:"seed"`
+	Pairs     [][2]int        `json:"pairs"`
+	Paths     [][]int         `json:"paths"`
+	Report    *metrics.Report `json:"report,omitempty"`
+}
+
+// Run bundles everything needed to replay or audit a routing run.
+type Run struct {
+	Problem   workload.Problem
+	Algorithm string
+	Seed      uint64
+	Paths     []mesh.Path
+	Report    *metrics.Report
+}
+
+// SaveRun writes a run as JSON.
+func SaveRun(w io.Writer, run Run) error {
+	rf := RunFile{
+		Mesh:      Spec(run.Problem.M),
+		Workload:  run.Problem.Name,
+		Algorithm: run.Algorithm,
+		Seed:      run.Seed,
+		Pairs:     make([][2]int, len(run.Problem.Pairs)),
+		Paths:     make([][]int, len(run.Paths)),
+		Report:    run.Report,
+	}
+	for i, pr := range run.Problem.Pairs {
+		rf.Pairs[i] = [2]int{int(pr.S), int(pr.T)}
+	}
+	for i, p := range run.Paths {
+		nodes := make([]int, len(p))
+		for j, v := range p {
+			nodes[j] = int(v)
+		}
+		rf.Paths[i] = nodes
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rf)
+}
+
+// LoadRun reads a run and validates that every path is a walk on the
+// reconstructed mesh from its pair's source to its destination.
+func LoadRun(r io.Reader) (Run, error) {
+	var rf RunFile
+	if err := json.NewDecoder(r).Decode(&rf); err != nil {
+		return Run{}, fmt.Errorf("serial: decode run: %w", err)
+	}
+	m, err := rf.Mesh.Build()
+	if err != nil {
+		return Run{}, fmt.Errorf("serial: rebuild mesh: %w", err)
+	}
+	if len(rf.Paths) != len(rf.Pairs) {
+		return Run{}, fmt.Errorf("serial: %d paths for %d pairs", len(rf.Paths), len(rf.Pairs))
+	}
+	run := Run{
+		Problem:   workload.Problem{M: m, Name: rf.Workload, Pairs: make([]mesh.Pair, len(rf.Pairs))},
+		Algorithm: rf.Algorithm,
+		Seed:      rf.Seed,
+		Paths:     make([]mesh.Path, len(rf.Paths)),
+		Report:    rf.Report,
+	}
+	for i, pr := range rf.Pairs {
+		if pr[0] < 0 || pr[0] >= m.Size() || pr[1] < 0 || pr[1] >= m.Size() {
+			return Run{}, fmt.Errorf("serial: pair %d out of range", i)
+		}
+		run.Problem.Pairs[i] = mesh.Pair{S: mesh.NodeID(pr[0]), T: mesh.NodeID(pr[1])}
+	}
+	for i, nodes := range rf.Paths {
+		p := make(mesh.Path, len(nodes))
+		for j, v := range nodes {
+			if v < 0 || v >= m.Size() {
+				return Run{}, fmt.Errorf("serial: path %d node %d out of range", i, v)
+			}
+			p[j] = mesh.NodeID(v)
+		}
+		if err := m.Validate(p, run.Problem.Pairs[i].S, run.Problem.Pairs[i].T); err != nil {
+			return Run{}, fmt.Errorf("serial: path %d: %w", i, err)
+		}
+		run.Paths[i] = p
+	}
+	return run, nil
+}

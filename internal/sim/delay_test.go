@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+func TestUniformDelays(t *testing.T) {
+	d := UniformDelays(100, 7, 3)
+	if len(d) != 100 {
+		t.Fatalf("len = %d", len(d))
+	}
+	seen := map[int]bool{}
+	for _, v := range d {
+		if v < 0 || v > 7 {
+			t.Fatalf("delay %d out of [0,7]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("only %d distinct delay values", len(seen))
+	}
+	// max <= 0 yields all zeros.
+	for _, v := range UniformDelays(10, 0, 1) {
+		if v != 0 {
+			t.Fatal("nonzero delay for max=0")
+		}
+	}
+	// Deterministic.
+	d2 := UniformDelays(100, 7, 3)
+	for i := range d {
+		if d[i] != d2[i] {
+			t.Fatal("UniformDelays not deterministic")
+		}
+	}
+}
+
+func TestDelayedPacketWaits(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p := m.StaircasePath(m.Node(mesh.Coord{0, 0}), m.Node(mesh.Coord{3, 0}), []int{0, 1})
+	r := RunOpts(m, []mesh.Path{p}, Options{Discipline: FurthestToGo, Delays: []int{5}})
+	if r.Makespan != 5+p.Len() {
+		t.Errorf("makespan = %d, want %d", r.Makespan, 5+p.Len())
+	}
+	if r.Delivered != 1 {
+		t.Errorf("delivered = %d", r.Delivered)
+	}
+}
+
+func TestDelaysSpreadContention(t *testing.T) {
+	// k packets sharing one long corridor: undelayed they serialize at
+	// the first edge but pipeline afterwards; the test just verifies
+	// delays preserve delivery and the expected makespan bounds.
+	m := mesh.MustSquare(2, 16)
+	s := m.Node(mesh.Coord{0, 0})
+	var paths []mesh.Path
+	for y := 1; y <= 6; y++ {
+		rest := m.StaircasePath(m.Node(mesh.Coord{1, 0}), m.Node(mesh.Coord{15, y}), []int{0, 1})
+		paths = append(paths, append(mesh.Path{s}, rest...))
+	}
+	plain := Run(m, paths, FurthestToGo)
+	delayed := RunOpts(m, paths, Options{
+		Discipline: FurthestToGo,
+		Delays:     UniformDelays(len(paths), plain.Congestion, 7),
+	})
+	if delayed.Delivered != len(paths) {
+		t.Fatalf("delivered %d", delayed.Delivered)
+	}
+	// A delayed schedule can never beat max(C, D) either; and it can
+	// be at most maxDelay longer than optimal-ish plain greedy here.
+	if delayed.Makespan < plain.Dilation {
+		t.Errorf("delayed makespan %d below dilation %d", delayed.Makespan, plain.Dilation)
+	}
+	if delayed.Makespan > plain.Makespan+plain.Congestion+1 {
+		t.Errorf("delayed makespan %d unexpectedly long (plain %d, C %d)",
+			delayed.Makespan, plain.Makespan, plain.Congestion)
+	}
+}
+
+func TestDelaysWithPermutation(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	prob := workload.RandomPermutation(m, 11)
+	var paths []mesh.Path
+	for _, pr := range prob.Pairs {
+		paths = append(paths, m.StaircasePath(pr.S, pr.T, []int{0, 1}))
+	}
+	base := Run(m, paths, FurthestToGo)
+	del := RunOpts(m, paths, Options{
+		Discipline: FurthestToGo,
+		Delays:     UniformDelays(len(paths), base.Congestion/2, 13),
+	})
+	if del.Delivered != prob.N() {
+		t.Fatalf("delivered %d/%d", del.Delivered, prob.N())
+	}
+	if del.Makespan < base.Dilation {
+		t.Errorf("makespan %d < D %d", del.Makespan, base.Dilation)
+	}
+}
+
+func TestDelaysShorterSliceTolerated(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	a := m.StaircasePath(0, 3, []int{0, 1})
+	b := m.StaircasePath(3, 0, []int{0, 1})
+	// Delays slice shorter than paths: missing entries default to 0.
+	r := RunOpts(m, []mesh.Path{a, b}, Options{Delays: []int{2}})
+	if r.Delivered != 2 {
+		t.Fatalf("delivered %d", r.Delivered)
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+func TestOnStepTimeSeries(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	prob := workload.RandomPermutation(m, 7)
+	var paths []mesh.Path
+	for _, pr := range prob.Pairs {
+		paths = append(paths, m.StaircasePath(pr.S, pr.T, []int{0, 1}))
+	}
+	var snaps []StepSnapshot
+	r := RunOpts(m, paths, Options{
+		Discipline: FurthestToGo,
+		OnStep: func(step int, s StepSnapshot) {
+			if step != len(snaps)+1 {
+				t.Fatalf("step %d out of order", step)
+			}
+			snaps = append(snaps, s)
+		},
+	})
+	if len(snaps) != r.Makespan {
+		t.Fatalf("%d snapshots for makespan %d", len(snaps), r.Makespan)
+	}
+	// Conservation per step: moved + queued = in-flight at step start.
+	totalMoves := 0
+	for i, s := range snaps {
+		if s.Moved < 0 || s.Queued < 0 || s.InFlight < 0 {
+			t.Fatalf("step %d: negative snapshot %+v", i+1, s)
+		}
+		if s.MaxQueue < 0 {
+			t.Fatalf("step %d: negative queue", i+1)
+		}
+		totalMoves += s.Moved
+	}
+	// Total moves equal total path length.
+	want := 0
+	for _, p := range paths {
+		want += p.Len()
+	}
+	if totalMoves != want {
+		t.Errorf("total moves %d, want %d", totalMoves, want)
+	}
+	// The last step drains the network.
+	if last := snaps[len(snaps)-1]; last.InFlight != 0 {
+		t.Errorf("last snapshot still has %d in flight", last.InFlight)
+	}
+	// Max of per-step queue maxima equals the run's MaxQueue.
+	mx := 0
+	for _, s := range snaps {
+		if s.MaxQueue > mx {
+			mx = s.MaxQueue
+		}
+	}
+	if mx != r.MaxQueue {
+		t.Errorf("per-step max queue %d != run max %d", mx, r.MaxQueue)
+	}
+}
+
+func TestOnStepNilSafe(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	p := m.StaircasePath(0, 15, []int{0, 1})
+	r := RunOpts(m, []mesh.Path{p}, Options{})
+	if r.Delivered != 1 {
+		t.Fatal("nil OnStep broke the run")
+	}
+}

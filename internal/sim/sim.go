@@ -1,0 +1,325 @@
+// Package sim is a synchronous store-and-forward packet simulator for
+// the routing model of the paper's introduction: time proceeds in
+// steps and at most one packet traverses any edge per step (the
+// paper's half-duplex model; a full-duplex variant with one packet per
+// directed edge per step is available via Options).
+// Given the paths a path-selection algorithm produced, the simulator
+// schedules the packets and reports the makespan, which the trivial
+// lower bound places at Ω(C + D) and which simple greedy scheduling
+// keeps within O(C·D) — empirically a small multiple of C + D for the
+// path systems produced by algorithm H (experiment E9).
+package sim
+
+import (
+	"fmt"
+
+	"obliviousmesh/internal/bitrand"
+	"obliviousmesh/internal/mesh"
+)
+
+// Discipline selects the queueing priority when several packets
+// contend for the same edge in the same step.
+type Discipline int
+
+const (
+	// FurthestToGo gives priority to the packet with the most
+	// remaining hops (ties by packet index). A classical heuristic
+	// with good practical makespans.
+	FurthestToGo Discipline = iota
+	// FIFO gives priority to the packet that has waited longest at
+	// the queue (ties by packet index).
+	FIFO
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case FurthestToGo:
+		return "furthest-to-go"
+	case FIFO:
+		return "fifo"
+	}
+	return fmt.Sprintf("Discipline(%d)", int(d))
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	Makespan   int     // steps until the last packet arrives
+	AvgLatency float64 // mean absolute arrival step (since step 0)
+	AvgSojourn float64 // mean in-network time (arrival minus initial delay)
+	MaxSojourn int     // worst in-network time
+	MaxQueue   int     // max packets buffered at one node at any step
+	Congestion int     // C of the path system (for reference)
+	Dilation   int     // D of the path system (for reference)
+	Steps      int     // == Makespan
+	Delivered  int     // number of packets (sanity)
+}
+
+// Options configure a simulation run.
+type Options struct {
+	Discipline Discipline
+	// FullDuplex allows one packet per *directed* edge per step. The
+	// paper's model ("at most one packet traverses any edge during a
+	// time step", §1) is half-duplex — one packet per undirected edge
+	// per step — which is the default.
+	FullDuplex bool
+	// Delays, when non-nil, gives packet i an initial delay Delays[i]:
+	// it makes its first move attempt at step Delays[i]+1. Random
+	// initial delays are the classical device (Leighton–Maggs–Rao) for
+	// turning a path system with congestion C and dilation D into a
+	// schedule of length close to C+D; see UniformDelays.
+	Delays []int
+	// OnStep, when non-nil, is invoked after every simulation step
+	// with the step number and a per-step snapshot. Use for time-series
+	// analysis (E24) or animation; keep it cheap, it runs in the hot
+	// loop.
+	OnStep func(step int, snap StepSnapshot)
+}
+
+// StepSnapshot is the per-step state handed to Options.OnStep.
+type StepSnapshot struct {
+	InFlight int // packets injected but not yet delivered
+	Moved    int // packets that crossed an edge this step
+	Queued   int // packets that waited this step (InFlight - Moved)
+	MaxQueue int // deepest node queue at the end of the step
+}
+
+// UniformDelays returns n independent delays uniform in [0, max]
+// derived from seed, for Options.Delays.
+func UniformDelays(n, max int, seed uint64) []int {
+	out := make([]int, n)
+	if max <= 0 {
+		return out
+	}
+	rng := bitrand.NewSource(seed | 1)
+	for i := range out {
+		out[i] = rng.Intn(max + 1)
+	}
+	return out
+}
+
+// packet is in-flight simulation state.
+type packet struct {
+	path    mesh.Path
+	pos     int // index into path of current node
+	arrived int // arrival step, -1 while in flight
+	waitAt  int // step at which it entered the current queue (FIFO)
+	delay   int // initial delay (injection time for online traffic)
+}
+
+// edgeKey returns the contention key of the hop from -> to: the
+// undirected EdgeID in the paper's half-duplex model, or the directed
+// variant (2e + direction bit) in full duplex.
+func edgeKey(m *mesh.Mesh, from, to mesh.NodeID, fullDuplex bool) int {
+	e, ok := m.EdgeBetween(from, to)
+	if !ok {
+		panic(fmt.Sprintf("sim: nodes %d and %d not adjacent", from, to))
+	}
+	if !fullDuplex {
+		return int(e)
+	}
+	bit := 0
+	if from > to {
+		bit = 1
+	}
+	return int(e)*2 + bit
+}
+
+// Run schedules the packets over their fixed paths under the paper's
+// half-duplex model and returns the result. Paths must be valid walks
+// (see mesh.Validate); zero-length paths arrive at step 0.
+func Run(m *mesh.Mesh, paths []mesh.Path, disc Discipline) Result {
+	return RunOpts(m, paths, Options{Discipline: disc})
+}
+
+// RunOpts is Run with explicit model options.
+func RunOpts(m *mesh.Mesh, paths []mesh.Path, opt Options) Result {
+	disc := opt.Discipline
+	pkts := make([]packet, len(paths))
+	inFlight := 0
+	dilation := 0
+	for i, p := range paths {
+		pkts[i] = packet{path: p, arrived: -1}
+		if p.Len() == 0 {
+			pkts[i].arrived = 0
+			continue
+		}
+		inFlight++
+		if p.Len() > dilation {
+			dilation = p.Len()
+		}
+	}
+
+	// Static congestion for reference.
+	loads := make(map[mesh.EdgeID]int)
+	congestion := 0
+	for _, p := range paths {
+		m.PathEdges(p, func(e mesh.EdgeID) {
+			loads[e]++
+			if loads[e] > congestion {
+				congestion = loads[e]
+			}
+		})
+	}
+
+	// queued[edgeKey] = packet indices waiting to cross that edge.
+	// Packets with an initial delay activate later (activation step =
+	// delay + 1).
+	queued := make(map[int][]int)
+	pending := map[int][]int{} // activation step -> packet indices
+	maxActivation := 0
+	for i := range pkts {
+		if pkts[i].arrived != -1 {
+			continue
+		}
+		delay := 0
+		if opt.Delays != nil && i < len(opt.Delays) {
+			delay = opt.Delays[i]
+		}
+		pkts[i].delay = delay
+		if delay <= 0 {
+			de := edgeKey(m, pkts[i].path[0], pkts[i].path[1], opt.FullDuplex)
+			queued[de] = append(queued[de], i)
+			continue
+		}
+		act := delay + 1
+		pending[act] = append(pending[act], i)
+		if act > maxActivation {
+			maxActivation = act
+		}
+	}
+
+	step := 0
+	totalLatency := 0
+	totalSojourn := 0
+	maxSojourn := 0
+	maxQueue := 0
+	for inFlight > 0 {
+		step++
+		// Release packets whose initial delay has elapsed.
+		if step <= maxActivation {
+			for _, i := range pending[step] {
+				p := &pkts[i]
+				p.waitAt = step
+				de := edgeKey(m, p.path[0], p.path[1], opt.FullDuplex)
+				queued[de] = append(queued[de], i)
+			}
+			delete(pending, step)
+		}
+		startInFlight := inFlight
+		// Pick the winner of every contended edge.
+		type move struct {
+			pkt int
+			de  int
+		}
+		var moves []move
+		for de, waiters := range queued {
+			if len(waiters) == 0 {
+				continue
+			}
+			best := waiters[0]
+			for _, w := range waiters[1:] {
+				if better(pkts, w, best, disc) {
+					best = w
+				}
+			}
+			moves = append(moves, move{pkt: best, de: de})
+		}
+		// Apply the moves simultaneously.
+		for _, mv := range moves {
+			p := &pkts[mv.pkt]
+			// Remove from old queue.
+			q := queued[mv.de]
+			for i, w := range q {
+				if w == mv.pkt {
+					q[i] = q[len(q)-1]
+					queued[mv.de] = q[:len(q)-1]
+					break
+				}
+			}
+			p.pos++
+			if p.pos == len(p.path)-1 {
+				p.arrived = step
+				totalLatency += step
+				soj := step - p.delay
+				totalSojourn += soj
+				if soj > maxSojourn {
+					maxSojourn = soj
+				}
+				inFlight--
+				continue
+			}
+			nde := edgeKey(m, p.path[p.pos], p.path[p.pos+1], opt.FullDuplex)
+			p.waitAt = step
+			queued[nde] = append(queued[nde], mv.pkt)
+		}
+		// Track queue occupancy per node.
+		stepMax := 0
+		occ := make(map[mesh.NodeID]int)
+		for _, waiters := range queued {
+			for _, w := range waiters {
+				n := pkts[w].path[pkts[w].pos]
+				occ[n]++
+				if occ[n] > stepMax {
+					stepMax = occ[n]
+				}
+			}
+		}
+		if stepMax > maxQueue {
+			maxQueue = stepMax
+		}
+		if opt.OnStep != nil {
+			opt.OnStep(step, StepSnapshot{
+				InFlight: inFlight,
+				Moved:    len(moves),
+				Queued:   startInFlight - len(moves),
+				MaxQueue: stepMax,
+			})
+		}
+	}
+	return Result{
+		Makespan:   step,
+		AvgLatency: avg(totalLatency, countMoving(paths)),
+		AvgSojourn: avg(totalSojourn, countMoving(paths)),
+		MaxSojourn: maxSojourn,
+		MaxQueue:   maxQueue,
+		Congestion: congestion,
+		Dilation:   dilation,
+		Steps:      step,
+		Delivered:  len(paths),
+	}
+}
+
+func countMoving(paths []mesh.Path) int {
+	n := 0
+	for _, p := range paths {
+		if p.Len() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func avg(total, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// better reports whether packet a beats packet b for edge access.
+func better(pkts []packet, a, b int, disc Discipline) bool {
+	pa, pb := &pkts[a], &pkts[b]
+	switch disc {
+	case FurthestToGo:
+		ra := len(pa.path) - 1 - pa.pos
+		rb := len(pb.path) - 1 - pb.pos
+		if ra != rb {
+			return ra > rb
+		}
+	case FIFO:
+		if pa.waitAt != pb.waitAt {
+			return pa.waitAt < pb.waitAt
+		}
+	}
+	return a < b
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+func TestSinglePacket(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p := m.StaircasePath(m.Node(mesh.Coord{0, 0}), m.Node(mesh.Coord{3, 4}), []int{0, 1})
+	r := Run(m, []mesh.Path{p}, FurthestToGo)
+	if r.Makespan != p.Len() {
+		t.Errorf("makespan = %d, want %d (no contention)", r.Makespan, p.Len())
+	}
+	if r.Delivered != 1 {
+		t.Errorf("delivered = %d", r.Delivered)
+	}
+}
+
+func TestZeroLengthPackets(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	r := Run(m, []mesh.Path{{3}, {5}}, FIFO)
+	if r.Makespan != 0 {
+		t.Errorf("makespan = %d for stationary packets", r.Makespan)
+	}
+}
+
+func TestNoContentionParallel(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	// Disjoint rows: all finish in exactly their length.
+	var paths []mesh.Path
+	for y := 0; y < 8; y++ {
+		paths = append(paths, m.StaircasePath(
+			m.Node(mesh.Coord{0, y}), m.Node(mesh.Coord{7, y}), []int{0, 1}))
+	}
+	r := Run(m, paths, FurthestToGo)
+	if r.Makespan != 7 {
+		t.Errorf("makespan = %d, want 7", r.Makespan)
+	}
+}
+
+func TestHeadOnDuplexModels(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	// Two packets traversing the same row in opposite directions.
+	a := m.StaircasePath(m.Node(mesh.Coord{0, 0}), m.Node(mesh.Coord{7, 0}), []int{0, 1})
+	b := m.StaircasePath(m.Node(mesh.Coord{7, 0}), m.Node(mesh.Coord{0, 0}), []int{0, 1})
+	// Full duplex: no interference, both finish in 7.
+	full := RunOpts(m, []mesh.Path{a, b}, Options{Discipline: FurthestToGo, FullDuplex: true})
+	if full.Makespan != 7 {
+		t.Errorf("full-duplex makespan = %d, want 7", full.Makespan)
+	}
+	// Half duplex (paper model): every shared edge serializes, so the
+	// makespan exceeds 7.
+	half := Run(m, []mesh.Path{a, b}, FurthestToGo)
+	if half.Makespan <= 7 {
+		t.Errorf("half-duplex makespan = %d, want > 7", half.Makespan)
+	}
+	if half.Delivered != 2 {
+		t.Errorf("delivered = %d", half.Delivered)
+	}
+}
+
+func TestSerializationOnSharedEdge(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	// k packets all needing the same first directed edge, then
+	// diverging: makespan >= k.
+	s := m.Node(mesh.Coord{0, 0})
+	mid := m.Node(mesh.Coord{1, 0})
+	var paths []mesh.Path
+	for y := 1; y <= 4; y++ {
+		rest := m.StaircasePath(mid, m.Node(mesh.Coord{1, y}), []int{1, 0})
+		paths = append(paths, append(mesh.Path{s}, rest...))
+	}
+	r := Run(m, paths, FurthestToGo)
+	if r.Makespan < 4 {
+		t.Errorf("makespan = %d, want >= 4 (edge serialization)", r.Makespan)
+	}
+	if r.Congestion != 4 {
+		t.Errorf("congestion = %d, want 4", r.Congestion)
+	}
+}
+
+func TestMakespanLowerBound(t *testing.T) {
+	// Makespan >= max(C, D) always.
+	m := mesh.MustSquare(2, 16)
+	prob := workload.RandomPermutation(m, 3)
+	var paths []mesh.Path
+	for _, pr := range prob.Pairs {
+		paths = append(paths, m.StaircasePath(pr.S, pr.T, []int{0, 1}))
+	}
+	for _, disc := range []Discipline{FurthestToGo, FIFO} {
+		r := Run(m, paths, disc)
+		if r.Makespan < r.Congestion || r.Makespan < r.Dilation {
+			t.Errorf("%v: makespan %d < max(C=%d, D=%d)", disc, r.Makespan, r.Congestion, r.Dilation)
+		}
+		if r.Delivered != len(paths) {
+			t.Errorf("%v: delivered %d", disc, r.Delivered)
+		}
+		if r.AvgLatency <= 0 || r.AvgLatency > float64(r.Makespan) {
+			t.Errorf("%v: avg latency %v", disc, r.AvgLatency)
+		}
+	}
+}
+
+func TestBothDisciplinesDeliver(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	prob := workload.Transpose(m)
+	var paths []mesh.Path
+	for _, pr := range prob.Pairs {
+		paths = append(paths, m.StaircasePath(pr.S, pr.T, []int{0, 1}))
+	}
+	for _, disc := range []Discipline{FurthestToGo, FIFO} {
+		r := Run(m, paths, disc)
+		if r.Delivered != prob.N() {
+			t.Errorf("%v delivered %d/%d", disc, r.Delivered, prob.N())
+		}
+		if r.MaxQueue < 1 {
+			t.Errorf("%v max queue %d", disc, r.MaxQueue)
+		}
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if FurthestToGo.String() != "furthest-to-go" || FIFO.String() != "fifo" {
+		t.Error("Discipline.String broken")
+	}
+	if Discipline(9).String() == "" {
+		t.Error("unknown discipline string empty")
+	}
+}

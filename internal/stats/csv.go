@@ -1,0 +1,28 @@
+package stats
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// WriteCSV emits the table as RFC-4180 CSV (header row first, then
+// data rows; notes are appended as comment-style rows with a leading
+// "#" cell so spreadsheet imports keep them visible but separable).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"#", n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

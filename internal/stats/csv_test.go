@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"a", "b"}}
+	tb.AddRow("x", 1)
+	tb.AddRow("y, with comma", 2.5)
+	tb.AddNote("a note")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("%d records, want 4", len(records))
+	}
+	if records[0][0] != "a" || records[2][0] != "y, with comma" {
+		t.Errorf("records = %v", records)
+	}
+	if records[3][0] != "#" || !strings.Contains(records[3][1], "a note") {
+		t.Errorf("note row = %v", records[3])
+	}
+}

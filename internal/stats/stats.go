@@ -1,0 +1,210 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summaries with quantiles, histograms, least-squares
+// fits for scaling exponents, and fixed-width text tables for the
+// experiment reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N                  int
+	Min, Max           float64
+	Mean, Std          float64
+	P50, P90, P95, P99 float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, v := range xs {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	// Two-pass variance: numerically stable and overflow-resistant
+	// compared to E[x²]−E[x]².
+	varSum := 0.0
+	for _, v := range xs {
+		d := v - s.Mean
+		varSum += d * d
+	}
+	if variance := varSum / n; variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Quantile(sorted, 0.50)
+	s.P90 = Quantile(sorted, 0.90)
+	s.P95 = Quantile(sorted, 0.95)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample, with linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// SummarizeInts is Summarize over integer samples.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, v := range xs {
+		fs[i] = float64(v)
+	}
+	return Summarize(fs)
+}
+
+// Histogram counts samples into equal-width buckets over [lo, hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	Under   int // samples < Lo
+	Over    int // samples >= Hi
+}
+
+// NewHistogram builds a histogram with the given bucket count.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, buckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	switch {
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Hi:
+		h.Over++
+	default:
+		idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if idx >= len(h.Buckets) {
+			idx = len(h.Buckets) - 1
+		}
+		h.Buckets[idx]++
+	}
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Buckets {
+		t += c
+	}
+	return t
+}
+
+// String renders an ASCII bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := 1
+	for _, c := range h.Buckets {
+		if c > max {
+			max = c
+		}
+	}
+	width := float64(h.Hi-h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		bar := strings.Repeat("#", c*40/max)
+		fmt.Fprintf(&b, "[%8.2f,%8.2f) %6d %s\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, bar)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "under: %d\n", h.Under)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "over: %d\n", h.Over)
+	}
+	return b.String()
+}
+
+// PowerFit fits y = a·x^b by least squares in log-log space and
+// returns (a, b). Points with non-positive coordinates are skipped.
+// Used to estimate scaling exponents (e.g. stretch vs d should fit
+// b ≤ 2 for Theorem 4.2).
+func PowerFit(xs, ys []float64) (a, b float64) {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	slope, intercept := LinearFit(lx, ly)
+	return math.Exp(intercept), slope
+}
+
+// LinearFit fits y = slope·x + intercept by least squares.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// MaxInt returns the maximum of an int slice (0 when empty).
+func MaxInt(xs []int) int {
+	max := 0
+	for i, v := range xs {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MeanFloat returns the mean (0 when empty).
+func MeanFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}

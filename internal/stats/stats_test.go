@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary nonzero")
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4, 6})
+	if s.Mean != 4 || s.Min != 2 || s.Max != 6 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+}
+
+func TestSummaryBoundsQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, v := range xs {
+			// Skip pathological magnitudes whose SUM overflows float64
+			// — outside the summarizer's contract.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.P50 && s.P50 <= s.Max &&
+			s.P50 <= s.P90+1e-9 && s.P90 <= s.P99+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 15} {
+		h.Add(v)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Errorf("bucket0 = %d", h.Buckets[0])
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("histogram rendering has no bars")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := LinearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-1) > 1e-9 {
+		t.Errorf("fit = %v, %v", slope, intercept)
+	}
+	if s, i := LinearFit(nil, nil); s != 0 || i != 0 {
+		t.Error("empty fit nonzero")
+	}
+	// Degenerate x.
+	s, i := LinearFit([]float64{2, 2}, []float64{1, 3})
+	if s != 0 || i != 2 {
+		t.Errorf("degenerate fit = %v,%v", s, i)
+	}
+}
+
+func TestPowerFit(t *testing.T) {
+	// y = 3 x^2.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	a, b := PowerFit(xs, ys)
+	if math.Abs(a-3) > 1e-6 || math.Abs(b-2) > 1e-9 {
+		t.Errorf("power fit = %v x^%v", a, b)
+	}
+	// Non-positive points skipped without panicking.
+	a2, b2 := PowerFit([]float64{0, 1, 2}, []float64{5, 3, 12})
+	_ = a2
+	_ = b2
+}
+
+func TestMaxIntMeanFloat(t *testing.T) {
+	if MaxInt([]int{3, 9, 2}) != 9 || MaxInt(nil) != 0 {
+		t.Error("MaxInt broken")
+	}
+	if MaxInt([]int{-5, -2}) != -2 {
+		t.Error("MaxInt negative broken")
+	}
+	if MeanFloat([]float64{1, 2, 3}) != 2 || MeanFloat(nil) != 0 {
+		t.Error("MeanFloat broken")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"alg", "C", "stretch"}}
+	tb.AddRow("H", 12, 3.14159)
+	tb.AddRow("dim-order", 200, 1.0)
+	tb.AddNote("seed %d", 7)
+	s := tb.String()
+	for _, want := range []string{"demo", "alg", "dim-order", "3.14", "note: seed 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"### demo", "| alg |", "| --- |", "*seed 7*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"a", "bbbbbb"}}
+	tb.AddRow("xxxxxxxx", 1)
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Header and row should be padded to the same column start.
+	hIdx := strings.Index(lines[0], "bbbbbb")
+	rIdx := strings.Index(lines[2], "1")
+	if hIdx != rIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", hIdx, rIdx, tb.String())
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// PathFn is the interface the adversarial construction needs from a
+// routing algorithm: a path for (s, t) given a randomness stream.
+type PathFn func(s, t mesh.NodeID, stream uint64) mesh.Path
+
+// Adversarial builds the routing problem Π_A of §5.1 against a
+// κ-choice algorithm A:
+//
+//  1. start from the LocalExchange permutation at distance l (every
+//     packet travels exactly l);
+//  2. for every packet, determine A's most probable path — exact for
+//     deterministic algorithms (samples == 1 suffices); approximated
+//     by the modal path over `samples` independent draws otherwise;
+//  3. find the edge e crossed by the most of these paths (the
+//     averaging argument guarantees some edge carries ≥ l/d of them
+//     for the deterministic case);
+//  4. keep exactly the packets whose chosen path crosses e.
+//
+// The returned problem together with the pinned edge witnesses
+// Lemma 5.1: algorithm A's expected congestion on Π_A is at least
+// |Π_A|/κ.
+func Adversarial(m *mesh.Mesh, l int, algo PathFn, samples int) (Problem, mesh.EdgeID, error) {
+	base, err := LocalExchange(m, l)
+	if err != nil {
+		return Problem{}, 0, err
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	// Most probable path per packet.
+	chosen := make([]mesh.Path, len(base.Pairs))
+	for i, pr := range base.Pairs {
+		chosen[i] = modalPath(m, pr, algo, samples, uint64(i))
+	}
+	// Edge with the most crossing chosen paths.
+	loads := make([]int32, m.EdgeSpace())
+	for _, p := range chosen {
+		m.PathEdges(p, func(e mesh.EdgeID) { loads[e]++ })
+	}
+	var hot mesh.EdgeID
+	best := int32(-1)
+	for e, v := range loads {
+		if v > best {
+			best = v
+			hot = mesh.EdgeID(e)
+		}
+	}
+	// Keep the packets crossing the hot edge.
+	var pairs []mesh.Pair
+	for i, p := range chosen {
+		crosses := false
+		m.PathEdges(p, func(e mesh.EdgeID) {
+			if e == hot {
+				crosses = true
+			}
+		})
+		if crosses {
+			pairs = append(pairs, base.Pairs[i])
+		}
+	}
+	return Problem{
+		M:     m,
+		Name:  fmt.Sprintf("adversarial-l%d", l),
+		Pairs: pairs,
+	}, hot, nil
+}
+
+// modalPath returns the most frequent path over `samples` draws with
+// distinct streams derived from the packet index (for samples == 1 it
+// is simply the algorithm's path).
+func modalPath(m *mesh.Mesh, pr mesh.Pair, algo PathFn, samples int, packet uint64) mesh.Path {
+	if samples == 1 {
+		return algo(pr.S, pr.T, packet)
+	}
+	counts := map[string]int{}
+	reps := map[string]mesh.Path{}
+	for s := 0; s < samples; s++ {
+		p := algo(pr.S, pr.T, packet*0x1000003+uint64(s))
+		key := pathKey(p)
+		counts[key]++
+		if _, ok := reps[key]; !ok {
+			reps[key] = p
+		}
+	}
+	bestKey := ""
+	best := -1
+	for k, c := range counts {
+		if c > best || (c == best && k < bestKey) {
+			best = c
+			bestKey = k
+		}
+	}
+	return reps[bestKey]
+}
+
+// pathKey builds a compact map key for a path.
+func pathKey(p mesh.Path) string {
+	buf := make([]byte, 0, 4*len(p))
+	for _, v := range p {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}

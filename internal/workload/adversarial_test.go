@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// dimOrderPath is a local deterministic dimension-order router used to
+// exercise the construction without importing the baseline package
+// (which would create an import cycle in tests of higher packages).
+func dimOrderPath(m *mesh.Mesh) PathFn {
+	return func(s, t mesh.NodeID, _ uint64) mesh.Path {
+		return m.StaircasePath(s, t, mesh.IdentityPerm(m.Dim()))
+	}
+}
+
+// Lemma 5.1 with κ=1: the adversarial problem pins |Π_A| ≥ l/d packets
+// onto a single edge of a deterministic algorithm, so that algorithm's
+// congestion on Π_A is at least l/d.
+func TestAdversarialAgainstDeterministic(t *testing.T) {
+	m := mesh.MustSquare(2, 32)
+	l := 8
+	prob, hot, err := Adversarial(m, l, dimOrderPath(m), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.N() < l/m.Dim() {
+		t.Errorf("|Pi_A| = %d < l/d = %d", prob.N(), l/m.Dim())
+	}
+	// Every kept packet's deterministic path crosses the hot edge.
+	algo := dimOrderPath(m)
+	for i, pr := range prob.Pairs {
+		crosses := false
+		m.PathEdges(algo(pr.S, pr.T, uint64(i)), func(e mesh.EdgeID) {
+			if e == hot {
+				crosses = true
+			}
+		})
+		if !crosses {
+			t.Fatalf("packet %d does not cross the pinned edge", i)
+		}
+	}
+	// All packets still travel exactly distance l.
+	for _, pr := range prob.Pairs {
+		if m.Dist(pr.S, pr.T) != l {
+			t.Fatalf("kept pair at distance %d, want %d", m.Dist(pr.S, pr.T), l)
+		}
+	}
+}
+
+// The deterministic algorithm's congestion on Π_A must equal |Π_A| on
+// the pinned edge (every kept path crosses it).
+func TestAdversarialCongestionEqualsSize(t *testing.T) {
+	m := mesh.MustSquare(2, 32)
+	prob, hot, err := Adversarial(m, 8, dimOrderPath(m), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := 0
+	algo := dimOrderPath(m)
+	for i, pr := range prob.Pairs {
+		m.PathEdges(algo(pr.S, pr.T, uint64(i)), func(e mesh.EdgeID) {
+			if e == hot {
+				load++
+			}
+		})
+	}
+	if load != prob.N() {
+		t.Errorf("hot-edge load %d != |Pi_A| %d", load, prob.N())
+	}
+}
+
+func TestAdversarialModalSampling(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	// A 2-choice algorithm: dimension order depends on one random bit.
+	algo := func(s, t mesh.NodeID, stream uint64) mesh.Path {
+		if stream%2 == 0 {
+			return m.StaircasePath(s, t, []int{0, 1})
+		}
+		return m.StaircasePath(s, t, []int{1, 0})
+	}
+	prob, _, err := Adversarial(m, 4, algo, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.N() < 1 {
+		t.Error("empty adversarial problem")
+	}
+}
+
+func TestAdversarialPropagatesErrors(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	if _, _, err := Adversarial(m, 3, dimOrderPath(m), 1); err == nil {
+		t.Error("invalid block size accepted")
+	}
+}
+
+func TestPathKeyDistinct(t *testing.T) {
+	p1 := mesh.Path{1, 2, 3}
+	p2 := mesh.Path{1, 2, 4}
+	p3 := mesh.Path{1, 2}
+	if pathKey(p1) == pathKey(p2) || pathKey(p1) == pathKey(p3) {
+		t.Error("pathKey collision")
+	}
+	if pathKey(p1) != pathKey(mesh.Path{1, 2, 3}) {
+		t.Error("pathKey not deterministic")
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func TestBitComplement(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p := BitComplement(m)
+	checkPermutation(t, p)
+	s := m.Node(mesh.Coord{2, 5})
+	for _, pr := range p.Pairs {
+		if pr.S == s && !m.CoordOf(pr.T).Equal(mesh.Coord{5, 2}) {
+			t.Errorf("complement(2,5) = %v", m.CoordOf(pr.T))
+		}
+	}
+	// Involution.
+	byS := map[mesh.NodeID]mesh.NodeID{}
+	for _, pr := range p.Pairs {
+		byS[pr.S] = pr.T
+	}
+	for s, d := range byS {
+		if byS[d] != s {
+			t.Fatalf("bit-complement not an involution at %d", s)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	m := mesh.MustSquare(2, 8) // 64 nodes, power of two
+	p, err := Shuffle(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, p)
+	// src 0b000001 -> 0b000010.
+	if p.Pairs[1].T != 2 {
+		t.Errorf("shuffle(1) = %d, want 2", p.Pairs[1].T)
+	}
+	// High bit rotates around: 0b100000 = 32 -> 0b000001 = 1.
+	if p.Pairs[32].T != 1 {
+		t.Errorf("shuffle(32) = %d, want 1", p.Pairs[32].T)
+	}
+	if _, err := Shuffle(mesh.MustNew(3, 3)); err == nil {
+		t.Error("non-pow2 node count accepted")
+	}
+}
+
+func TestLocalRandom(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	p := LocalRandom(m, 300, 3, 7)
+	if p.N() != 300 {
+		t.Fatalf("N = %d", p.N())
+	}
+	for _, pr := range p.Pairs {
+		if d := m.Dist(pr.S, pr.T); d > 3 {
+			t.Fatalf("pair at distance %d > radius 3", d)
+		}
+	}
+	// Some spread in distances.
+	distinct := map[int]bool{}
+	for _, pr := range p.Pairs {
+		distinct[m.Dist(pr.S, pr.T)] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("only %d distinct distances", len(distinct))
+	}
+}
+
+func TestEdgeToEdge(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p := EdgeToEdge(m, 3)
+	if p.N() != 8 {
+		t.Fatalf("N = %d, want 8 (one per face node)", p.N())
+	}
+	dsts := map[mesh.NodeID]bool{}
+	for _, pr := range p.Pairs {
+		sc, tc := m.CoordOf(pr.S), m.CoordOf(pr.T)
+		if sc[1] != 0 || tc[1] != 7 {
+			t.Fatalf("pair %v -> %v not face-to-face", sc, tc)
+		}
+		if dsts[pr.T] {
+			t.Fatal("duplicate destination")
+		}
+		dsts[pr.T] = true
+	}
+	// 3-D: face has side^2 nodes.
+	m3 := mesh.MustSquare(3, 4)
+	p3 := EdgeToEdge(m3, 5)
+	if p3.N() != 16 {
+		t.Fatalf("3-D N = %d, want 16", p3.N())
+	}
+}
+
+func TestRotation(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p := Rotation(m, 3)
+	checkPermutation(t, p)
+	s := m.Node(mesh.Coord{6, 7})
+	for _, pr := range p.Pairs {
+		if pr.S == s && !m.CoordOf(pr.T).Equal(mesh.Coord{1, 2}) {
+			t.Errorf("rotation(6,7) = %v", m.CoordOf(pr.T))
+		}
+	}
+	// Negative shifts wrap too.
+	p2 := Rotation(m, -1)
+	checkPermutation(t, p2)
+	for _, pr := range p2.Pairs {
+		if pr.S == 0 && !m.CoordOf(pr.T).Equal(mesh.Coord{7, 7}) {
+			t.Errorf("rotation(0,0) by -1 = %v", m.CoordOf(pr.T))
+		}
+	}
+	// k=0 is the identity.
+	for _, pr := range Rotation(m, 0).Pairs {
+		if pr.S != pr.T {
+			t.Fatal("rotation-0 not identity")
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package workload generates the routing problems Π = {(s_i, t_i)}
+// used by the experiments: classical permutation traffic (random
+// permutation, transpose, bit reversal, tornado), local traffic at a
+// controlled distance (the block-exchange problem underlying §5.1),
+// hot-spot traffic, and the adversarial construction Π_A of §5.1 that
+// defeats any κ-choice algorithm.
+package workload
+
+import (
+	"fmt"
+
+	"obliviousmesh/internal/bitrand"
+	"obliviousmesh/internal/mesh"
+)
+
+// Problem is a routing problem on a mesh.
+type Problem struct {
+	M     *mesh.Mesh
+	Name  string
+	Pairs []mesh.Pair
+}
+
+// N returns the number of packets.
+func (p Problem) N() int { return len(p.Pairs) }
+
+// RandomPermutation pairs every node with a uniformly random
+// destination so that the destinations form a permutation of the
+// nodes (each node is the source of one packet and the destination of
+// one packet, §5.1's traffic model).
+func RandomPermutation(m *mesh.Mesh, seed uint64) Problem {
+	rng := bitrand.NewSource(seed | 1)
+	n := m.Size()
+	perm := rng.Perm(n)
+	pairs := make([]mesh.Pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = mesh.Pair{S: mesh.NodeID(i), T: mesh.NodeID(perm[i])}
+	}
+	return Problem{M: m, Name: "random-permutation", Pairs: pairs}
+}
+
+// RandomPairs draws count independent uniformly random (s,t) pairs
+// (not necessarily a permutation).
+func RandomPairs(m *mesh.Mesh, count int, seed uint64) Problem {
+	rng := bitrand.NewSource(seed | 1)
+	pairs := make([]mesh.Pair, count)
+	for i := range pairs {
+		pairs[i] = mesh.Pair{
+			S: mesh.NodeID(rng.Intn(m.Size())),
+			T: mesh.NodeID(rng.Intn(m.Size())),
+		}
+	}
+	return Problem{M: m, Name: "random-pairs", Pairs: pairs}
+}
+
+// Transpose sends (x, y, ...) to the coordinate rotated by one
+// position: (y, ..., x). On 2-D meshes this is the classical matrix
+// transpose permutation, a known hard case for dimension-order
+// routing.
+func Transpose(m *mesh.Mesh) Problem {
+	d := m.Dim()
+	pairs := make([]mesh.Pair, 0, m.Size())
+	c := make(mesh.Coord, d)
+	t := make(mesh.Coord, d)
+	for v := 0; v < m.Size(); v++ {
+		m.CoordInto(mesh.NodeID(v), c)
+		for i := 0; i < d; i++ {
+			t[i] = c[(i+1)%d]
+		}
+		if !m.InBounds(t) {
+			// Non-square meshes: skip unmappable nodes.
+			continue
+		}
+		pairs = append(pairs, mesh.Pair{S: mesh.NodeID(v), T: m.Node(t)})
+	}
+	return Problem{M: m, Name: "transpose", Pairs: pairs}
+}
+
+// BitReversal sends every coordinate to its bit-reversed value; sides
+// must be powers of two. A classical adversarial permutation for
+// oblivious routers on meshes.
+func BitReversal(m *mesh.Mesh) (Problem, error) {
+	d := m.Dim()
+	for i := 0; i < d; i++ {
+		if s := m.Side(i); s&(s-1) != 0 {
+			return Problem{}, fmt.Errorf("workload: bit reversal needs power-of-two sides, got %d", s)
+		}
+	}
+	pairs := make([]mesh.Pair, 0, m.Size())
+	c := make(mesh.Coord, d)
+	t := make(mesh.Coord, d)
+	for v := 0; v < m.Size(); v++ {
+		m.CoordInto(mesh.NodeID(v), c)
+		for i := 0; i < d; i++ {
+			t[i] = reverseBits(c[i], log2(m.Side(i)))
+		}
+		pairs = append(pairs, mesh.Pair{S: mesh.NodeID(v), T: m.Node(t)})
+	}
+	return Problem{M: m, Name: "bit-reversal", Pairs: pairs}, nil
+}
+
+func log2(v int) int {
+	b := 0
+	for s := 1; s < v; s <<= 1 {
+		b++
+	}
+	return b
+}
+
+func reverseBits(v, width int) int {
+	out := 0
+	for i := 0; i < width; i++ {
+		out = out<<1 | (v & 1)
+		v >>= 1
+	}
+	return out
+}
+
+// Tornado shifts every node halfway across dimension 0 (wrapping),
+// the classical workload that separates minimal adaptive from
+// oblivious routers on tori; on the mesh it concentrates load in the
+// middle.
+func Tornado(m *mesh.Mesh) Problem {
+	d := m.Dim()
+	half := m.Side(0) / 2
+	pairs := make([]mesh.Pair, 0, m.Size())
+	c := make(mesh.Coord, d)
+	t := make(mesh.Coord, d)
+	for v := 0; v < m.Size(); v++ {
+		m.CoordInto(mesh.NodeID(v), c)
+		copy(t, c)
+		t[0] = (c[0] + half) % m.Side(0)
+		pairs = append(pairs, mesh.Pair{S: mesh.NodeID(v), T: m.Node(t)})
+	}
+	return Problem{M: m, Name: "tornado", Pairs: pairs}
+}
+
+// NearestNeighbor pairs every node with its +1 neighbor in dimension
+// 0 (last column pairs back), modelling fine-grained local traffic —
+// the workload on which unbounded-stretch algorithms embarrass
+// themselves.
+func NearestNeighbor(m *mesh.Mesh) Problem {
+	d := m.Dim()
+	pairs := make([]mesh.Pair, 0, m.Size())
+	c := make(mesh.Coord, d)
+	t := make(mesh.Coord, d)
+	for v := 0; v < m.Size(); v++ {
+		m.CoordInto(mesh.NodeID(v), c)
+		copy(t, c)
+		if c[0]+1 < m.Side(0) {
+			t[0] = c[0] + 1
+		} else {
+			t[0] = c[0] - 1
+		}
+		pairs = append(pairs, mesh.Pair{S: mesh.NodeID(v), T: m.Node(t)})
+	}
+	return Problem{M: m, Name: "nearest-neighbor", Pairs: pairs}
+}
+
+// HotSpot sends `count` packets from uniformly random sources to one
+// of `spots` uniformly chosen hot destinations.
+func HotSpot(m *mesh.Mesh, count, spots int, seed uint64) Problem {
+	rng := bitrand.NewSource(seed | 1)
+	hot := make([]mesh.NodeID, spots)
+	for i := range hot {
+		hot[i] = mesh.NodeID(rng.Intn(m.Size()))
+	}
+	pairs := make([]mesh.Pair, count)
+	for i := range pairs {
+		pairs[i] = mesh.Pair{
+			S: mesh.NodeID(rng.Intn(m.Size())),
+			T: hot[rng.Intn(spots)],
+		}
+	}
+	return Problem{M: m, Name: "hot-spot", Pairs: pairs}
+}
+
+// Rotation shifts every node by k along every dimension (wrapping),
+// a tunable-distance permutation family: k near 0 is local traffic,
+// k near side/2 is tornado-like.
+func Rotation(m *mesh.Mesh, k int) Problem {
+	d := m.Dim()
+	pairs := make([]mesh.Pair, 0, m.Size())
+	c := make(mesh.Coord, d)
+	t := make(mesh.Coord, d)
+	for v := 0; v < m.Size(); v++ {
+		m.CoordInto(mesh.NodeID(v), c)
+		for i := 0; i < d; i++ {
+			t[i] = ((c[i]+k)%m.Side(i) + m.Side(i)) % m.Side(i)
+		}
+		pairs = append(pairs, mesh.Pair{S: mesh.NodeID(v), T: m.Node(t)})
+	}
+	return Problem{M: m, Name: fmt.Sprintf("rotation-k%d", k), Pairs: pairs}
+}
+
+// BitComplement sends every coordinate to its complement
+// (side-1 - c_i in every dimension), a classical permutation that
+// routes every packet through the mesh center under dimension-order
+// routing.
+func BitComplement(m *mesh.Mesh) Problem {
+	d := m.Dim()
+	pairs := make([]mesh.Pair, 0, m.Size())
+	c := make(mesh.Coord, d)
+	t := make(mesh.Coord, d)
+	for v := 0; v < m.Size(); v++ {
+		m.CoordInto(mesh.NodeID(v), c)
+		for i := 0; i < d; i++ {
+			t[i] = m.Side(i) - 1 - c[i]
+		}
+		pairs = append(pairs, mesh.Pair{S: mesh.NodeID(v), T: m.Node(t)})
+	}
+	return Problem{M: m, Name: "bit-complement", Pairs: pairs}
+}
+
+// Shuffle applies the perfect-shuffle permutation to the linearized
+// node index interpreted as a bit string (n must be a power of two):
+// dst = rotate-left-1(src). A staple of the parallel-routing
+// literature.
+func Shuffle(m *mesh.Mesh) (Problem, error) {
+	n := m.Size()
+	if n&(n-1) != 0 {
+		return Problem{}, fmt.Errorf("workload: shuffle needs power-of-two node count, got %d", n)
+	}
+	bits := log2(n)
+	pairs := make([]mesh.Pair, n)
+	for v := 0; v < n; v++ {
+		dst := ((v << 1) | (v >> (bits - 1))) & (n - 1)
+		pairs[v] = mesh.Pair{S: mesh.NodeID(v), T: mesh.NodeID(dst)}
+	}
+	return Problem{M: m, Name: "shuffle", Pairs: pairs}, nil
+}
+
+// LocalRandom draws `count` packets whose destinations are uniform
+// within L1 radius r of their uniform sources — tunable-locality
+// traffic for stretch-sensitive comparisons.
+func LocalRandom(m *mesh.Mesh, count, r int, seed uint64) Problem {
+	rng := bitrand.NewSource(seed | 1)
+	d := m.Dim()
+	pairs := make([]mesh.Pair, 0, count)
+	c := make(mesh.Coord, d)
+	t := make(mesh.Coord, d)
+	for len(pairs) < count {
+		s := mesh.NodeID(rng.Intn(m.Size()))
+		m.CoordInto(s, c)
+		// Rejection-sample a destination in the L1 ball.
+		for {
+			budget := r
+			ok := true
+			for i := 0; i < d; i++ {
+				off := rng.Intn(2*budget+1) - budget
+				t[i] = c[i] + off
+				if t[i] < 0 || t[i] >= m.Side(i) {
+					ok = false
+					break
+				}
+				if off < 0 {
+					budget += off
+				} else {
+					budget -= off
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		pairs = append(pairs, mesh.Pair{S: s, T: m.Node(t)})
+	}
+	return Problem{M: m, Name: fmt.Sprintf("local-random-r%d", r), Pairs: pairs}
+}
+
+// EdgeToEdge sends one packet from every node of the face x_d = 0 to
+// a random-permuted node of the opposite face x_d = side-1. Any FIXED
+// dimension order concentrates all the cross moves of one phase in a
+// single face hyperplane, while a random order spreads them over both
+// faces — the workload that exhibits the factor-d congestion gain of
+// randomized dimension ordering the paper claims over Maggs et al.
+func EdgeToEdge(m *mesh.Mesh, seed uint64) Problem {
+	d := m.Dim()
+	last := d - 1
+	rng := bitrand.NewSource(seed | 1)
+	// Enumerate the face x_last = 0.
+	face := m.Extent()
+	face.Hi[last] = 0
+	var sources []mesh.NodeID
+	m.ForEachNode(face, func(c mesh.Coord, id mesh.NodeID) {
+		sources = append(sources, id)
+	})
+	perm := rng.Perm(len(sources))
+	pairs := make([]mesh.Pair, len(sources))
+	for i, s := range sources {
+		tc := m.CoordOf(sources[perm[i]])
+		tc[last] = m.Side(last) - 1
+		pairs[i] = mesh.Pair{S: s, T: m.Node(tc)}
+	}
+	return Problem{M: m, Name: "edge-to-edge", Pairs: pairs}
+}
+
+// LocalExchange is the base problem of the §5.1 construction: the
+// mesh is divided into blocks of side l, adjacent block pairs along
+// dimension 0 exchange their packets node-for-node, so every packet
+// travels exactly distance l and every node is the source of one
+// packet and the destination of one packet.
+func LocalExchange(m *mesh.Mesh, l int) (Problem, error) {
+	if l < 1 {
+		return Problem{}, fmt.Errorf("workload: block side %d must be >= 1", l)
+	}
+	for i := 0; i < m.Dim(); i++ {
+		if m.Side(i)%l != 0 {
+			return Problem{}, fmt.Errorf("workload: block side %d must divide mesh side %d", l, m.Side(i))
+		}
+	}
+	if (m.Side(0)/l)%2 != 0 {
+		return Problem{}, fmt.Errorf("workload: need an even number of blocks along dimension 0 (side %d, block %d)", m.Side(0), l)
+	}
+	d := m.Dim()
+	pairs := make([]mesh.Pair, 0, m.Size())
+	c := make(mesh.Coord, d)
+	t := make(mesh.Coord, d)
+	for v := 0; v < m.Size(); v++ {
+		m.CoordInto(mesh.NodeID(v), c)
+		copy(t, c)
+		block := c[0] / l
+		if block%2 == 0 {
+			t[0] = c[0] + l
+		} else {
+			t[0] = c[0] - l
+		}
+		pairs = append(pairs, mesh.Pair{S: mesh.NodeID(v), T: m.Node(t)})
+	}
+	return Problem{M: m, Name: fmt.Sprintf("local-exchange-l%d", l), Pairs: pairs}, nil
+}

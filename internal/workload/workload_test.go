@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// checkPermutation verifies that every node is the source of exactly
+// one packet and the destination of exactly one packet.
+func checkPermutation(t *testing.T, p Problem) {
+	t.Helper()
+	n := p.M.Size()
+	if p.N() != n {
+		t.Fatalf("%s: %d pairs, want %d", p.Name, p.N(), n)
+	}
+	src := make([]int, n)
+	dst := make([]int, n)
+	for _, pr := range p.Pairs {
+		src[pr.S]++
+		dst[pr.T]++
+	}
+	for v := 0; v < n; v++ {
+		if src[v] != 1 || dst[v] != 1 {
+			t.Fatalf("%s: node %d src=%d dst=%d", p.Name, v, src[v], dst[v])
+		}
+	}
+}
+
+func TestRandomPermutation(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p := RandomPermutation(m, 1)
+	checkPermutation(t, p)
+	// Deterministic given the seed.
+	p2 := RandomPermutation(m, 1)
+	for i := range p.Pairs {
+		if p.Pairs[i] != p2.Pairs[i] {
+			t.Fatal("same seed produced different permutation")
+		}
+	}
+	p3 := RandomPermutation(m, 2)
+	same := true
+	for i := range p.Pairs {
+		if p.Pairs[i] != p3.Pairs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical permutation")
+	}
+}
+
+func TestRandomPairs(t *testing.T) {
+	m := mesh.MustSquare(3, 4)
+	p := RandomPairs(m, 100, 7)
+	if p.N() != 100 {
+		t.Fatalf("N = %d", p.N())
+	}
+	for _, pr := range p.Pairs {
+		if int(pr.S) >= m.Size() || int(pr.T) >= m.Size() || pr.S < 0 || pr.T < 0 {
+			t.Fatal("pair out of range")
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p := Transpose(m)
+	checkPermutation(t, p)
+	// Spot-check the map.
+	s := m.Node(mesh.Coord{2, 5})
+	for _, pr := range p.Pairs {
+		if pr.S == s {
+			if !m.CoordOf(pr.T).Equal(mesh.Coord{5, 2}) {
+				t.Errorf("transpose(2,5) = %v", m.CoordOf(pr.T))
+			}
+		}
+	}
+	// 3-D rotation is still a permutation.
+	checkPermutation(t, Transpose(mesh.MustSquare(3, 4)))
+}
+
+func TestBitReversal(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p, err := BitReversal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, p)
+	s := m.Node(mesh.Coord{1, 4}) // 001 -> 100, 100 -> 001
+	for _, pr := range p.Pairs {
+		if pr.S == s && !m.CoordOf(pr.T).Equal(mesh.Coord{4, 1}) {
+			t.Errorf("bitrev(1,4) = %v", m.CoordOf(pr.T))
+		}
+	}
+	if _, err := BitReversal(mesh.MustSquare(2, 6)); err == nil {
+		t.Error("non-pow2 side accepted")
+	}
+}
+
+func TestTornado(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p := Tornado(m)
+	checkPermutation(t, p)
+	for _, pr := range p.Pairs {
+		sc, tc := m.CoordOf(pr.S), m.CoordOf(pr.T)
+		if tc[0] != (sc[0]+4)%8 || tc[1] != sc[1] {
+			t.Fatalf("tornado maps %v to %v", sc, tc)
+		}
+	}
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p := NearestNeighbor(m)
+	if p.N() != m.Size() {
+		t.Fatalf("N = %d", p.N())
+	}
+	for _, pr := range p.Pairs {
+		if m.Dist(pr.S, pr.T) != 1 {
+			t.Fatalf("nearest-neighbor pair at distance %d", m.Dist(pr.S, pr.T))
+		}
+	}
+}
+
+func TestHotSpot(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	p := HotSpot(m, 200, 3, 5)
+	if p.N() != 200 {
+		t.Fatalf("N = %d", p.N())
+	}
+	dsts := map[mesh.NodeID]bool{}
+	for _, pr := range p.Pairs {
+		dsts[pr.T] = true
+	}
+	if len(dsts) > 3 {
+		t.Errorf("%d hot destinations, want <= 3", len(dsts))
+	}
+}
+
+func TestLocalExchange(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	p, err := LocalExchange(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, p)
+	// Every packet travels exactly l.
+	for _, pr := range p.Pairs {
+		if d := m.Dist(pr.S, pr.T); d != 4 {
+			t.Fatalf("local-exchange pair at distance %d, want 4", d)
+		}
+	}
+	if d := m.MaxDist(p.Pairs); d != 4 {
+		t.Errorf("D = %d, want 4", d)
+	}
+	// Exchange is an involution: (s,t) present implies (t,s) present.
+	set := map[mesh.Pair]bool{}
+	for _, pr := range p.Pairs {
+		set[pr] = true
+	}
+	for _, pr := range p.Pairs {
+		if !set[mesh.Pair{S: pr.T, T: pr.S}] {
+			t.Fatalf("pair %v has no reverse", pr)
+		}
+	}
+}
+
+func TestLocalExchangeValidation(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	if _, err := LocalExchange(m, 0); err == nil {
+		t.Error("l=0 accepted")
+	}
+	if _, err := LocalExchange(m, 3); err == nil {
+		t.Error("non-dividing l accepted")
+	}
+	if _, err := LocalExchange(m, 8); err != nil {
+		t.Errorf("l=8: %v", err)
+	}
+	if _, err := LocalExchange(m, 16); err == nil {
+		t.Error("odd block count accepted")
+	}
+}
+
+func TestLocalExchangeL1(t *testing.T) {
+	m := mesh.MustSquare(3, 4)
+	p, err := LocalExchange(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, p)
+	for _, pr := range p.Pairs {
+		if m.Dist(pr.S, pr.T) != 1 {
+			t.Fatal("l=1 distance wrong")
+		}
+	}
+}

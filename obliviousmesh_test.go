@@ -1,0 +1,112 @@
+package obliviousmesh_test
+
+import (
+	"testing"
+
+	obliviousmesh "obliviousmesh"
+)
+
+// The facade tests double as integration tests of the whole pipeline:
+// mesh -> router -> metrics -> simulator, through the public API only.
+
+func TestFacadeEndToEnd(t *testing.T) {
+	m, err := obliviousmesh.NewMesh(2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := obliviousmesh.RandomPermutation(m, 7)
+	paths := obliviousmesh.SelectAll(obliviousmesh.Named("H", r), prob.Pairs)
+	if len(paths) != prob.N() {
+		t.Fatalf("%d paths", len(paths))
+	}
+	rep, err := obliviousmesh.Evaluate(m, prob.Pairs, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Congestion < rep.LowerBound {
+		t.Errorf("congestion %d below the lower bound %d?!", rep.Congestion, rep.LowerBound)
+	}
+	if rep.MaxStretch > 64 {
+		t.Errorf("stretch %v > 64", rep.MaxStretch)
+	}
+	res := obliviousmesh.Simulate(m, paths)
+	if res.Delivered != prob.N() {
+		t.Errorf("delivered %d/%d", res.Delivered, prob.N())
+	}
+	if res.Makespan < rep.Dilation {
+		t.Errorf("makespan %d < dilation %d", res.Makespan, rep.Dilation)
+	}
+}
+
+func TestFacadeGeneralVariant(t *testing.T) {
+	m, err := obliviousmesh.NewMesh(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Node(obliviousmesh.Coord{0, 0, 0})
+	d := m.Node(obliviousmesh.Coord{7, 7, 7})
+	p := r.Path(s, d, 0)
+	if err := m.Validate(p, s, d); err != nil {
+		t.Fatal(err)
+	}
+	// Forcing the general construction on a 2-D mesh also works.
+	m2, _ := obliviousmesh.NewMesh(2, 16)
+	r2, err := obliviousmesh.NewRouter(m2, obliviousmesh.RouterOptions{Seed: 2, General: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := r2.Path(0, obliviousmesh.NodeID(m2.Size()-1), 0)
+	if err := m2.Validate(p2, 0, obliviousmesh.NodeID(m2.Size()-1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	m, _ := obliviousmesh.NewMesh(2, 16)
+	algos := obliviousmesh.Baselines(m, 5)
+	if len(algos) != 5 {
+		t.Fatalf("%d baselines, want 5", len(algos))
+	}
+	prob := obliviousmesh.Transpose(m)
+	for _, a := range algos {
+		paths := obliviousmesh.SelectAll(a, prob.Pairs)
+		for i, p := range paths {
+			if err := m.Validate(p, prob.Pairs[i].S, prob.Pairs[i].T); err != nil {
+				t.Fatalf("%s: %v", a.Name(), err)
+			}
+		}
+	}
+}
+
+func TestFacadeAdversarial(t *testing.T) {
+	m, _ := obliviousmesh.NewMesh(2, 32)
+	dimOrder := obliviousmesh.Baselines(m, 1)[0]
+	prob, _, err := obliviousmesh.Adversarial(m, 8, dimOrder.Path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.N() < 4 {
+		t.Errorf("|Pi_A| = %d", prob.N())
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := obliviousmesh.NewMesh(0, 8); err == nil {
+		t.Error("d=0 accepted")
+	}
+	m, _ := obliviousmesh.NewMeshDims(8, 4)
+	if _, err := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{}); err == nil {
+		t.Error("non-square mesh accepted by router")
+	}
+	if _, err := obliviousmesh.Evaluate(m, nil, nil); err == nil {
+		t.Error("Evaluate on non-square mesh should fail")
+	}
+}

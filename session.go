@@ -1,0 +1,44 @@
+package obliviousmesh
+
+import (
+	"sync/atomic"
+)
+
+// Session wraps a Router with an atomic stream counter so that
+// concurrent goroutines can request paths without coordinating stream
+// identifiers — the natural interface for the online setting, where
+// packets "continuously arrive in the network" (paper §1). Each call
+// draws a fresh stream id, so repeated requests for the same pair get
+// independent random paths, exactly like distinct packets.
+//
+// The zero value is not usable; construct with NewSession. All methods
+// are safe for concurrent use.
+type Session struct {
+	r    *Router
+	next uint64
+}
+
+// NewSession wraps an existing router.
+func NewSession(r *Router) *Session {
+	return &Session{r: r}
+}
+
+// Route selects a path for one packet, consuming the next stream id.
+func (s *Session) Route(src, dst NodeID) Path {
+	id := atomic.AddUint64(&s.next, 1) - 1
+	return s.r.Path(src, dst, id)
+}
+
+// RouteStats is Route plus the per-packet accounting.
+func (s *Session) RouteStats(src, dst NodeID) (Path, RouterStats) {
+	id := atomic.AddUint64(&s.next, 1) - 1
+	return s.r.PathStats(src, dst, id)
+}
+
+// Packets returns how many packets have been routed so far.
+func (s *Session) Packets() uint64 {
+	return atomic.LoadUint64(&s.next)
+}
+
+// Router exposes the wrapped router.
+func (s *Session) Router() *Router { return s.r }

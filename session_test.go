@@ -1,0 +1,87 @@
+package obliviousmesh_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	obliviousmesh "obliviousmesh"
+)
+
+func TestSessionSequential(t *testing.T) {
+	m, _ := obliviousmesh.NewMesh(2, 16)
+	r, _ := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 1})
+	s := obliviousmesh.NewSession(r)
+	src, dst := obliviousmesh.NodeID(0), obliviousmesh.NodeID(m.Size()-1)
+
+	p1 := s.Route(src, dst)
+	p2 := s.Route(src, dst)
+	if err := m.Validate(p1, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(p2, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if s.Packets() != 2 {
+		t.Errorf("Packets = %d", s.Packets())
+	}
+	// Stream ids advance, so repeated requests should (almost surely)
+	// differ for a long pair over several attempts.
+	same := true
+	for i := 0; i < 8 && same; i++ {
+		p := s.Route(src, dst)
+		if len(p) != len(p1) {
+			same = false
+			break
+		}
+		for j := range p {
+			if p[j] != p1[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("10 session routes produced identical paths")
+	}
+	if s.Router() != r {
+		t.Error("Router() identity lost")
+	}
+}
+
+func TestSessionConcurrent(t *testing.T) {
+	m, _ := obliviousmesh.NewMesh(2, 32)
+	r, _ := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 2})
+	s := obliviousmesh.NewSession(r)
+	const goroutines = 8
+	const perG = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				src := obliviousmesh.NodeID((g*perG + i) % m.Size())
+				dst := obliviousmesh.NodeID((g*perG + i*7 + 13) % m.Size())
+				p, st := s.RouteStats(src, dst)
+				if err := m.Validate(p, src, dst); err != nil {
+					errs <- err
+					return
+				}
+				if src != dst && st.RandomBits <= 0 {
+					errs <- fmt.Errorf("no random bits consumed for %d->%d", src, dst)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Packets() != goroutines*perG {
+		t.Errorf("Packets = %d, want %d", s.Packets(), goroutines*perG)
+	}
+}
