@@ -1,0 +1,26 @@
+# Build/verify entry points. `make verify` is the gate for changes
+# touching the concurrent engine: vet plus the full test suite under
+# the race detector, so the lock-free LiveLoads tracker and the fused
+# parallel selection path stay race-clean.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: vet race
+	@echo "verify OK: go vet + race-clean tests"
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

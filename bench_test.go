@@ -231,6 +231,102 @@ func BenchmarkSelectPermutationParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSelectAndAccount compares the batch pipeline — SelectAll
+// followed by a separate full-path EdgeLoads walk — against the fused
+// engine, which reports every edge during the single selection pass
+// (SelectAllInto + observer) and reuses per-worker buffers. The fused
+// variants do at most one walk per packet and allocate less per op.
+func BenchmarkSelectAndAccount(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		d, side int
+		v       core.Variant
+	}{
+		{"2d-side32", 2, 32, core.Variant2D},
+		{"3d-side8", 3, 8, core.VariantGeneral},
+	} {
+		m := mesh.MustSquare(c.d, c.side)
+		sel := core.MustNewSelector(m, core.Options{Variant: c.v, Seed: 1})
+		prob := workload.RandomPermutation(m, 3)
+
+		b.Run(c.name+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				paths, _ := sel.SelectAll(prob.Pairs)
+				sink = metrics.EdgeLoads(m, paths) // second full-path walk
+			}
+		})
+		b.Run(c.name+"/fused", func(b *testing.B) {
+			b.ReportAllocs()
+			paths := make([]mesh.Path, len(prob.Pairs))
+			loads := make([]int64, m.EdgeSpace())
+			for i := 0; i < b.N; i++ {
+				for e := range loads {
+					loads[e] = 0
+				}
+				sel.SelectAllInto(prob.Pairs, paths, func(pkt int, e mesh.EdgeID) {
+					loads[e]++
+				})
+				sink = loads
+			}
+		})
+		b.Run(c.name+"/fused-live-parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			paths := make([]mesh.Path, len(prob.Pairs))
+			live := metrics.NewLiveLoads(m, 0)
+			for i := 0; i < b.N; i++ {
+				live.Reset()
+				sel.SelectAllParallelInto(prob.Pairs, 0, paths, func(pkt int, e mesh.EdgeID) {
+					live.Add(uint64(pkt), e)
+				})
+				sink = live
+			}
+		})
+	}
+}
+
+// BenchmarkLiveLoadsAdd measures the contended cost of one live
+// accounting increment across shard counts (8 goroutines hammering
+// one hot edge — the worst case sharding exists to absorb).
+func BenchmarkLiveLoadsAdd(b *testing.B) {
+	m := mesh.MustSquare(2, 32)
+	e, _ := m.EdgeBetween(0, 1)
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			l := metrics.NewLiveLoads(m, shards)
+			b.RunParallel(func(pb *testing.PB) {
+				tag := uint64(0)
+				for pb.Next() {
+					tag++
+					l.Add(tag, e)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSessionLiveRoute measures one streaming route with fused
+// live accounting against the untracked baseline.
+func BenchmarkSessionLiveRoute(b *testing.B) {
+	m, _ := obliviousmesh.NewMesh(2, 32)
+	r, _ := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 1})
+	src, dst := obliviousmesh.NodeID(0), obliviousmesh.NodeID(m.Size()-1)
+	b.Run("untracked", func(b *testing.B) {
+		s := obliviousmesh.NewSession(r)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = s.Route(src, dst)
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		s := obliviousmesh.NewSessionLive(r, obliviousmesh.NewLiveLoads(m, 0))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = s.Route(src, dst)
+		}
+	})
+}
+
 // BenchmarkTorusPathSelect measures torus-variant path selection.
 func BenchmarkTorusPathSelect(b *testing.B) {
 	m := mesh.MustSquareTorus(2, 64)

@@ -20,7 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 
+	obliviousmesh "obliviousmesh"
 	"obliviousmesh/internal/adaptive"
 	"obliviousmesh/internal/baseline"
 	"obliviousmesh/internal/cli"
@@ -50,6 +53,7 @@ func main() {
 	pair := flag.String("pair", "", "route a single pair, e.g. \"0,0:31,17\"")
 	l := flag.Int("l", 8, "block side for local-exchange/adversarial")
 	heatmap := flag.Bool("heatmap", false, "render the edge-load heatmap (2-D meshes)")
+	live := flag.Bool("live", false, "route as streaming traffic with fused live accounting and rolling congestion/stretch reports")
 	save := flag.String("save", "", "write the run (problem+paths+report) as JSON to this file")
 	flag.Parse()
 
@@ -95,7 +99,10 @@ func main() {
 		fmt.Printf("adversarial pinned edge: %s\n", m.EdgeString(hot))
 	}
 	var paths []mesh.Path
-	if named, ok := algo.(baseline.Named); ok {
+	var tracker *metrics.LiveLoads
+	if *live {
+		paths, tracker = routeLive(m, algo, prob.Pairs, *workers)
+	} else if named, ok := algo.(baseline.Named); ok {
 		// Core selectors route in parallel; obliviousness guarantees
 		// the result is identical to the sequential order.
 		paths, _ = named.Sel.SelectAllParallel(prob.Pairs, *workers)
@@ -113,6 +120,15 @@ func main() {
 	fmt.Printf("mean stretch      = %.2f\n", rep.AvgStretch)
 	fmt.Printf("lower bound on C* = %d   (C/LB = %.2f)\n",
 		rep.LowerBound, float64(rep.Congestion)/float64(rep.LowerBound))
+	if tracker != nil {
+		liveC := tracker.Max()
+		status := "MISMATCH vs batch recount"
+		if liveC == int64(rep.Congestion) {
+			status = "matches batch recount"
+		}
+		fmt.Printf("live congestion   = %d   (%s, %d traversals accounted in-flight)\n",
+			liveC, status, tracker.Total())
+	}
 	if *heatmap {
 		fmt.Print(metrics.LoadHeatmap(m, metrics.EdgeLoads(m, paths)))
 	}
@@ -143,6 +159,89 @@ func main() {
 			float64(r.Makespan)/float64(rep.Congestion+rep.Dilation))
 		fmt.Printf("avg latency       = %.1f, max queue = %d\n", r.AvgLatency, r.MaxQueue)
 	}
+}
+
+// routeLive routes the problem as streaming traffic with fused
+// routing+accounting: every edge crossing lands in a sharded LiveLoads
+// tracker as the path is selected, and rolling congestion/stretch
+// reports print at packet milestones while routing is still underway.
+// Core selectors (algorithm H and friends) stream through a concurrent
+// Session — packets draw arrival-order randomness streams, exactly
+// like an online deployment — while other baselines route sequentially
+// with per-packet accounting.
+func routeLive(m *mesh.Mesh, algo baseline.PathSelector, pairs []mesh.Pair, workers int) ([]mesh.Path, *metrics.LiveLoads) {
+	tracker := metrics.NewLiveLoads(m, 0)
+	paths := make([]mesh.Path, len(pairs))
+	milestone := len(pairs) / 8
+	if milestone == 0 {
+		milestone = 1
+	}
+
+	report := func(routed int, rep obliviousmesh.LiveReport) {
+		fmt.Printf("live: %6d/%d packets  C=%-5d stretch=%.2f  max-len=%d\n",
+			routed, len(pairs), rep.Congestion, rep.WorkStretch, rep.MaxLen)
+	}
+
+	named, isCore := algo.(baseline.Named)
+	if !isCore {
+		// Sequential baseline: account each path as it is selected.
+		var totalLen, totalDist, maxLen int64
+		for i, pr := range pairs {
+			p := algo.Path(pr.S, pr.T, uint64(i))
+			paths[i] = p
+			tracker.AddPath(m, uint64(i), p)
+			totalLen += int64(p.Len())
+			totalDist += int64(m.Dist(pr.S, pr.T))
+			if int64(p.Len()) > maxLen {
+				maxLen = int64(p.Len())
+			}
+			if (i+1)%milestone == 0 || i == len(pairs)-1 {
+				rep := obliviousmesh.LiveReport{
+					Packets: uint64(i + 1), Congestion: tracker.Max(),
+					Traversals: totalLen, MaxLen: int(maxLen),
+				}
+				if totalDist > 0 {
+					rep.WorkStretch = float64(totalLen) / float64(totalDist)
+				}
+				report(i+1, rep)
+			}
+		}
+		return paths, tracker
+	}
+
+	// Online engine: concurrent routers share one session; stream ids
+	// are arrival-ordered, so this run is a genuine streaming sample
+	// rather than a replay of the batch stream assignment.
+	sess := obliviousmesh.NewSessionLive(named.Sel, tracker)
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var next uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddUint64(&next, 1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				paths[i] = sess.Route(pairs[i].S, pairs[i].T)
+				if done := sess.Packets(); done%uint64(milestone) == 0 {
+					report(int(done), sess.Report())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(pairs)%milestone != 0 {
+		report(int(sess.Packets()), sess.Report())
+	}
+	return paths, tracker
 }
 
 // runHopByHop handles the routers that decide hop-by-hop at delivery

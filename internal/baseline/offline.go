@@ -27,7 +27,7 @@ func (o Offline) Name() string { return "offline" }
 // model). The result is deterministic.
 func (o Offline) Route(pairs []mesh.Pair) []mesh.Path {
 	m := o.M
-	loads := make([]int32, m.EdgeSpace())
+	loads := make([]int64, m.EdgeSpace())
 	paths := make([]mesh.Path, len(pairs))
 
 	route := func(i int) {
@@ -55,7 +55,7 @@ func (o Offline) Route(pairs []mesh.Pair) []mesh.Path {
 		// re-route it against the residual loads.
 		hot := make(map[mesh.EdgeID]bool)
 		for e, v := range loads {
-			if int(v) == c {
+			if v == c {
 				hot[mesh.EdgeID(e)] = true
 			}
 		}
@@ -84,7 +84,7 @@ func (o Offline) Route(pairs []mesh.Pair) []mesh.Path {
 // shortestUnderLoad runs Dijkstra with edge weight 1 + load² so that
 // congested edges are strongly avoided while path lengths stay near
 // shortest when the network is idle.
-func (o Offline) shortestUnderLoad(s, t mesh.NodeID, loads []int32) mesh.Path {
+func (o Offline) shortestUnderLoad(s, t mesh.NodeID, loads []int64) mesh.Path {
 	m := o.M
 	const inf = int64(1) << 62
 	dist := make([]int64, m.Size())
@@ -112,7 +112,7 @@ func (o Offline) shortestUnderLoad(s, t mesh.NodeID, loads []int32) mesh.Path {
 				continue
 			}
 			e, _ := m.EdgeBetween(u, v)
-			l := int64(loads[e])
+			l := loads[e]
 			w := 1 + l*l
 			if nd := dist[u] + w; nd < dist[v] {
 				dist[v] = nd

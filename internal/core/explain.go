@@ -38,9 +38,43 @@ func (sel *Selector) PathStats(s, t mesh.NodeID, stream uint64) (mesh.Path, Stat
 	return tr.Path, tr.Stats
 }
 
-// construct runs the path-selection algorithm once; keepSegments
-// additionally retains the per-hop structure for Explain.
+// scratch holds the per-worker reusable buffers of the fused batch
+// path: the raw (pre-cycle-removal) path, the waypoint and coordinate
+// vectors, and the cycle-removal index map. One scratch serves one
+// goroutine; the buffers grow to the largest packet seen and are then
+// reused, so steady-state batch routing allocates only the final path
+// of each packet. Buffer reuse cannot change results: the randomness
+// of a packet depends only on (seed, stream, s, t).
+type scratch struct {
+	raw  mesh.Path
+	wp   []mesh.NodeID
+	c    mesh.Coord
+	last map[mesh.NodeID]int
+}
+
+// newScratch builds a scratch for one worker on sel's mesh.
+func (sel *Selector) newScratch() *scratch {
+	return &scratch{
+		c:    make(mesh.Coord, sel.m.Dim()),
+		last: make(map[mesh.NodeID]int, 64),
+	}
+}
+
+// construct runs the path-selection algorithm once with throwaway
+// buffers; keepSegments additionally retains the per-hop structure for
+// Explain.
 func (sel *Selector) construct(s, t mesh.NodeID, stream uint64, keepSegments bool) Trace {
+	return sel.constructInto(s, t, stream, keepSegments, sel.newScratch())
+}
+
+// constructInto is the single construction code path shared by
+// Explain, PathStats and the fused batch engines (SelectAllInto and
+// friends); traces stay authoritative by construction, and buffer
+// reuse lives here so every entry point selects bit-for-bit identical
+// paths. Only Trace.Path, Trace.Segments and Trace.Chain are safe to
+// retain across calls with the same scratch; Waypoints aliases
+// scratch memory.
+func (sel *Selector) constructInto(s, t mesh.NodeID, stream uint64, keepSegments bool, sc *scratch) Trace {
 	if s == t {
 		return Trace{
 			S: s, T: t,
@@ -60,7 +94,7 @@ func (sel *Selector) construct(s, t mesh.NodeID, stream uint64, keepSegments boo
 		perm = rng.Perm(d)
 	}
 
-	waypoints := sel.drawWaypoints(chain, s, t, rng)
+	waypoints := sel.drawWaypoints(chain, s, t, rng, sc)
 
 	tr := Trace{
 		S: s, T: t,
@@ -68,15 +102,17 @@ func (sel *Selector) construct(s, t mesh.NodeID, stream uint64, keepSegments boo
 		Waypoints: waypoints,
 		Perm:      perm,
 	}
-	var path mesh.Path
-	path = append(path, s)
+	raw := append(sc.raw[:0], s)
 	for i := 1; i < len(waypoints); i++ {
-		seg := sel.m.StaircasePath(waypoints[i-1], waypoints[i], perm)
 		if keepSegments {
+			seg := sel.m.StaircasePath(waypoints[i-1], waypoints[i], perm)
 			tr.Segments = append(tr.Segments, seg)
+			raw = append(raw, seg[1:]...)
+		} else {
+			raw = sel.m.AppendStaircase(raw, waypoints[i-1], waypoints[i], perm)
 		}
-		path = append(path, seg[1:]...)
 	}
+	sc.raw = raw // keep the grown capacity for the next packet
 	if keepSegments {
 		tr.Chain = chain
 	}
@@ -85,10 +121,13 @@ func (sel *Selector) construct(s, t mesh.NodeID, stream uint64, keepSegments boo
 		BridgeHeight: sel.dc.HeightOf(br.Level),
 		BridgeType:   br.Type,
 		ChainLen:     len(chain),
-		RawLen:       path.Len(),
+		RawLen:       raw.Len(),
 	}
-	if !sel.opt.KeepCycles {
-		path = path.RemoveCycles()
+	var path mesh.Path
+	if sel.opt.KeepCycles {
+		path = append(make(mesh.Path, 0, len(raw)), raw...)
+	} else {
+		path = raw.RemoveCyclesReuse(sc.last)
 	}
 	tr.Stats.Len = path.Len()
 	tr.Path = path

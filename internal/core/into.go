@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// Observer receives every edge of each selected path while the batch
+// is being routed — the fused routing+accounting hook of the online
+// engine. packet is the packet's index (== its randomness stream), so
+// an edge-load tracker can use it as a shard tag. The edges of one
+// packet arrive in path order, immediately after that packet's path is
+// constructed and cycle-removed; there is no second full-pass walk
+// over the path set. With SelectAllParallelInto the observer is
+// invoked concurrently from all workers and must be safe for
+// concurrent use (metrics.LiveLoads.Add is).
+type Observer func(packet int, e mesh.EdgeID)
+
+// SelectAllInto is SelectAll into a caller-provided path slice
+// (len(paths) ≥ len(pairs)): packet i's path is written to paths[i]
+// and, when observe is non-nil, its edges are reported during the same
+// pass. Per-packet scratch buffers are reused across the batch, so the
+// steady-state cost per packet is one path construction, one
+// cycle-removal, and (with an observer) one edge walk — no separate
+// EdgeLoads pass and no per-packet buffer churn. The selected paths
+// are bit-for-bit identical to SelectAll's.
+func (sel *Selector) SelectAllInto(pairs []mesh.Pair, paths []mesh.Path, observe Observer) Aggregate {
+	if len(paths) < len(pairs) {
+		panic(fmt.Sprintf("core: SelectAllInto: paths slice too short (%d < %d)", len(paths), len(pairs)))
+	}
+	return sel.selectRange(pairs, paths, 0, len(pairs), observe)
+}
+
+// selectRange routes pairs[lo:hi] into paths[lo:hi] with one scratch,
+// reporting edges to observe. It is the per-worker body of both the
+// serial and the parallel fused engines.
+func (sel *Selector) selectRange(pairs []mesh.Pair, paths []mesh.Path, lo, hi int, observe Observer) Aggregate {
+	sc := sel.newScratch()
+	var agg Aggregate
+	for i := lo; i < hi; i++ {
+		tr := sel.constructInto(pairs[i].S, pairs[i].T, uint64(i), false, sc)
+		paths[i] = tr.Path
+		agg.Add(tr.Stats)
+		if observe != nil {
+			sel.m.PathEdges(tr.Path, func(e mesh.EdgeID) { observe(i, e) })
+		}
+	}
+	return agg
+}

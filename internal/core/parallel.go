@@ -13,18 +13,43 @@ import (
 // so the result is bit-for-bit identical to SelectAll: packet i always
 // uses stream i, regardless of scheduling.
 func (sel *Selector) SelectAllParallel(pairs []mesh.Pair, workers int) ([]mesh.Path, Aggregate) {
+	paths := make([]mesh.Path, len(pairs))
+	agg := sel.SelectAllParallelInto(pairs, workers, paths, nil)
+	return paths, agg
+}
+
+// SelectAllParallelInto is SelectAllInto across `workers` goroutines,
+// each with its own scratch buffers; observe (when non-nil) is invoked
+// concurrently from all workers and must be safe for concurrent use.
+//
+// Worker-count semantics: workers ≤ 0 is automatic — GOMAXPROCS
+// goroutines, falling back to serial when the batch is too small
+// (fewer than two packets per worker) to amortize goroutine startup.
+// An explicit workers ≥ 1 is honored as requested, clamped only to
+// len(pairs) so no goroutine starts without work; it never silently
+// degrades to the serial path the way the old small-batch heuristic
+// did.
+func (sel *Selector) SelectAllParallelInto(pairs []mesh.Pair, workers int, paths []mesh.Path, observe Observer) Aggregate {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		if len(pairs) < 2*workers {
+			workers = 1
+		}
 	}
-	if workers == 1 || len(pairs) < 2*workers {
-		return sel.SelectAll(pairs)
+	if workers > len(pairs) {
+		workers = len(pairs)
 	}
-	paths := make([]mesh.Path, len(pairs))
-	stats := make([]Stats, len(pairs))
+	if workers <= 1 {
+		return sel.SelectAllInto(pairs, paths, observe)
+	}
+	if len(paths) < len(pairs) {
+		panic("core: SelectAllParallelInto: paths slice too short")
+	}
 
 	// Contiguous index ranges keep per-worker memory access local and
 	// avoid per-packet channel traffic.
 	var wg sync.WaitGroup
+	aggs := make([]Aggregate, workers)
 	chunk := (len(pairs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -36,18 +61,16 @@ func (sel *Selector) SelectAllParallel(pairs []mesh.Pair, workers int) ([]mesh.P
 			hi = len(pairs)
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				paths[i], stats[i] = sel.PathStats(pairs[i].S, pairs[i].T, uint64(i))
-			}
-		}(lo, hi)
+			aggs[w] = sel.selectRange(pairs, paths, lo, hi, observe)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 
 	var agg Aggregate
-	for i := range stats {
-		agg.Add(stats[i])
+	for i := range aggs {
+		agg.Merge(aggs[i])
 	}
-	return paths, agg
+	return agg
 }

@@ -197,14 +197,18 @@ func (sel *Selector) Path(s, t mesh.NodeID, stream uint64) mesh.Path {
 // v_0 = s and v_last = t always (their chain boxes are single nodes in
 // the bitonic construction; in the access-tree ablation with h the
 // common height the first and last boxes are the leaves as well).
-func (sel *Selector) drawWaypoints(chain []mesh.Box, s, t mesh.NodeID, rng *bitrand.Source) []mesh.NodeID {
+// The returned slice aliases sc's waypoint buffer.
+func (sel *Selector) drawWaypoints(chain []mesh.Box, s, t mesh.NodeID, rng *bitrand.Source, sc *scratch) []mesh.NodeID {
 	d := sel.m.Dim()
-	wp := make([]mesh.NodeID, len(chain))
+	if cap(sc.wp) < len(chain) {
+		sc.wp = make([]mesh.NodeID, len(chain))
+	}
+	wp := sc.wp[:len(chain)]
 	wp[0] = s
 	wp[len(chain)-1] = t
+	c := sc.c
 
 	if sel.opt.FreshBits {
-		c := make(mesh.Coord, d)
 		for i := 1; i < len(chain)-1; i++ {
 			for dim := 0; dim < d; dim++ {
 				c[dim] = chain[i].Lo[dim] + rng.Intn(chain[i].Side(dim))
@@ -225,7 +229,6 @@ func (sel *Selector) drawWaypoints(chain []mesh.Box, s, t mesh.NodeID, rng *bitr
 	}
 	r1 := bitrand.NewReservoir(rng, d, capBits)
 	r2 := bitrand.NewReservoir(rng, d, capBits)
-	c := make(mesh.Coord, d)
 	for i := 1; i < len(chain)-1; i++ {
 		r := r1
 		if i%2 == 0 {
@@ -252,12 +255,7 @@ func ceilLog2(v int) int {
 // i-th packet uses stream i. Aggregate statistics are summed/maxed.
 func (sel *Selector) SelectAll(pairs []mesh.Pair) ([]mesh.Path, Aggregate) {
 	paths := make([]mesh.Path, len(pairs))
-	var agg Aggregate
-	for i, pr := range pairs {
-		p, st := sel.PathStats(pr.S, pr.T, uint64(i))
-		paths[i] = p
-		agg.Add(st)
-	}
+	agg := sel.SelectAllInto(pairs, paths, nil)
 	return paths, agg
 }
 
@@ -282,6 +280,22 @@ func (a *Aggregate) Add(st Stats) {
 	}
 	if st.Len > a.MaxLen {
 		a.MaxLen = st.Len
+	}
+}
+
+// Merge folds another aggregate into a, for combining per-worker
+// aggregates of a parallel run.
+func (a *Aggregate) Merge(b Aggregate) {
+	a.Packets += b.Packets
+	a.TotalBits += b.TotalBits
+	if b.MaxBits > a.MaxBits {
+		a.MaxBits = b.MaxBits
+	}
+	if b.MaxBridgeHeight > a.MaxBridgeHeight {
+		a.MaxBridgeHeight = b.MaxBridgeHeight
+	}
+	if b.MaxLen > a.MaxLen {
+		a.MaxLen = b.MaxLen
 	}
 }
 

@@ -60,11 +60,19 @@ func (m *Mesh) PathEdges(p Path, fn func(e EdgeID)) {
 // cycles can always be removed without increasing congestion). The
 // input is not modified. Runs in O(len(p)).
 func (p Path) RemoveCycles() Path {
+	return p.RemoveCyclesReuse(make(map[NodeID]int, len(p)))
+}
+
+// RemoveCyclesReuse is RemoveCycles with a caller-provided last-index
+// map, cleared and reused across calls so that batch routing does not
+// allocate one map per packet. The returned path is always a fresh
+// slice and never aliases p.
+func (p Path) RemoveCyclesReuse(last map[NodeID]int) Path {
 	if len(p) <= 2 {
 		return append(Path(nil), p...)
 	}
+	clear(last)
 	// last[v] = last index at which node v occurs.
-	last := make(map[NodeID]int, len(p))
 	for i, v := range p {
 		last[v] = i
 	}
@@ -108,10 +116,29 @@ func (m *Mesh) Stretch(p Path) float64 {
 // shorter ring direction (ties go +). The result has length exactly
 // dist(a,b).
 func (m *Mesh) StaircasePath(a, b NodeID, perm []int) Path {
-	ac := m.CoordOf(a)
-	bc := m.CoordOf(b)
 	path := make(Path, 0, m.Dist(a, b)+1)
 	path = append(path, a)
+	return m.AppendStaircase(path, a, b, perm)
+}
+
+// AppendStaircase appends the staircase path from a to b to dst,
+// excluding a itself (so consecutive segments concatenate without
+// duplicating waypoints; dst's last node is expected to be a). It is
+// the allocation-free workhorse behind StaircasePath: batch routing
+// reuses one growing buffer per worker instead of materializing every
+// segment separately.
+func (m *Mesh) AppendStaircase(dst Path, a, b NodeID, perm []int) Path {
+	// Coordinates live on the stack up to 16 dimensions, keeping the
+	// hot batch-routing loop allocation-free.
+	var cbuf [32]int
+	var ac, bc Coord
+	if d := len(m.dims); d <= 16 {
+		ac, bc = cbuf[:d:d], cbuf[16:16+d:16+d]
+	} else {
+		ac, bc = make(Coord, d), make(Coord, d)
+	}
+	m.CoordInto(a, ac)
+	m.CoordInto(b, bc)
 	id := a
 	for _, dim := range perm {
 		s := m.dims[dim]
@@ -134,10 +161,10 @@ func (m *Mesh) StaircasePath(a, b NodeID, perm []int) Path {
 				panic("mesh: staircase stepped off the mesh")
 			}
 			id = next
-			path = append(path, id)
+			dst = append(dst, id)
 		}
 	}
-	return path
+	return dst
 }
 
 // IdentityPerm returns the permutation 0,1,...,d-1.

@@ -6,7 +6,7 @@ import "obliviousmesh/internal/mesh"
 type DimLoad struct {
 	Dim   int
 	Total int64   // sum of loads over the dimension's edges
-	Max   int     // max load on a single edge of the dimension
+	Max   int64   // max load on a single edge of the dimension
 	Share float64 // Total / grand total (0 when the network is idle)
 }
 
@@ -14,7 +14,7 @@ type DimLoad struct {
 // edge runs along. Fixed-dimension-order routing concentrates each
 // movement phase in specific dimensions/regions; the split quantifies
 // it (used alongside Distribution in balance analyses).
-func LoadByDimension(m *mesh.Mesh, loads []int32) []DimLoad {
+func LoadByDimension(m *mesh.Mesh, loads []int64) []DimLoad {
 	out := make([]DimLoad, m.Dim())
 	var grand int64
 	for i := range out {
@@ -23,11 +23,11 @@ func LoadByDimension(m *mesh.Mesh, loads []int32) []DimLoad {
 	m.Edges(func(e mesh.EdgeID) {
 		_, _, dim := m.EdgeEndpoints(e)
 		v := loads[e]
-		out[dim].Total += int64(v)
-		if int(v) > out[dim].Max {
-			out[dim].Max = int(v)
+		out[dim].Total += v
+		if v > out[dim].Max {
+			out[dim].Max = v
 		}
-		grand += int64(v)
+		grand += v
 	})
 	if grand > 0 {
 		for i := range out {

@@ -47,7 +47,7 @@ func TestLoadByDimensionBalanced(t *testing.T) {
 
 func TestLoadByDimensionIdle(t *testing.T) {
 	m := mesh.MustSquare(3, 4)
-	d := LoadByDimension(m, make([]int32, m.EdgeSpace()))
+	d := LoadByDimension(m, make([]int64, m.EdgeSpace()))
 	for _, dl := range d {
 		if dl.Share != 0 || dl.Total != 0 || dl.Max != 0 {
 			t.Errorf("idle network dim %d: %+v", dl.Dim, dl)

@@ -13,7 +13,7 @@ import (
 type LoadDistribution struct {
 	Edges    int     // number of edges
 	Mean     float64 // mean load
-	Max      int     // C
+	Max      int64   // C
 	P50      float64
 	P90      float64
 	P99      float64
@@ -23,7 +23,7 @@ type LoadDistribution struct {
 }
 
 // Distribution computes the load distribution of a path system.
-func Distribution(m *mesh.Mesh, loads []int32) LoadDistribution {
+func Distribution(m *mesh.Mesh, loads []int64) LoadDistribution {
 	var vals []float64
 	m.Edges(func(e mesh.EdgeID) {
 		vals = append(vals, float64(loads[e]))
@@ -43,7 +43,7 @@ func Distribution(m *mesh.Mesh, loads []int32) LoadDistribution {
 	}
 	n := float64(len(vals))
 	d.Mean = sum / n
-	d.Max = int(vals[len(vals)-1])
+	d.Max = int64(vals[len(vals)-1])
 	d.P50 = quantileSorted(vals, 0.50)
 	d.P90 = quantileSorted(vals, 0.90)
 	d.P99 = quantileSorted(vals, 0.99)

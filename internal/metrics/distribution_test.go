@@ -9,7 +9,7 @@ import (
 
 func TestDistributionUniform(t *testing.T) {
 	m := mesh.MustSquare(2, 4)
-	loads := make([]int32, m.EdgeSpace())
+	loads := make([]int64, m.EdgeSpace())
 	m.Edges(func(e mesh.EdgeID) { loads[e] = 3 })
 	d := Distribution(m, loads)
 	if d.Edges != m.NumEdges() {
@@ -28,7 +28,7 @@ func TestDistributionUniform(t *testing.T) {
 
 func TestDistributionSingleHotEdge(t *testing.T) {
 	m := mesh.MustSquare(2, 4)
-	loads := make([]int32, m.EdgeSpace())
+	loads := make([]int64, m.EdgeSpace())
 	var first mesh.EdgeID = -1
 	m.Edges(func(e mesh.EdgeID) {
 		if first == -1 {
@@ -54,8 +54,8 @@ func TestDistributionSingleHotEdge(t *testing.T) {
 
 func TestDistributionQuantilesOrdered(t *testing.T) {
 	m := mesh.MustSquare(2, 8)
-	loads := make([]int32, m.EdgeSpace())
-	i := int32(0)
+	loads := make([]int64, m.EdgeSpace())
+	i := int64(0)
 	m.Edges(func(e mesh.EdgeID) {
 		loads[e] = i % 7
 		i++
@@ -71,7 +71,7 @@ func TestDistributionQuantilesOrdered(t *testing.T) {
 
 func TestDistributionEmptyMesh(t *testing.T) {
 	m := mesh.MustNew(1)
-	d := Distribution(m, make([]int32, m.EdgeSpace()))
+	d := Distribution(m, make([]int64, m.EdgeSpace()))
 	if d.Edges != 0 || d.Mean != 0 {
 		t.Errorf("single-node mesh: %+v", d)
 	}

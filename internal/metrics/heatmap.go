@@ -14,7 +14,7 @@ var heatGlyphs = []byte(" .:-=+*#%@")
 // ASCII heatmap: nodes are 'o', horizontal and vertical edges are
 // drawn between them with a glyph proportional to load/max. For
 // non-2-D meshes it returns a short notice instead.
-func LoadHeatmap(m *mesh.Mesh, loads []int32) string {
+func LoadHeatmap(m *mesh.Mesh, loads []int64) string {
 	if m.Dim() != 2 {
 		return "(heatmap rendering only available for 2-D meshes)\n"
 	}
@@ -23,7 +23,7 @@ func LoadHeatmap(m *mesh.Mesh, loads []int32) string {
 		max = 1
 	}
 	glyph := func(e mesh.EdgeID) byte {
-		idx := int(loads[e]) * (len(heatGlyphs) - 1) / max
+		idx := loads[e] * int64(len(heatGlyphs)-1) / max
 		return heatGlyphs[idx]
 	}
 	w, h := m.Side(0), m.Side(1)

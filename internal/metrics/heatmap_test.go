@@ -33,7 +33,7 @@ func TestLoadHeatmap(t *testing.T) {
 
 func TestLoadHeatmapNon2D(t *testing.T) {
 	m := mesh.MustSquare(3, 4)
-	out := LoadHeatmap(m, make([]int32, m.EdgeSpace()))
+	out := LoadHeatmap(m, make([]int64, m.EdgeSpace()))
 	if !strings.Contains(out, "only available") {
 		t.Errorf("non-2-D notice missing: %q", out)
 	}
@@ -41,7 +41,7 @@ func TestLoadHeatmapNon2D(t *testing.T) {
 
 func TestLoadHeatmapZeroLoads(t *testing.T) {
 	m := mesh.MustSquare(2, 4)
-	out := LoadHeatmap(m, make([]int32, m.EdgeSpace()))
+	out := LoadHeatmap(m, make([]int64, m.EdgeSpace()))
 	if !strings.Contains(out, "max") {
 		t.Error("zero-load heatmap should still render")
 	}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// LiveLoads is a streaming edge-load tracker for the paper's online
+// setting, where packets "continuously arrive in the network" (§1) and
+// congestion must be observable while traffic is still being routed —
+// not recomputed from scratch by a second pass over every path, as the
+// batch EdgeLoads does.
+//
+// The counters are sharded: each shard holds a full per-edge int64
+// vector and writers pick a shard by a caller-supplied tag (stream id,
+// worker index — anything that spreads concurrent writers out), so
+// goroutines hammering the same hot edge land on different cache lines
+// instead of serializing on one atomic word. Shard headers are padded
+// to a cache line to prevent false sharing between the slice headers
+// themselves. Add, Snapshot, Max and Total are all lock-free; Snapshot
+// sums the shards with atomic loads and therefore observes every
+// completed Add (a snapshot taken concurrently with in-flight writers
+// is a consistent lower bound that includes all writes that
+// happened-before the call).
+type LiveLoads struct {
+	edges  int
+	mask   uint64
+	shards []loadShard
+}
+
+// loadShard is one sharded counter vector. The padding keeps adjacent
+// shard headers on distinct cache lines; the counter slices are
+// independent allocations, so cross-shard false sharing is limited to
+// the headers.
+type loadShard struct {
+	counts []int64
+	_      [40]byte // pad the 24-byte slice header to a 64-byte cache line
+}
+
+// NewLiveLoads builds a tracker for the mesh's edge space. shards ≤ 0
+// picks a default sized to the machine (GOMAXPROCS rounded up to a
+// power of two, capped at 16); any other value is rounded up to a
+// power of two so shard selection is a mask, not a modulo.
+func NewLiveLoads(m *mesh.Mesh, shards int) *LiveLoads {
+	return NewLiveLoadsSize(m.EdgeSpace(), shards)
+}
+
+// NewLiveLoadsSize is NewLiveLoads for a raw edge-ID space size, for
+// callers that track loads without holding the mesh.
+func NewLiveLoadsSize(edgeSpace, shards int) *LiveLoads {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > 16 {
+			shards = 16
+		}
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	l := &LiveLoads{edges: edgeSpace, mask: uint64(n - 1), shards: make([]loadShard, n)}
+	for i := range l.shards {
+		l.shards[i].counts = make([]int64, edgeSpace)
+	}
+	return l
+}
+
+// Shards returns the number of counter shards.
+func (l *LiveLoads) Shards() int { return len(l.shards) }
+
+// EdgeSpace returns the size of the tracked edge-ID space.
+func (l *LiveLoads) EdgeSpace() int { return l.edges }
+
+// Add records one traversal of edge e. tag selects the shard (low bits
+// masked); use the packet's stream id or the worker index so that
+// concurrent writers spread across shards. Safe for concurrent use.
+func (l *LiveLoads) Add(tag uint64, e mesh.EdgeID) {
+	atomic.AddInt64(&l.shards[tag&l.mask].counts[e], 1)
+}
+
+// AddN records n traversals of edge e under one tag.
+func (l *LiveLoads) AddN(tag uint64, e mesh.EdgeID, n int64) {
+	atomic.AddInt64(&l.shards[tag&l.mask].counts[e], n)
+}
+
+// AddPath records every edge of one path under one tag — the fused
+// accounting step of a live router.
+func (l *LiveLoads) AddPath(m *mesh.Mesh, tag uint64, p mesh.Path) {
+	s := l.shards[tag&l.mask].counts
+	m.PathEdges(p, func(e mesh.EdgeID) {
+		atomic.AddInt64(&s[e], 1)
+	})
+}
+
+// Observer returns an Add closure bound to one tag, matching the edge
+// observer signature of the core selection hooks.
+func (l *LiveLoads) Observer(tag uint64) func(e mesh.EdgeID) {
+	s := l.shards[tag&l.mask].counts
+	return func(e mesh.EdgeID) {
+		atomic.AddInt64(&s[e], 1)
+	}
+}
+
+// Snapshot returns the current total load per edge (indexed by
+// mesh.EdgeID), summed across shards with atomic loads.
+func (l *LiveLoads) Snapshot() []int64 {
+	return l.SnapshotInto(make([]int64, l.edges))
+}
+
+// SnapshotInto is Snapshot into a caller-provided vector (len ≥ the
+// edge space), returning it re-sliced; it allocates nothing when the
+// buffer is large enough.
+func (l *LiveLoads) SnapshotInto(dst []int64) []int64 {
+	dst = dst[:l.edges]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for s := range l.shards {
+		counts := l.shards[s].counts
+		for e := range counts {
+			if v := atomic.LoadInt64(&counts[e]); v != 0 {
+				dst[e] += v
+			}
+		}
+	}
+	return dst
+}
+
+// Max returns the current maximum edge load — the live congestion C.
+// It materializes one snapshot; for frequent polling use SnapshotInto
+// with a reusable buffer and MaxLoad.
+func (l *LiveLoads) Max() int64 {
+	return MaxLoad(l.Snapshot())
+}
+
+// Total returns the total number of recorded edge traversals (the
+// total work Σ|p| of the routed paths).
+func (l *LiveLoads) Total() int64 {
+	var t int64
+	for s := range l.shards {
+		counts := l.shards[s].counts
+		for e := range counts {
+			t += atomic.LoadInt64(&counts[e])
+		}
+	}
+	return t
+}
+
+// Reset zeroes all counters. Concurrent Adds during a Reset are not
+// lost wholesale (each counter is cleared atomically), but the caller
+// should quiesce writers for a meaningful epoch boundary.
+func (l *LiveLoads) Reset() {
+	for s := range l.shards {
+		counts := l.shards[s].counts
+		for e := range counts {
+			atomic.StoreInt64(&counts[e], 0)
+		}
+	}
+}

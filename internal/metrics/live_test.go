@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func TestLiveLoadsShardRounding(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	for _, c := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}} {
+		l := NewLiveLoads(m, c.in)
+		if l.Shards() != c.want {
+			t.Errorf("shards(%d) = %d, want %d", c.in, l.Shards(), c.want)
+		}
+	}
+	if l := NewLiveLoads(m, 0); l.Shards() < 1 {
+		t.Errorf("default shards = %d", l.Shards())
+	}
+	if l := NewLiveLoads(m, 4); l.EdgeSpace() != m.EdgeSpace() {
+		t.Errorf("EdgeSpace = %d, want %d", l.EdgeSpace(), m.EdgeSpace())
+	}
+}
+
+func TestLiveLoadsMatchesBatch(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	var paths []mesh.Path
+	for y := 0; y < 8; y++ {
+		paths = append(paths, m.StaircasePath(
+			m.Node(mesh.Coord{0, y}), m.Node(mesh.Coord{7, (y + 3) % 8}), []int{0, 1}))
+	}
+	l := NewLiveLoads(m, 4)
+	for i, p := range paths {
+		l.AddPath(m, uint64(i), p)
+	}
+	want := EdgeLoads(m, paths)
+	got := l.Snapshot()
+	for e := range want {
+		if got[e] != want[e] {
+			t.Fatalf("edge %d: live %d, batch %d", e, got[e], want[e])
+		}
+	}
+	if l.Max() != MaxLoad(want) {
+		t.Errorf("Max = %d, want %d", l.Max(), MaxLoad(want))
+	}
+	var total int64
+	for _, p := range paths {
+		total += int64(p.Len())
+	}
+	if l.Total() != total {
+		t.Errorf("Total = %d, want %d", l.Total(), total)
+	}
+}
+
+// TestLiveLoadsConcurrent hammers one hot edge plus a spread of cold
+// edges from many goroutines; run under -race this also proves the
+// tracker is data-race-free.
+func TestLiveLoadsConcurrent(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	l := NewLiveLoads(m, 8)
+	hot, ok := m.EdgeBetween(0, 1)
+	if !ok {
+		t.Fatal("nodes 0 and 1 not adjacent")
+	}
+	var edges []mesh.EdgeID
+	m.Edges(func(e mesh.EdgeID) { edges = append(edges, e) })
+
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			obs := l.Observer(uint64(g))
+			for i := 0; i < perG; i++ {
+				l.Add(uint64(g), hot)
+				obs(edges[(g*perG+i)%len(edges)])
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := l.Snapshot()
+	var wantHot int64 = goroutines * perG
+	// The hot edge also collects its share of the round-robin adds.
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if edges[(g*perG+i)%len(edges)] == hot {
+				wantHot++
+			}
+		}
+	}
+	if snap[hot] != wantHot {
+		t.Errorf("hot edge load = %d, want %d", snap[hot], wantHot)
+	}
+	if got := l.Total(); got != 2*goroutines*perG {
+		t.Errorf("Total = %d, want %d", got, 2*goroutines*perG)
+	}
+
+	// SnapshotInto must reuse the buffer and agree with Snapshot.
+	buf := make([]int64, m.EdgeSpace())
+	into := l.SnapshotInto(buf)
+	for e := range snap {
+		if snap[e] != into[e] {
+			t.Fatalf("SnapshotInto mismatch at edge %d", e)
+		}
+	}
+
+	l.Reset()
+	if l.Total() != 0 || l.Max() != 0 {
+		t.Errorf("after Reset: Total=%d Max=%d", l.Total(), l.Max())
+	}
+}

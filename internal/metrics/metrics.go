@@ -15,9 +15,11 @@ import (
 // EdgeLoads tallies, for every undirected edge, the number of path
 // traversals over it (a path crossing an edge twice counts twice; the
 // paper's C(e) "number of times edge e is used by the paths").
-// The result is indexed by mesh.EdgeID.
-func EdgeLoads(m *mesh.Mesh, paths []mesh.Path) []int32 {
-	loads := make([]int32, m.EdgeSpace())
+// The result is indexed by mesh.EdgeID. Loads are int64: soak-scale
+// workloads exceed 2^31 total traversals, which silently wrapped the
+// previous int32 vector.
+func EdgeLoads(m *mesh.Mesh, paths []mesh.Path) []int64 {
+	loads := make([]int64, m.EdgeSpace())
 	for _, p := range paths {
 		m.PathEdges(p, func(e mesh.EdgeID) {
 			loads[e]++
@@ -26,34 +28,45 @@ func EdgeLoads(m *mesh.Mesh, paths []mesh.Path) []int32 {
 	return loads
 }
 
+// AccumulateEdgeLoads adds the edge traversals of paths into an
+// existing load vector (indexed by mesh.EdgeID, length ≥ EdgeSpace),
+// for callers that tally across batches without reallocating.
+func AccumulateEdgeLoads(m *mesh.Mesh, paths []mesh.Path, loads []int64) {
+	for _, p := range paths {
+		m.PathEdges(p, func(e mesh.EdgeID) {
+			loads[e]++
+		})
+	}
+}
+
 // Congestion returns C = max edge load.
 func Congestion(m *mesh.Mesh, paths []mesh.Path) int {
 	loads := EdgeLoads(m, paths)
-	return MaxLoad(loads)
+	return int(MaxLoad(loads))
 }
 
 // MaxLoad returns the maximum entry of an edge-load vector.
-func MaxLoad(loads []int32) int {
-	max := int32(0)
+func MaxLoad(loads []int64) int64 {
+	max := int64(0)
 	for _, v := range loads {
 		if v > max {
 			max = v
 		}
 	}
-	return int(max)
+	return max
 }
 
 // ArgMaxLoad returns the edge with the maximum load and its load.
-func ArgMaxLoad(loads []int32) (mesh.EdgeID, int) {
+func ArgMaxLoad(loads []int64) (mesh.EdgeID, int64) {
 	best := mesh.EdgeID(0)
-	max := int32(-1)
+	max := int64(-1)
 	for e, v := range loads {
 		if v > max {
 			max = v
 			best = mesh.EdgeID(e)
 		}
 	}
-	return best, int(max)
+	return best, max
 }
 
 // Dilation returns D = max path length.

@@ -36,6 +36,34 @@ func TestEdgeLoadsAndCongestion(t *testing.T) {
 	}
 }
 
+func TestMaxLoadBeyondInt32(t *testing.T) {
+	// Regression for the int32 load vector: soak-scale loads above
+	// 2^31 must survive MaxLoad/ArgMaxLoad without wrapping.
+	loads := []int64{1, int64(1) << 33, 7}
+	if got := MaxLoad(loads); got != int64(1)<<33 {
+		t.Errorf("MaxLoad = %d, want %d", got, int64(1)<<33)
+	}
+	e, v := ArgMaxLoad(loads)
+	if e != 1 || v != int64(1)<<33 {
+		t.Errorf("ArgMaxLoad = (%d, %d)", e, v)
+	}
+}
+
+func TestAccumulateEdgeLoads(t *testing.T) {
+	m, _ := twoD(t, 8)
+	p := m.StaircasePath(m.Node(mesh.Coord{0, 0}), m.Node(mesh.Coord{7, 0}), []int{0, 1})
+	paths := []mesh.Path{p, p}
+	loads := make([]int64, m.EdgeSpace())
+	AccumulateEdgeLoads(m, paths, loads)
+	AccumulateEdgeLoads(m, paths, loads)
+	want := EdgeLoads(m, append(paths, paths...))
+	for e := range want {
+		if loads[e] != want[e] {
+			t.Fatalf("edge %d: accumulated %d, want %d", e, loads[e], want[e])
+		}
+	}
+}
+
 func TestEdgeLoadsCountsRepeats(t *testing.T) {
 	m, _ := twoD(t, 4)
 	a, b := m.Node(mesh.Coord{0, 0}), m.Node(mesh.Coord{1, 0})

@@ -70,3 +70,46 @@ func TestOnStepNilSafe(t *testing.T) {
 		t.Fatal("nil OnStep broke the run")
 	}
 }
+
+// TestOnTraverseAccountsEveryHop: the per-traversal hook must fire
+// exactly |p| times per packet and tally the same edge multiset as a
+// batch EdgeLoads pass, in both duplex models.
+func TestOnTraverseAccountsEveryHop(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	prob := workload.RandomPermutation(m, 9)
+	var paths []mesh.Path
+	totalHops := 0
+	for _, pr := range prob.Pairs {
+		p := m.StaircasePath(pr.S, pr.T, []int{0, 1})
+		paths = append(paths, p)
+		totalHops += p.Len()
+	}
+	for _, fullDuplex := range []bool{false, true} {
+		loads := make([]int64, m.EdgeSpace())
+		hops := 0
+		RunOpts(m, paths, Options{
+			Discipline: FurthestToGo,
+			FullDuplex: fullDuplex,
+			OnTraverse: func(step int, e mesh.EdgeID) {
+				if !m.ValidEdge(e) {
+					t.Fatalf("invalid edge %d at step %d", e, step)
+				}
+				loads[e]++
+				hops++
+			},
+		})
+		if hops != totalHops {
+			t.Fatalf("fullDuplex=%v: %d traversals, want %d", fullDuplex, hops, totalHops)
+		}
+		want := make([]int64, m.EdgeSpace())
+		for _, p := range paths {
+			m.PathEdges(p, func(e mesh.EdgeID) { want[e]++ })
+		}
+		for e := range want {
+			if loads[e] != want[e] {
+				t.Fatalf("fullDuplex=%v: edge %d traversed %d times, want %d",
+					fullDuplex, e, loads[e], want[e])
+			}
+		}
+	}
+}

@@ -73,6 +73,13 @@ type Options struct {
 	// analysis (E24) or animation; keep it cheap, it runs in the hot
 	// loop.
 	OnStep func(step int, snap StepSnapshot)
+	// OnTraverse, when non-nil, is invoked for every edge traversal as
+	// it happens (once per packet move), with the step number and the
+	// undirected EdgeID crossed. It feeds live edge-load trackers
+	// (metrics.LiveLoads) during delivery, the scheduling-time
+	// counterpart of the fused selection-time accounting. Keep it
+	// cheap; it runs in the hot loop.
+	OnTraverse func(step int, e mesh.EdgeID)
 }
 
 // StepSnapshot is the per-step state handed to Options.OnStep.
@@ -227,6 +234,13 @@ func RunOpts(m *mesh.Mesh, paths []mesh.Path, opt Options) Result {
 		// Apply the moves simultaneously.
 		for _, mv := range moves {
 			p := &pkts[mv.pkt]
+			if opt.OnTraverse != nil {
+				e := mesh.EdgeID(mv.de)
+				if opt.FullDuplex {
+					e = mesh.EdgeID(mv.de / 2)
+				}
+				opt.OnTraverse(step, e)
+			}
 			// Remove from old queue.
 			q := queued[mv.de]
 			for i, w := range q {

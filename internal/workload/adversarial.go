@@ -40,12 +40,12 @@ func Adversarial(m *mesh.Mesh, l int, algo PathFn, samples int) (Problem, mesh.E
 		chosen[i] = modalPath(m, pr, algo, samples, uint64(i))
 	}
 	// Edge with the most crossing chosen paths.
-	loads := make([]int32, m.EdgeSpace())
+	loads := make([]int64, m.EdgeSpace())
 	for _, p := range chosen {
 		m.PathEdges(p, func(e mesh.EdgeID) { loads[e]++ })
 	}
 	var hot mesh.EdgeID
-	best := int32(-1)
+	best := int64(-1)
 	for e, v := range loads {
 		if v > best {
 			best = v

@@ -43,6 +43,13 @@ type (
 	// PathSelector is the interface shared by algorithm H and all
 	// oblivious baselines.
 	PathSelector = baseline.PathSelector
+	// LiveLoads is the sharded streaming edge-load tracker: lock-free
+	// per-edge counters for accounting congestion while routing, the
+	// online counterpart of the batch Evaluate.
+	LiveLoads = metrics.LiveLoads
+	// EdgeObserver receives each packet's edges during fused batch
+	// selection (see SelectAllObserved).
+	EdgeObserver = core.Observer
 )
 
 // RouterOptions configure NewRouter.
@@ -110,6 +117,35 @@ func SimulateWithDelays(m *Mesh, paths []Path, maxDelay int, seed uint64) SimRes
 // i using randomness stream i.
 func SelectAll(ps PathSelector, pairs []Pair) []Path {
 	return baseline.SelectAll(ps, pairs)
+}
+
+// NewLiveLoads builds a streaming edge-load tracker for m. shards ≤ 0
+// picks a default sized to the machine; see metrics.LiveLoads for the
+// sharding scheme.
+func NewLiveLoads(m *Mesh, shards int) *LiveLoads {
+	return metrics.NewLiveLoads(m, shards)
+}
+
+// SelectAllTracked routes a whole problem with algorithm H across all
+// CPUs, accounting every edge crossing into live during selection —
+// the fused routing+accounting pipeline. Congestion is then available
+// as live.Max() without a second pass over the paths.
+func SelectAllTracked(r *Router, pairs []Pair, live *LiveLoads) []Path {
+	paths := make([]Path, len(pairs))
+	r.SelectAllParallelInto(pairs, 0, paths, func(pkt int, e EdgeID) {
+		live.Add(uint64(pkt), e)
+	})
+	return paths
+}
+
+// SelectAllObserved routes a whole problem with algorithm H serially,
+// reporting each packet's edges to observe during the single selection
+// pass. It is the general fused hook; SelectAllTracked is the common
+// LiveLoads specialization.
+func SelectAllObserved(r *Router, pairs []Pair, observe EdgeObserver) []Path {
+	paths := make([]Path, len(pairs))
+	r.SelectAllInto(pairs, paths, observe)
+	return paths
 }
 
 // Baselines returns the oblivious comparison algorithms of the paper's

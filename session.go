@@ -11,11 +11,25 @@ import (
 // draws a fresh stream id, so repeated requests for the same pair get
 // independent random paths, exactly like distinct packets.
 //
+// A session optionally carries a LiveLoads tracker (Track or
+// NewSessionLive): edge crossings are then accounted as each path is
+// selected — fused with routing, not recomputed by a second pass — and
+// Report gives a consistent live view of congestion and stretch while
+// traffic is still flowing.
+//
 // The zero value is not usable; construct with NewSession. All methods
 // are safe for concurrent use.
 type Session struct {
 	r    *Router
-	next uint64
+	next uint64 // stream ids issued
+	done uint64 // routes completed (accounting done)
+
+	// Streaming accounting, updated after each route completes.
+	totalLen  int64 // Σ |p| — total edge traversals
+	totalDist int64 // Σ dist(s,t) — total minimum work
+	maxLen    int64 // longest path routed
+
+	live *LiveLoads // nil when live edge accounting is off
 }
 
 // NewSession wraps an existing router.
@@ -23,22 +37,103 @@ func NewSession(r *Router) *Session {
 	return &Session{r: r}
 }
 
+// NewSessionLive wraps a router with live edge-load accounting into
+// the given tracker (which must cover r.Mesh().EdgeSpace()).
+func NewSessionLive(r *Router, live *LiveLoads) *Session {
+	return &Session{r: r, live: live}
+}
+
+// Track attaches a live edge-load tracker; pass nil to detach.
+// Not safe to call concurrently with Route.
+func (s *Session) Track(live *LiveLoads) { s.live = live }
+
+// Live returns the attached tracker, or nil.
+func (s *Session) Live() *LiveLoads { return s.live }
+
 // Route selects a path for one packet, consuming the next stream id.
+// When a LiveLoads tracker is attached, the path's edge crossings are
+// accounted before Route returns (one fused walk; the stream id is the
+// shard tag, so concurrent routers spread across counter shards).
 func (s *Session) Route(src, dst NodeID) Path {
 	id := atomic.AddUint64(&s.next, 1) - 1
-	return s.r.Path(src, dst, id)
+	p := s.r.Path(src, dst, id)
+	s.account(id, src, dst, p)
+	return p
 }
 
 // RouteStats is Route plus the per-packet accounting.
 func (s *Session) RouteStats(src, dst NodeID) (Path, RouterStats) {
 	id := atomic.AddUint64(&s.next, 1) - 1
-	return s.r.PathStats(src, dst, id)
+	p, st := s.r.PathStats(src, dst, id)
+	s.account(id, src, dst, p)
+	return p, st
 }
 
-// Packets returns how many packets have been routed so far.
+// account records one completed route: live edge loads, stretch
+// counters, and the completion count. The completion counter is
+// incremented last so that Packets never reads ahead of fully
+// accounted traffic.
+func (s *Session) account(id uint64, src, dst NodeID, p Path) {
+	m := s.r.Mesh()
+	if s.live != nil {
+		s.live.AddPath(m, id, p)
+	}
+	l := int64(p.Len())
+	atomic.AddInt64(&s.totalLen, l)
+	atomic.AddInt64(&s.totalDist, int64(m.Dist(src, dst)))
+	for {
+		cur := atomic.LoadInt64(&s.maxLen)
+		if l <= cur || atomic.CompareAndSwapInt64(&s.maxLen, cur, l) {
+			break
+		}
+	}
+	atomic.AddUint64(&s.done, 1)
+}
+
+// Packets returns how many packets have been fully routed so far.
+// Earlier versions returned the number of *issued* stream ids, which
+// reads ahead of routed traffic while selections are in flight.
 func (s *Session) Packets() uint64 {
+	return atomic.LoadUint64(&s.done)
+}
+
+// Issued returns how many stream ids have been handed out, including
+// routes still in flight. Issued() − Packets() is the number of
+// selections currently being computed.
+func (s *Session) Issued() uint64 {
 	return atomic.LoadUint64(&s.next)
 }
 
 // Router exposes the wrapped router.
 func (s *Session) Router() *Router { return s.r }
+
+// LiveReport is a point-in-time view of a running session's traffic.
+type LiveReport struct {
+	Packets     uint64  // completed routes
+	InFlight    uint64  // issued but not yet completed
+	Congestion  int64   // live C (0 when no tracker is attached)
+	Traversals  int64   // Σ |p| over completed routes
+	MaxLen      int     // longest path routed (live dilation)
+	WorkStretch float64 // Σ|p| / Σ dist — work-weighted mean stretch
+}
+
+// Report assembles a live report from the session's streaming
+// counters; with a LiveLoads tracker attached it includes the live
+// congestion. Counters are read individually with atomic loads, so
+// under concurrent traffic the report is a consistent-enough rolling
+// view, not a serialized snapshot.
+func (s *Session) Report() LiveReport {
+	rep := LiveReport{
+		Packets:    atomic.LoadUint64(&s.done),
+		Traversals: atomic.LoadInt64(&s.totalLen),
+		MaxLen:     int(atomic.LoadInt64(&s.maxLen)),
+	}
+	rep.InFlight = atomic.LoadUint64(&s.next) - rep.Packets
+	if d := atomic.LoadInt64(&s.totalDist); d > 0 {
+		rep.WorkStretch = float64(rep.Traversals) / float64(d)
+	}
+	if s.live != nil {
+		rep.Congestion = s.live.Max()
+	}
+	return rep
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	obliviousmesh "obliviousmesh"
+	"obliviousmesh/internal/metrics"
 )
 
 func TestSessionSequential(t *testing.T) {
@@ -83,5 +84,96 @@ func TestSessionConcurrent(t *testing.T) {
 	}
 	if s.Packets() != goroutines*perG {
 		t.Errorf("Packets = %d, want %d", s.Packets(), goroutines*perG)
+	}
+	if s.Issued() != goroutines*perG {
+		t.Errorf("Issued = %d, want %d", s.Issued(), goroutines*perG)
+	}
+}
+
+// TestSessionLiveConcurrent routes concurrently with a LiveLoads
+// tracker attached (run under -race) and asserts the live snapshot
+// equals the batch EdgeLoads tally over the very same paths — the
+// fused accounting loses and invents nothing.
+func TestSessionLiveConcurrent(t *testing.T) {
+	m, _ := obliviousmesh.NewMesh(2, 32)
+	r, _ := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 3})
+	live := obliviousmesh.NewLiveLoads(m, 0)
+	s := obliviousmesh.NewSessionLive(r, live)
+	if s.Live() != live {
+		t.Fatal("Live() identity lost")
+	}
+
+	const goroutines = 8
+	const perG = 100
+	paths := make([]obliviousmesh.Path, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := g*perG + i
+				src := obliviousmesh.NodeID(k % m.Size())
+				dst := obliviousmesh.NodeID((k*13 + 41) % m.Size())
+				paths[k] = s.Route(src, dst)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	want := metrics.EdgeLoads(m, paths)
+	got := live.Snapshot()
+	for e := range want {
+		if got[e] != want[e] {
+			t.Fatalf("edge %d: live %d, batch %d", e, got[e], want[e])
+		}
+	}
+
+	rep := s.Report()
+	if rep.Packets != goroutines*perG || rep.InFlight != 0 {
+		t.Errorf("Report packets=%d inflight=%d", rep.Packets, rep.InFlight)
+	}
+	if rep.Congestion != metrics.MaxLoad(want) {
+		t.Errorf("live congestion %d, batch %d", rep.Congestion, metrics.MaxLoad(want))
+	}
+	var totalLen, totalDist, maxLen int64
+	for k, p := range paths {
+		totalLen += int64(p.Len())
+		src := obliviousmesh.NodeID(k % m.Size())
+		dst := obliviousmesh.NodeID((k*13 + 41) % m.Size())
+		totalDist += int64(m.Dist(src, dst))
+		if int64(p.Len()) > maxLen {
+			maxLen = int64(p.Len())
+		}
+	}
+	if rep.Traversals != totalLen {
+		t.Errorf("Traversals = %d, want %d", rep.Traversals, totalLen)
+	}
+	if rep.MaxLen != int(maxLen) {
+		t.Errorf("MaxLen = %d, want %d", rep.MaxLen, maxLen)
+	}
+	if want := float64(totalLen) / float64(totalDist); rep.WorkStretch != want {
+		t.Errorf("WorkStretch = %f, want %f", rep.WorkStretch, want)
+	}
+}
+
+// TestSessionPacketsCountsCompletions: Packets must lag Issued while
+// routes are in flight — it counts completed accounting, not handed-out
+// stream ids (the old behavior read ahead of routed traffic).
+func TestSessionPacketsCountsCompletions(t *testing.T) {
+	m, _ := obliviousmesh.NewMesh(2, 16)
+	r, _ := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 1})
+	s := obliviousmesh.NewSession(r)
+	if s.Packets() != 0 || s.Issued() != 0 {
+		t.Fatalf("fresh session: Packets=%d Issued=%d", s.Packets(), s.Issued())
+	}
+	for i := 0; i < 5; i++ {
+		s.Route(obliviousmesh.NodeID(i), obliviousmesh.NodeID(m.Size()-1-i))
+		if s.Packets() != uint64(i+1) {
+			t.Fatalf("after %d routes: Packets=%d", i+1, s.Packets())
+		}
+		if s.Packets() > s.Issued() {
+			t.Fatalf("Packets %d ahead of Issued %d", s.Packets(), s.Issued())
+		}
 	}
 }
