@@ -1,11 +1,32 @@
 # Build/verify entry points. `make verify` is the gate for changes
 # touching the concurrent engine: vet plus the full test suite under
-# the race detector, so the lock-free LiveLoads tracker and the fused
-# parallel selection path stay race-clean.
+# the race detector (so the lock-free LiveLoads tracker and the fused
+# parallel selection path stay race-clean) plus a short fuzz smoke of
+# every fuzz target, seeded from testdata/fuzz corpora.
 
 GO ?= go
 
-.PHONY: build test vet race verify bench
+# Per-target budget for `make fuzz`. The default keeps the smoke run
+# under a minute; raise it for a real fuzzing session, e.g.
+#   make fuzz FUZZTIME=10m FUZZ_ONLY=internal/invariant:FuzzCheckedPath
+FUZZTIME ?= 5s
+
+# pkg:target pairs; `go test -fuzz` accepts one target per invocation.
+FUZZ_TARGETS := \
+	internal/core:FuzzSelectorPath \
+	internal/decomp:FuzzTypeContaining \
+	internal/decomp:FuzzBridge \
+	internal/mesh:FuzzStaircasePath \
+	internal/mesh:FuzzRemoveCycles \
+	internal/mesh:FuzzEdgeBetween \
+	internal/invariant:FuzzCheckedPath \
+	internal/serial:FuzzLoadProblem \
+	internal/serial:FuzzLoadRun \
+	internal/workload:FuzzGenerators
+
+FUZZ_ONLY ?= $(FUZZ_TARGETS)
+
+.PHONY: build test vet race fuzz verify bench cover
 
 build:
 	$(GO) build ./...
@@ -19,8 +40,20 @@ vet:
 race:
 	$(GO) test -race ./...
 
-verify: vet race
-	@echo "verify OK: go vet + race-clean tests"
+fuzz:
+	@set -e; for t in $(FUZZ_ONLY); do \
+		pkg=$${t%%:*}; target=$${t##*:}; \
+		echo "fuzz $$pkg $$target ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) ./$$pkg; \
+	done
+	@echo "fuzz OK: $(words $(FUZZ_ONLY)) targets x $(FUZZTIME)"
+
+verify: vet race fuzz
+	@echo "verify OK: go vet + race-clean tests + fuzz smoke"
+
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

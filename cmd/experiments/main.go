@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -18,20 +19,30 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
-	seed := flag.Uint64("seed", 1, "master random seed")
-	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
-	csvOut := flag.Bool("csv", false, "emit CSV (one table after another)")
-	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E6)")
-	list := flag.Bool("list", false, "list experiment IDs and titles, then exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command; it returns the process exit
+// code (0 ok, 1 failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
+	seed := fs.Uint64("seed", 1, "master random seed")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown")
+	csvOut := fs.Bool("csv", false, "emit CSV (one table after another)")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E6)")
+	list := fs.Bool("list", false, "list experiment IDs and titles, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	if *list {
 		for _, e := range experiments.Index() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -49,22 +60,23 @@ func main() {
 		ran++
 		switch {
 		case *csvOut:
-			fmt.Printf("# %s: %s\n", r.ID, r.Table.Title)
-			if err := r.Table.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			fmt.Fprintf(stdout, "# %s: %s\n", r.ID, r.Table.Title)
+			if err := r.Table.WriteCSV(stdout); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		case *markdown:
-			fmt.Println(r.Table.Markdown())
+			fmt.Fprintln(stdout, r.Table.Markdown())
 		default:
-			fmt.Println(r.Table.String())
+			fmt.Fprintln(stdout, r.Table.String())
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q\n", *only)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "no experiments matched -only=%q\n", *only)
+		return 2
 	}
-	fmt.Fprintf(os.Stderr, "ran %d experiments in %v (seed %d, quick=%v)\n",
+	fmt.Fprintf(stderr, "ran %d experiments in %v (seed %d, quick=%v)\n",
 		ran, time.Since(start).Round(time.Millisecond), *seed, *quick)
+	return 0
 }

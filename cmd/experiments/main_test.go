@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		exit       int
+		wantOut    []string
+		wantErrOut []string
+	}{
+		{
+			name:    "list",
+			args:    []string{"-list"},
+			exit:    0,
+			wantOut: []string{"E1", "E6"},
+		},
+		{
+			name:       "quick single experiment",
+			args:       []string{"-quick", "-only", "E1"},
+			exit:       0,
+			wantOut:    []string{"E1"},
+			wantErrOut: []string{"ran 1 experiments"},
+		},
+		{
+			name:    "markdown output",
+			args:    []string{"-quick", "-only", "E1", "-markdown"},
+			exit:    0,
+			wantOut: []string{"|", "---"},
+		},
+		{
+			name:    "csv output",
+			args:    []string{"-quick", "-only", "E1", "-csv"},
+			exit:    0,
+			wantOut: []string{"# E1", ","},
+		},
+		{
+			name:       "no experiment matches",
+			args:       []string{"-quick", "-only", "E999"},
+			exit:       2,
+			wantErrOut: []string{"no experiments matched"},
+		},
+		{
+			name:       "unknown flag",
+			args:       []string{"-frobnicate"},
+			exit:       2,
+			wantErrOut: []string{"flag provided but not defined"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if got := run(tc.args, &out, &errOut); got != tc.exit {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", got, tc.exit, out.String(), errOut.String())
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, out.String())
+				}
+			}
+			for _, want := range tc.wantErrOut {
+				if !strings.Contains(errOut.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, errOut.String())
+				}
+			}
+		})
+	}
+}

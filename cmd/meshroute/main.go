@@ -1,12 +1,13 @@
 // Command meshroute routes a workload (or a single pair) on a mesh or
 // torus with a chosen algorithm and reports congestion, dilation,
 // stretch, the C* lower bound and (optionally) the simulated delivery
-// time, an edge-load heatmap, and a JSON export of the run.
+// time, an edge-load heatmap, a paper-conformance check of every
+// selected path, and a JSON export of the run.
 //
 // Usage:
 //
 //	meshroute [-d 2] [-side 32] [-torus] [-algo H] [-workload permutation]
-//	          [-seed 1] [-simulate] [-delay 0] [-workers 0]
+//	          [-seed 1] [-simulate] [-delay 0] [-workers 0] [-check]
 //	          [-pair "x1,y1:x2,y2"] [-l 8] [-heatmap] [-save run.json]
 //
 // Algorithms: H, H-general, access-tree, dim-order, rand-dim-order,
@@ -14,11 +15,18 @@
 // Workloads: permutation, transpose, bit-reversal, tornado,
 // nearest-neighbor, local-exchange, adversarial, bit-complement,
 // shuffle, edge-to-edge, hot-spot.
+//
+// -check verifies every selected path against the paper's invariants
+// (stretch bound, bitonic chain shape, waypoint membership, random-bit
+// budget — see DESIGN.md §8) and exits non-zero on any violation,
+// printing a replayable witness for each.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -27,98 +35,148 @@ import (
 	"obliviousmesh/internal/adaptive"
 	"obliviousmesh/internal/baseline"
 	"obliviousmesh/internal/cli"
+	"obliviousmesh/internal/core"
 	"obliviousmesh/internal/decomp"
 	"obliviousmesh/internal/hotpotato"
+	"obliviousmesh/internal/invariant"
 	"obliviousmesh/internal/mesh"
 	"obliviousmesh/internal/metrics"
 	"obliviousmesh/internal/serial"
 	"obliviousmesh/internal/sim"
+	"obliviousmesh/internal/workload"
 )
 
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	d := flag.Int("d", 2, "mesh dimension")
-	side := flag.Int("side", 32, "mesh side (power of two for the paper-exact construction)")
-	torus := flag.Bool("torus", false, "use a torus instead of an open mesh")
-	algoName := flag.String("algo", "H", "routing algorithm")
-	wlName := flag.String("workload", "permutation", "workload")
-	seed := flag.Uint64("seed", 1, "random seed")
-	simulate := flag.Bool("simulate", false, "run the store-and-forward simulator")
-	maxDelay := flag.Int("delay", 0, "max random initial delay for the simulator (0 = none)")
-	workers := flag.Int("workers", 0, "parallel path-selection workers for H (0 = GOMAXPROCS)")
-	pair := flag.String("pair", "", "route a single pair, e.g. \"0,0:31,17\"")
-	l := flag.Int("l", 8, "block side for local-exchange/adversarial")
-	heatmap := flag.Bool("heatmap", false, "render the edge-load heatmap (2-D meshes)")
-	live := flag.Bool("live", false, "route as streaming traffic with fused live accounting and rolling congestion/stretch reports")
-	save := flag.String("save", "", "write the run (problem+paths+report) as JSON to this file")
-	flag.Parse()
+// config carries the parsed flag set.
+type config struct {
+	d, side  int
+	torus    bool
+	algoName string
+	wlName   string
+	seed     uint64
+	simulate bool
+	maxDelay int
+	workers  int
+	pair     string
+	l        int
+	heatmap  bool
+	live     bool
+	check    bool
+	save     string
+}
 
-	m, err := cli.BuildMesh(*d, *side, *torus)
+// run is the testable body of the command: parse args, route, report.
+// It returns the process exit code (0 ok, 1 failure or invariant
+// violations, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("meshroute", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.IntVar(&cfg.d, "d", 2, "mesh dimension")
+	fs.IntVar(&cfg.side, "side", 32, "mesh side (power of two for the paper-exact construction)")
+	fs.BoolVar(&cfg.torus, "torus", false, "use a torus instead of an open mesh")
+	fs.StringVar(&cfg.algoName, "algo", "H", "routing algorithm")
+	fs.StringVar(&cfg.wlName, "workload", "permutation", "workload")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	fs.BoolVar(&cfg.simulate, "simulate", false, "run the store-and-forward simulator")
+	fs.IntVar(&cfg.maxDelay, "delay", 0, "max random initial delay for the simulator (0 = none)")
+	fs.IntVar(&cfg.workers, "workers", 0, "parallel path-selection workers for H (0 = GOMAXPROCS)")
+	fs.StringVar(&cfg.pair, "pair", "", "route a single pair, e.g. \"0,0:31,17\"")
+	fs.IntVar(&cfg.l, "l", 8, "block side for local-exchange/adversarial")
+	fs.BoolVar(&cfg.heatmap, "heatmap", false, "render the edge-load heatmap (2-D meshes)")
+	fs.BoolVar(&cfg.live, "live", false, "route as streaming traffic with fused live accounting and rolling congestion/stretch reports")
+	fs.BoolVar(&cfg.check, "check", false, "machine-check every selected path against the paper's invariants (DESIGN.md §8)")
+	fs.StringVar(&cfg.save, "save", "", "write the run (problem+paths+report) as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "meshroute: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if err := route(cfg, stdout); err != nil {
+		fmt.Fprintf(stderr, "meshroute: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func route(cfg config, out io.Writer) error {
+	m, err := cli.BuildMesh(cfg.d, cfg.side, cfg.torus)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 
-	switch *algoName {
+	switch cfg.algoName {
 	case "offline":
-		runOffline(m, *wlName, *seed, *l)
-		return
+		if cfg.check {
+			return errors.New("-check applies to algorithm H's oblivious paths, not the offline router")
+		}
+		return runOffline(out, m, cfg.wlName, cfg.seed, cfg.l)
 	case "adaptive", "hot-potato":
-		runHopByHop(m, *algoName, *wlName, *seed, *l)
-		return
-	}
-
-	algo, err := cli.BuildAlgorithm(*algoName, m, *seed)
-	if err != nil {
-		fail("%v", err)
-	}
-
-	if *pair != "" {
-		sc, tc, err := cli.ParsePair(*pair, m)
-		if err != nil {
-			fail("%v", err)
+		if cfg.check {
+			return fmt.Errorf("-check applies to path-selecting algorithms, not %s", cfg.algoName)
 		}
-		s, t := m.Node(sc), m.Node(tc)
-		p := algo.Path(s, t, 0)
-		fmt.Printf("%s path %v -> %v (dist %d, len %d, stretch %.2f):\n",
-			algo.Name(), sc, tc, m.Dist(s, t), p.Len(), m.Stretch(p))
-		for _, n := range p {
-			fmt.Printf("  %v\n", m.CoordOf(n))
-		}
-		return
+		return runHopByHop(out, m, cfg.algoName, cfg.wlName, cfg.seed, cfg.l)
 	}
 
-	prob, hot, err := cli.BuildWorkload(*wlName, m, *seed, *l, algo)
+	algo, err := cli.BuildAlgorithm(cfg.algoName, m, cfg.seed)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
-	if *wlName == "adversarial" {
-		fmt.Printf("adversarial pinned edge: %s\n", m.EdgeString(hot))
+
+	// The invariant engine re-derives decision traces, so it checks
+	// core selectors (H, H-general, access-tree), not the baselines.
+	var checker *invariant.Engine
+	named, isCore := algo.(baseline.Named)
+	if cfg.check {
+		if !isCore {
+			return fmt.Errorf("-check needs a core selector algorithm (H, H-general, access-tree), not %s", cfg.algoName)
+		}
+		checker = invariant.New(named.Sel)
+	}
+
+	if cfg.pair != "" {
+		return routePair(out, m, algo, checker, cfg.pair)
+	}
+
+	prob, hot, err := cli.BuildWorkload(cfg.wlName, m, cfg.seed, cfg.l, algo)
+	if err != nil {
+		return err
+	}
+	if cfg.wlName == "adversarial" {
+		fmt.Fprintf(out, "adversarial pinned edge: %s\n", m.EdgeString(hot))
 	}
 	var paths []mesh.Path
 	var tracker *metrics.LiveLoads
-	if *live {
-		paths, tracker = routeLive(m, algo, prob.Pairs, *workers)
-	} else if named, ok := algo.(baseline.Named); ok {
+	switch {
+	case cfg.live:
+		paths, tracker = routeLive(out, m, algo, prob.Pairs, cfg.workers, checker)
+	case isCore:
 		// Core selectors route in parallel; obliviousness guarantees
 		// the result is identical to the sequential order.
-		paths, _ = named.Sel.SelectAllParallel(prob.Pairs, *workers)
-	} else {
+		paths = make([]mesh.Path, len(prob.Pairs))
+		var h core.Hooks
+		if checker != nil {
+			h.Path = checker.PathObserver()
+		}
+		named.Sel.SelectAllParallelIntoHooks(prob.Pairs, cfg.workers, paths, h)
+	default:
 		paths = baseline.SelectAll(algo, prob.Pairs)
 	}
 
 	dc := decomp.MustNew(m, cli.DecompMode(m))
 	rep := metrics.Evaluate(dc, prob.Pairs, paths)
-	fmt.Printf("%v  workload=%s  N=%d  algo=%s  seed=%d\n",
-		m, prob.Name, prob.N(), algo.Name(), *seed)
-	fmt.Printf("congestion C      = %d\n", rep.Congestion)
-	fmt.Printf("dilation D        = %d\n", rep.Dilation)
-	fmt.Printf("max stretch       = %.2f\n", rep.MaxStretch)
-	fmt.Printf("mean stretch      = %.2f\n", rep.AvgStretch)
-	fmt.Printf("lower bound on C* = %d   (C/LB = %.2f)\n",
+	fmt.Fprintf(out, "%v  workload=%s  N=%d  algo=%s  seed=%d\n",
+		m, prob.Name, prob.N(), algo.Name(), cfg.seed)
+	fmt.Fprintf(out, "congestion C      = %d\n", rep.Congestion)
+	fmt.Fprintf(out, "dilation D        = %d\n", rep.Dilation)
+	fmt.Fprintf(out, "max stretch       = %.2f\n", rep.MaxStretch)
+	fmt.Fprintf(out, "mean stretch      = %.2f\n", rep.AvgStretch)
+	fmt.Fprintf(out, "lower bound on C* = %d   (C/LB = %.2f)\n",
 		rep.LowerBound, float64(rep.Congestion)/float64(rep.LowerBound))
 	if tracker != nil {
 		liveC := tracker.Max()
@@ -126,39 +184,87 @@ func main() {
 		if liveC == int64(rep.Congestion) {
 			status = "matches batch recount"
 		}
-		fmt.Printf("live congestion   = %d   (%s, %d traversals accounted in-flight)\n",
+		fmt.Fprintf(out, "live congestion   = %d   (%s, %d traversals accounted in-flight)\n",
 			liveC, status, tracker.Total())
 	}
-	if *heatmap {
-		fmt.Print(metrics.LoadHeatmap(m, metrics.EdgeLoads(m, paths)))
+	if cfg.heatmap {
+		fmt.Fprint(out, metrics.LoadHeatmap(m, metrics.EdgeLoads(m, paths)))
 	}
-	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			fail("%v", err)
+	if cfg.save != "" {
+		if err := saveRun(cfg.save, prob, algo.Name(), cfg.seed, paths, &rep); err != nil {
+			return fmt.Errorf("save: %w", err)
 		}
-		err = serial.SaveRun(f, serial.Run{
-			Problem: prob, Algorithm: algo.Name(), Seed: *seed,
-			Paths: paths, Report: &rep,
-		})
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fail("save: %v", err)
-		}
-		fmt.Printf("run saved to %s\n", *save)
+		fmt.Fprintf(out, "run saved to %s\n", cfg.save)
 	}
-	if *simulate {
+	if cfg.simulate {
 		r := sim.RunOpts(m, paths, sim.Options{
 			Discipline: sim.FurthestToGo,
-			Delays:     sim.UniformDelays(len(paths), *maxDelay, *seed),
+			Delays:     sim.UniformDelays(len(paths), cfg.maxDelay, cfg.seed),
 		})
-		fmt.Printf("makespan          = %d   (C+D = %d, ratio %.2f)\n",
+		fmt.Fprintf(out, "makespan          = %d   (C+D = %d, ratio %.2f)\n",
 			r.Makespan, rep.Congestion+rep.Dilation,
 			float64(r.Makespan)/float64(rep.Congestion+rep.Dilation))
-		fmt.Printf("avg latency       = %.1f, max queue = %d\n", r.AvgLatency, r.MaxQueue)
+		fmt.Fprintf(out, "avg latency       = %.1f, max queue = %d\n", r.AvgLatency, r.MaxQueue)
 	}
+	if checker != nil {
+		if tracker != nil {
+			checker.CheckLiveAgreement(tracker, paths)
+		}
+		return reportChecks(out, m, checker)
+	}
+	return nil
+}
+
+// routePair routes and prints a single source→target path; with a
+// checker attached it also runs the full invariant suite on it (stream
+// 0, the same stream Violation.Replay reproduces).
+func routePair(out io.Writer, m *mesh.Mesh, algo baseline.PathSelector, checker *invariant.Engine, pair string) error {
+	sc, tc, err := cli.ParsePair(pair, m)
+	if err != nil {
+		return err
+	}
+	s, t := m.Node(sc), m.Node(tc)
+	p := algo.Path(s, t, 0)
+	fmt.Fprintf(out, "%s path %v -> %v (dist %d, len %d, stretch %.2f):\n",
+		algo.Name(), sc, tc, m.Dist(s, t), p.Len(), m.Stretch(p))
+	for _, n := range p {
+		fmt.Fprintf(out, "  %v\n", m.CoordOf(n))
+	}
+	if checker != nil {
+		checker.CheckPath(s, t, 0, p)
+		return reportChecks(out, m, checker)
+	}
+	return nil
+}
+
+// reportChecks prints the invariant summary and returns an error when
+// any check failed, so the process exits non-zero.
+func reportChecks(out io.Writer, m *mesh.Mesh, checker *invariant.Engine) error {
+	n := checker.Count()
+	fmt.Fprintf(out, "invariant checks  = %d packets checked, %d violations\n", checker.Checked(), n)
+	if n == 0 {
+		return nil
+	}
+	for _, v := range checker.Violations() {
+		fmt.Fprintf(out, "  VIOLATION %s\n    replay: %s\n", v, v.Replay(m))
+	}
+	return fmt.Errorf("%d invariant violations", n)
+}
+
+// saveRun writes the run JSON, closing the file even on encode errors.
+func saveRun(path string, prob workload.Problem, algoName string, seed uint64, paths []mesh.Path, rep *metrics.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = serial.SaveRun(f, serial.Run{
+		Problem: prob, Algorithm: algoName, Seed: seed,
+		Paths: paths, Report: rep,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // routeLive routes the problem as streaming traffic with fused
@@ -168,8 +274,9 @@ func main() {
 // Core selectors (algorithm H and friends) stream through a concurrent
 // Session — packets draw arrival-order randomness streams, exactly
 // like an online deployment — while other baselines route sequentially
-// with per-packet accounting.
-func routeLive(m *mesh.Mesh, algo baseline.PathSelector, pairs []mesh.Pair, workers int) ([]mesh.Path, *metrics.LiveLoads) {
+// with per-packet accounting. With a checker attached, every route is
+// invariant-checked in flight through the session observer.
+func routeLive(out io.Writer, m *mesh.Mesh, algo baseline.PathSelector, pairs []mesh.Pair, workers int, checker *invariant.Engine) ([]mesh.Path, *metrics.LiveLoads) {
 	tracker := metrics.NewLiveLoads(m, 0)
 	paths := make([]mesh.Path, len(pairs))
 	milestone := len(pairs) / 8
@@ -178,7 +285,7 @@ func routeLive(m *mesh.Mesh, algo baseline.PathSelector, pairs []mesh.Pair, work
 	}
 
 	report := func(routed int, rep obliviousmesh.LiveReport) {
-		fmt.Printf("live: %6d/%d packets  C=%-5d stretch=%.2f  max-len=%d\n",
+		fmt.Fprintf(out, "live: %6d/%d packets  C=%-5d stretch=%.2f  max-len=%d\n",
 			routed, len(pairs), rep.Congestion, rep.WorkStretch, rep.MaxLen)
 	}
 
@@ -213,6 +320,9 @@ func routeLive(m *mesh.Mesh, algo baseline.PathSelector, pairs []mesh.Pair, work
 	// are arrival-ordered, so this run is a genuine streaming sample
 	// rather than a replay of the batch stream assignment.
 	sess := obliviousmesh.NewSessionLive(named.Sel, tracker)
+	if checker != nil {
+		sess.Observe(checker.SessionObserver())
+	}
 	if workers <= 0 {
 		workers = 4
 	}
@@ -247,39 +357,41 @@ func routeLive(m *mesh.Mesh, algo baseline.PathSelector, pairs []mesh.Pair, work
 // runHopByHop handles the routers that decide hop-by-hop at delivery
 // time (no path selection): buffered minimal adaptive and bufferless
 // hot-potato.
-func runHopByHop(m *mesh.Mesh, algoName, wlName string, seed uint64, l int) {
+func runHopByHop(out io.Writer, m *mesh.Mesh, algoName, wlName string, seed uint64, l int) error {
 	prob, _, err := cli.BuildWorkload(wlName, m, seed, l, baseline.DimOrder{M: m})
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
-	fmt.Printf("%v  workload=%s  N=%d  algo=%s  seed=%d\n",
+	fmt.Fprintf(out, "%v  workload=%s  N=%d  algo=%s  seed=%d\n",
 		m, prob.Name, prob.N(), algoName, seed)
 	switch algoName {
 	case "adaptive":
 		r := adaptive.Run(m, prob.Pairs, adaptive.LeastQueue, seed, nil)
-		fmt.Printf("makespan          = %d\n", r.Makespan)
-		fmt.Printf("avg sojourn       = %.1f, max queue = %d\n", r.AvgSojourn, r.MaxQueue)
-		fmt.Printf("total hops        = %d (minimal routing: equals total distance)\n", r.TotalHops)
+		fmt.Fprintf(out, "makespan          = %d\n", r.Makespan)
+		fmt.Fprintf(out, "avg sojourn       = %.1f, max queue = %d\n", r.AvgSojourn, r.MaxQueue)
+		fmt.Fprintf(out, "total hops        = %d (minimal routing: equals total distance)\n", r.TotalHops)
 	case "hot-potato":
 		r := hotpotato.Run(m, prob.Pairs, seed)
-		fmt.Printf("makespan          = %d\n", r.Makespan)
-		fmt.Printf("avg latency       = %.1f\n", r.AvgLatency)
-		fmt.Printf("total hops        = %d (of which %d deflections)\n", r.TotalHops, r.Deflections)
+		fmt.Fprintf(out, "makespan          = %d\n", r.Makespan)
+		fmt.Fprintf(out, "avg latency       = %.1f\n", r.AvgLatency)
+		fmt.Fprintf(out, "total hops        = %d (of which %d deflections)\n", r.TotalHops, r.Deflections)
 	}
+	return nil
 }
 
-func runOffline(m *mesh.Mesh, wlName string, seed uint64, l int) {
+func runOffline(out io.Writer, m *mesh.Mesh, wlName string, seed uint64, l int) error {
 	prob, _, err := cli.BuildWorkload(wlName, m, seed, l, baseline.DimOrder{M: m})
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	off := baseline.Offline{M: m}
 	paths := off.Route(prob.Pairs)
 	dc := decomp.MustNew(m, cli.DecompMode(m))
 	rep := metrics.Evaluate(dc, prob.Pairs, paths)
-	fmt.Printf("%v  workload=%s  N=%d  algo=offline (non-oblivious)\n", m, prob.Name, prob.N())
-	fmt.Printf("congestion C      = %d\n", rep.Congestion)
-	fmt.Printf("dilation D        = %d\n", rep.Dilation)
-	fmt.Printf("max stretch       = %.2f\n", rep.MaxStretch)
-	fmt.Printf("lower bound on C* = %d\n", rep.LowerBound)
+	fmt.Fprintf(out, "%v  workload=%s  N=%d  algo=offline (non-oblivious)\n", m, prob.Name, prob.N())
+	fmt.Fprintf(out, "congestion C      = %d\n", rep.Congestion)
+	fmt.Fprintf(out, "dilation D        = %d\n", rep.Dilation)
+	fmt.Fprintf(out, "max stretch       = %.2f\n", rep.MaxStretch)
+	fmt.Fprintf(out, "lower bound on C* = %d\n", rep.LowerBound)
+	return nil
 }

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Table-driven flag-parsing and smoke tests: each case runs the full
+// command body on a small mesh and checks the exit code and a few
+// output markers.
+func TestRun(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		exit       int
+		wantOut    []string // substrings expected on stdout
+		wantErrOut []string // substrings expected on stderr
+	}{
+		{
+			name: "permutation smoke",
+			args: []string{"-d", "2", "-side", "8", "-seed", "1"},
+			exit: 0,
+			wantOut: []string{
+				"mesh 8x8", "workload=random-permutation", "algo=H",
+				"congestion C", "dilation D", "lower bound on C*",
+			},
+		},
+		{
+			name:    "torus general with check",
+			args:    []string{"-d", "2", "-side", "8", "-torus", "-algo", "H-general", "-check"},
+			exit:    0,
+			wantOut: []string{"torus 8x8", "invariant checks", " 0 violations"},
+		},
+		{
+			name:    "3d check",
+			args:    []string{"-d", "3", "-side", "4", "-check"},
+			exit:    0,
+			wantOut: []string{"mesh 4x4x4", "invariant checks", " 0 violations"},
+		},
+		{
+			name:    "single pair with check",
+			args:    []string{"-d", "2", "-side", "8", "-pair", "0,0:7,7", "-check"},
+			exit:    0,
+			wantOut: []string{"H path (0,0) -> (7,7)", "invariant checks  = 1 packets checked, 0 violations"},
+		},
+		{
+			name:    "live streaming with check",
+			args:    []string{"-d", "2", "-side", "8", "-live", "-workers", "2", "-check"},
+			exit:    0,
+			wantOut: []string{"live:", "live congestion", "matches batch recount", " 0 violations"},
+		},
+		{
+			name:    "simulate",
+			args:    []string{"-d", "2", "-side", "8", "-simulate", "-delay", "2"},
+			exit:    0,
+			wantOut: []string{"makespan", "avg latency"},
+		},
+		{
+			name:    "heatmap",
+			args:    []string{"-d", "2", "-side", "8", "-heatmap"},
+			exit:    0,
+			wantOut: []string{"edge-load heatmap"},
+		},
+		{
+			name:    "offline baseline",
+			args:    []string{"-d", "2", "-side", "8", "-algo", "offline"},
+			exit:    0,
+			wantOut: []string{"algo=offline (non-oblivious)", "congestion C"},
+		},
+		{
+			name:    "adaptive hop-by-hop",
+			args:    []string{"-d", "2", "-side", "8", "-algo", "adaptive"},
+			exit:    0,
+			wantOut: []string{"algo=adaptive", "makespan", "total hops"},
+		},
+		{
+			name:    "hot-potato hop-by-hop",
+			args:    []string{"-d", "2", "-side", "8", "-algo", "hot-potato"},
+			exit:    0,
+			wantOut: []string{"algo=hot-potato", "deflections"},
+		},
+		{
+			name:    "adversarial workload",
+			args:    []string{"-d", "2", "-side", "8", "-workload", "adversarial", "-l", "2", "-check"},
+			exit:    0,
+			wantOut: []string{"adversarial pinned edge", " 0 violations"},
+		},
+		{
+			name:       "unknown flag",
+			args:       []string{"-no-such-flag"},
+			exit:       2,
+			wantErrOut: []string{"flag provided but not defined"},
+		},
+		{
+			name:       "stray positional argument",
+			args:       []string{"-side", "8", "stray"},
+			exit:       2,
+			wantErrOut: []string{"unexpected arguments"},
+		},
+		{
+			name:       "unknown algorithm",
+			args:       []string{"-algo", "quantum"},
+			exit:       1,
+			wantErrOut: []string{"quantum"},
+		},
+		{
+			name:       "unknown workload",
+			args:       []string{"-side", "8", "-workload", "nope"},
+			exit:       1,
+			wantErrOut: []string{"nope"},
+		},
+		{
+			name:       "malformed pair",
+			args:       []string{"-side", "8", "-pair", "0,0"},
+			exit:       1,
+			wantErrOut: []string{"pair"},
+		},
+		{
+			name:       "check rejects plain baselines",
+			args:       []string{"-side", "8", "-algo", "dim-order", "-check"},
+			exit:       1,
+			wantErrOut: []string{"-check needs a core selector"},
+		},
+		{
+			name:       "check rejects offline",
+			args:       []string{"-side", "8", "-algo", "offline", "-check"},
+			exit:       1,
+			wantErrOut: []string{"-check"},
+		},
+		{
+			name:       "check rejects hop-by-hop",
+			args:       []string{"-side", "8", "-algo", "adaptive", "-check"},
+			exit:       1,
+			wantErrOut: []string{"-check"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var out, errOut bytes.Buffer
+			if got := run(tc.args, &out, &errOut); got != tc.exit {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", got, tc.exit, out.String(), errOut.String())
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, out.String())
+				}
+			}
+			for _, want := range tc.wantErrOut {
+				if !strings.Contains(errOut.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, errOut.String())
+				}
+			}
+		})
+	}
+}
+
+// -save must write a loadable run file and report the destination.
+func TestRunSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	var out, errOut bytes.Buffer
+	if got := run([]string{"-d", "2", "-side", "8", "-save", path}, &out, &errOut); got != 0 {
+		t.Fatalf("exit %d, stderr: %s", got, errOut.String())
+	}
+	if !strings.Contains(out.String(), "run saved to "+path) {
+		t.Fatalf("missing save confirmation:\n%s", out.String())
+	}
+	if got := run([]string{"-save", filepath.Join(t.TempDir(), "missing", "run.json"), "-side", "8"}, &out, &errOut); got != 1 {
+		t.Fatalf("unwritable save path: exit %d, want 1", got)
+	}
+}

@@ -1,72 +1,131 @@
 // Command replay loads a routing run saved by `meshroute -save`,
 // re-validates every path against the reconstructed mesh, re-computes
-// the quality report, and optionally re-simulates delivery — an audit
-// tool for archived experiments.
+// the quality report, and optionally re-simulates delivery or re-runs
+// the paper-conformance invariant suite — an audit tool for archived
+// experiments and for replaying shrunk fuzz counterexamples.
 //
 // Usage:
 //
-//	replay -in run.json [-simulate] [-heatmap]
+//	replay -in run.json [-simulate] [-heatmap] [-check]
+//
+// -check rebuilds the run's algorithm from its recorded name and seed,
+// re-derives every packet's decision trace, and verifies the stored
+// paths against the paper's invariants (DESIGN.md §8). It assumes the
+// batch stream convention (packet i routed on stream i), which holds
+// for every run saved without -live; live runs draw arrival-order
+// streams, so check those in-flight with `meshroute -live -check`.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"obliviousmesh/internal/baseline"
 	"obliviousmesh/internal/cli"
 	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/invariant"
 	"obliviousmesh/internal/metrics"
 	"obliviousmesh/internal/serial"
 	"obliviousmesh/internal/sim"
 )
 
 func main() {
-	in := flag.String("in", "", "run file written by meshroute -save")
-	simulate := flag.Bool("simulate", false, "re-simulate delivery")
-	heatmap := flag.Bool("heatmap", false, "render the edge-load heatmap")
-	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "replay: -in is required")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command; it returns the process exit
+// code (0 ok, 1 failure or invariant violations, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "run file written by meshroute -save")
+	simulate := fs.Bool("simulate", false, "re-simulate delivery")
+	heatmap := fs.Bool("heatmap", false, "render the edge-load heatmap")
+	check := fs.Bool("check", false, "re-run the invariant suite on the stored paths (batch runs)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	f, err := os.Open(*in)
+	if *in == "" {
+		fmt.Fprintln(stderr, "replay: -in is required")
+		return 2
+	}
+	if err := replay(*in, *simulate, *heatmap, *check, stdout); err != nil {
+		fmt.Fprintf(stderr, "replay: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func replay(in string, simulate, heatmap, check bool, out io.Writer) error {
+	f, err := os.Open(in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	run, err := serial.LoadRun(f)
 	f.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	m := run.Problem.M
-	fmt.Printf("%v  workload=%s  N=%d  algo=%s  seed=%d (replayed from %s)\n",
-		m, run.Problem.Name, run.Problem.N(), run.Algorithm, run.Seed, *in)
+	fmt.Fprintf(out, "%v  workload=%s  N=%d  algo=%s  seed=%d (replayed from %s)\n",
+		m, run.Problem.Name, run.Problem.N(), run.Algorithm, run.Seed, in)
 
 	dc, err := decomp.New(m, cli.DecompMode(m))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	rep := metrics.Evaluate(dc, run.Problem.Pairs, run.Paths)
-	fmt.Printf("congestion C      = %d\n", rep.Congestion)
-	fmt.Printf("dilation D        = %d\n", rep.Dilation)
-	fmt.Printf("max stretch       = %.2f\n", rep.MaxStretch)
-	fmt.Printf("lower bound on C* = %d\n", rep.LowerBound)
+	fmt.Fprintf(out, "congestion C      = %d\n", rep.Congestion)
+	fmt.Fprintf(out, "dilation D        = %d\n", rep.Dilation)
+	fmt.Fprintf(out, "max stretch       = %.2f\n", rep.MaxStretch)
+	fmt.Fprintf(out, "lower bound on C* = %d\n", rep.LowerBound)
 	if run.Report != nil {
 		if *run.Report == rep {
-			fmt.Println("stored report     = verified (matches recomputation)")
+			fmt.Fprintln(out, "stored report     = verified (matches recomputation)")
 		} else {
-			fmt.Printf("stored report     = MISMATCH: stored %+v\n", *run.Report)
+			fmt.Fprintf(out, "stored report     = MISMATCH: stored %+v\n", *run.Report)
 		}
 	}
-	if *heatmap {
-		fmt.Print(metrics.LoadHeatmap(m, metrics.EdgeLoads(m, run.Paths)))
+	if heatmap {
+		fmt.Fprint(out, metrics.LoadHeatmap(m, metrics.EdgeLoads(m, run.Paths)))
 	}
-	if *simulate {
+	if simulate {
 		r := sim.Run(m, run.Paths, sim.FurthestToGo)
-		fmt.Printf("makespan          = %d (C+D = %d)\n",
+		fmt.Fprintf(out, "makespan          = %d (C+D = %d)\n",
 			r.Makespan, rep.Congestion+rep.Dilation)
 	}
+	if check {
+		return checkRun(out, run)
+	}
+	return nil
+}
+
+// checkRun rebuilds the run's selector from the recorded algorithm
+// name and seed, then re-derives and checks every stored path under
+// the batch stream convention (packet i ↔ stream i).
+func checkRun(out io.Writer, run serial.Run) error {
+	algo, err := cli.BuildAlgorithm(run.Algorithm, run.Problem.M, run.Seed)
+	if err != nil {
+		return fmt.Errorf("-check: rebuilding algorithm %q: %w", run.Algorithm, err)
+	}
+	named, ok := algo.(baseline.Named)
+	if !ok {
+		return fmt.Errorf("-check needs a core selector run (H, H-general, access-tree), not %s", run.Algorithm)
+	}
+	checker := invariant.New(named.Sel)
+	for i, pr := range run.Problem.Pairs {
+		checker.CheckPath(pr.S, pr.T, uint64(i), run.Paths[i])
+	}
+	n := checker.Count()
+	fmt.Fprintf(out, "invariant checks  = %d packets checked, %d violations\n", checker.Checked(), n)
+	if n == 0 {
+		return nil
+	}
+	for _, v := range checker.Violations() {
+		fmt.Fprintf(out, "  VIOLATION %s\n    replay: %s\n", v, v.Replay(run.Problem.M))
+	}
+	return errors.New("invariant violations in stored run")
 }

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"obliviousmesh/internal/baseline"
+	"obliviousmesh/internal/cli"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/serial"
+	"obliviousmesh/internal/workload"
+)
+
+// writeRun selects a batch run for an 8x8 permutation with algorithm H
+// and saves it to a temp file, optionally corrupting one stored path
+// first.
+func writeRun(t *testing.T, corrupt func(*serial.Run)) string {
+	t.Helper()
+	m := mesh.MustSquare(2, 8)
+	algo, err := cli.BuildAlgorithm("H", m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := workload.RandomPermutation(m, 7)
+	paths := baseline.SelectAll(algo, prob.Pairs)
+	run := serial.Run{Problem: prob, Algorithm: "H", Seed: 7, Paths: paths}
+	if corrupt != nil {
+		corrupt(&run)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.SaveRun(f, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRun(t *testing.T) {
+	clean := writeRun(t, nil)
+	cases := []struct {
+		name       string
+		args       []string
+		exit       int
+		wantOut    []string
+		wantErrOut []string
+	}{
+		{
+			name:    "replay smoke",
+			args:    []string{"-in", clean},
+			exit:    0,
+			wantOut: []string{"mesh 8x8", "workload=random-permutation", "algo=H", "congestion C"},
+		},
+		{
+			name:    "replay with simulate and heatmap",
+			args:    []string{"-in", clean, "-simulate", "-heatmap"},
+			exit:    0,
+			wantOut: []string{"makespan", "edge-load heatmap"},
+		},
+		{
+			name:    "replay with check",
+			args:    []string{"-in", clean, "-check"},
+			exit:    0,
+			wantOut: []string{"invariant checks  = 64 packets checked, 0 violations"},
+		},
+		{
+			name:       "missing -in",
+			args:       nil,
+			exit:       2,
+			wantErrOut: []string{"-in is required"},
+		},
+		{
+			name:       "unknown flag",
+			args:       []string{"-bogus"},
+			exit:       2,
+			wantErrOut: []string{"flag provided but not defined"},
+		},
+		{
+			name:       "nonexistent file",
+			args:       []string{"-in", filepath.Join(t.TempDir(), "nope.json")},
+			exit:       1,
+			wantErrOut: []string{"no such file"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if got := run(tc.args, &out, &errOut); got != tc.exit {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", got, tc.exit, out.String(), errOut.String())
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, out.String())
+				}
+			}
+			for _, want := range tc.wantErrOut {
+				if !strings.Contains(errOut.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, errOut.String())
+				}
+			}
+		})
+	}
+}
+
+// A stored path that is a valid walk but not the path obliviousness
+// dictates for its stream must be flagged by -check with the violating
+// reference and a replay witness.
+func TestRunCheckFlagsCorruptedRun(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	algo, err := cli.BuildAlgorithm("H", m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := writeRun(t, func(r *serial.Run) {
+		// Swap in the path another stream would have taken: still a
+		// valid s→t walk, so it survives LoadRun's validation, but it
+		// breaks the oblivious (seed, stream, s, t) determinism.
+		for i, pr := range r.Problem.Pairs {
+			if pr.S != pr.T {
+				p := algo.Path(pr.S, pr.T, uint64(i)+1000)
+				if !pathEq(p, r.Paths[i]) {
+					r.Paths[i] = p
+					return
+				}
+			}
+		}
+		t.Fatal("could not build a divergent path")
+	})
+	var out, errOut bytes.Buffer
+	if got := run([]string{"-in", corrupted, "-check"}, &out, &errOut); got != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", got, out.String())
+	}
+	for _, want := range []string{"VIOLATION", "trace-agreement", "§3.3", "seed 7", "replay: meshroute"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func pathEq(a, b mesh.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

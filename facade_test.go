@@ -1,0 +1,191 @@
+package obliviousmesh_test
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	obliviousmesh "obliviousmesh"
+)
+
+func newRouter(t testing.TB, d, side int) (*obliviousmesh.Mesh, *obliviousmesh.Router) {
+	t.Helper()
+	m, err := obliviousmesh.NewMesh(d, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, r
+}
+
+// SelectAllObserved must report exactly the edges of the paths it
+// returns — packet ids in range, per-packet counts matching path
+// lengths — and the observer must not perturb selection.
+func TestSelectAllObserved(t *testing.T) {
+	m, r := newRouter(t, 2, 16)
+	prob := obliviousmesh.RandomPermutation(m, 3)
+
+	perPacket := make([]int, len(prob.Pairs))
+	paths := obliviousmesh.SelectAllObserved(r, prob.Pairs, func(pkt int, e obliviousmesh.EdgeID) {
+		if pkt < 0 || pkt >= len(prob.Pairs) {
+			t.Fatalf("observer saw packet id %d of %d", pkt, len(prob.Pairs))
+		}
+		if int(e) < 0 || int(e) >= m.EdgeSpace() {
+			t.Fatalf("observer saw edge id %d of %d", e, m.EdgeSpace())
+		}
+		perPacket[pkt]++
+	})
+	if len(paths) != len(prob.Pairs) {
+		t.Fatalf("%d paths for %d pairs", len(paths), len(prob.Pairs))
+	}
+	for i, p := range paths {
+		if perPacket[i] != p.Len() {
+			t.Fatalf("packet %d: observed %d edges, path has %d", i, perPacket[i], p.Len())
+		}
+	}
+
+	// Edge paths of the error-ish inputs: nil observer and empty batch.
+	unobserved := obliviousmesh.SelectAllObserved(r, prob.Pairs, nil)
+	for i := range unobserved {
+		if len(unobserved[i]) != len(paths[i]) {
+			t.Fatalf("nil observer changed selection of packet %d", i)
+		}
+		for j := range unobserved[i] {
+			if unobserved[i][j] != paths[i][j] {
+				t.Fatalf("nil observer changed selection of packet %d", i)
+			}
+		}
+	}
+	called := false
+	if got := obliviousmesh.SelectAllObserved(r, nil, func(int, obliviousmesh.EdgeID) { called = true }); len(got) != 0 || called {
+		t.Fatalf("empty batch: %d paths, observer called=%v", len(got), called)
+	}
+}
+
+// Issued vs Packets under concurrent Route: Packets must never read
+// ahead of Issued, and from inside the per-route observer — which runs
+// before the route is counted complete — the route's own stream must
+// still be in flight (Issued > stream ≥ Packets-consistent view).
+func TestSessionIssuedVsPacketsConcurrent(t *testing.T) {
+	m, r := newRouter(t, 2, 16)
+	s := obliviousmesh.NewSession(r)
+
+	var observed atomic.Uint64
+	s.Observe(func(stream uint64, src, dst obliviousmesh.NodeID, p obliviousmesh.Path) {
+		observed.Add(1)
+		issued, done := s.Issued(), s.Packets()
+		if stream >= issued {
+			t.Errorf("observer: stream %d not yet issued (Issued=%d)", stream, issued)
+		}
+		// This route is not complete while its observer runs, so at
+		// least one issued stream is unfinished.
+		if done >= issued {
+			t.Errorf("observer: Packets=%d not behind Issued=%d mid-route", done, issued)
+		}
+	})
+
+	const goroutines, perG = 8, 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent reader probing the invariant
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if done, issued := s.Packets(), s.Issued(); done > issued {
+					t.Errorf("reader: Packets=%d ahead of Issued=%d", done, issued)
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				src := obliviousmesh.NodeID((g*perG + i) % m.Size())
+				dst := obliviousmesh.NodeID(m.Size() - 1 - int(src))
+				s.Route(src, dst)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	if got := s.Issued(); got != goroutines*perG {
+		t.Fatalf("Issued = %d, want %d", got, goroutines*perG)
+	}
+	if got := s.Packets(); got != goroutines*perG {
+		t.Fatalf("Packets = %d, want %d", got, goroutines*perG)
+	}
+	if got := observed.Load(); got != goroutines*perG {
+		t.Fatalf("observer saw %d routes, want %d", got, goroutines*perG)
+	}
+}
+
+// SelectAllChecked: identical paths to SelectAll, a clean checker on
+// healthy code, and violation reporting through the facade types.
+func TestSelectAllChecked(t *testing.T) {
+	m, r := newRouter(t, 2, 16)
+	prob := obliviousmesh.RandomPermutation(m, 5)
+
+	ck := obliviousmesh.NewChecker(r)
+	paths := obliviousmesh.SelectAllChecked(r, prob.Pairs, ck)
+	if err := ck.Err(); err != nil {
+		t.Fatalf("violations on healthy selection: %v", err)
+	}
+	if got := ck.Checked(); got != uint64(len(prob.Pairs)) {
+		t.Fatalf("checked %d packets, want %d", got, len(prob.Pairs))
+	}
+	plain := obliviousmesh.SelectAll(obliviousmesh.Named("H", r), prob.Pairs)
+	for i := range paths {
+		if len(paths[i]) != len(plain[i]) {
+			t.Fatalf("checked selection diverged at packet %d", i)
+		}
+	}
+
+	// A doctored delivery surfaces as a facade Violation with the
+	// paper reference and replay witness.
+	ck.Reset()
+	s, d := prob.Pairs[0].S, prob.Pairs[0].T
+	vs := ck.CheckPath(s, d, 0, r.Path(s, d, 1))
+	if len(vs) == 0 {
+		t.Fatal("doctored delivery not flagged")
+	}
+	var v obliviousmesh.Violation = vs[0]
+	if !strings.Contains(v.String(), "seed 11") || !strings.Contains(v.Replay(m), "-check") {
+		t.Fatalf("violation lacks replay witness: %s / %s", v, v.Replay(m))
+	}
+}
+
+// A session with a checker observer attached must stay clean under
+// concurrent routing (exercised under -race by make verify).
+func TestSessionCheckedConcurrent(t *testing.T) {
+	m, r := newRouter(t, 2, 16)
+	ck := obliviousmesh.NewChecker(r)
+	s := obliviousmesh.NewSession(r)
+	s.Observe(ck.SessionObserver())
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				s.Route(obliviousmesh.NodeID((g*64+i)%m.Size()), obliviousmesh.NodeID(i%m.Size()))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := ck.Err(); err != nil {
+		t.Fatalf("violations from concurrent session: %v", err)
+	}
+	if got := ck.Checked(); got != 4*32 {
+		t.Fatalf("checked %d routes, want %d", got, 4*32)
+	}
+}

@@ -17,6 +17,23 @@ import (
 // concurrent use (metrics.LiveLoads.Add is).
 type Observer func(packet int, e mesh.EdgeID)
 
+// PathObserver receives each whole selected path (with its per-packet
+// stats) immediately after construction, before the batch moves on to
+// the next packet. It is the hook the invariant engine attaches to:
+// unlike Observer it sees the packet's endpoints and accounting, so a
+// checker can re-derive the full decision trace for (seed, packet,
+// s, t) and compare. The path is the caller-owned final slice (safe to
+// retain); with the parallel engine the observer is invoked
+// concurrently from all workers and must be safe for concurrent use.
+type PathObserver func(packet int, pr mesh.Pair, p mesh.Path, st Stats)
+
+// Hooks bundles the optional batch-selection observers. The zero value
+// disables both; a nil field costs nothing on the hot path.
+type Hooks struct {
+	Edge Observer
+	Path PathObserver
+}
+
 // SelectAllInto is SelectAll into a caller-provided path slice
 // (len(paths) ≥ len(pairs)): packet i's path is written to paths[i]
 // and, when observe is non-nil, its edges are reported during the same
@@ -26,24 +43,35 @@ type Observer func(packet int, e mesh.EdgeID)
 // EdgeLoads pass and no per-packet buffer churn. The selected paths
 // are bit-for-bit identical to SelectAll's.
 func (sel *Selector) SelectAllInto(pairs []mesh.Pair, paths []mesh.Path, observe Observer) Aggregate {
+	return sel.SelectAllIntoHooks(pairs, paths, Hooks{Edge: observe})
+}
+
+// SelectAllIntoHooks is SelectAllInto with the full hook set: edges
+// stream to h.Edge and each finished path (with its stats) to h.Path
+// during the same selection pass. Both hooks are optional and cost
+// nothing when nil.
+func (sel *Selector) SelectAllIntoHooks(pairs []mesh.Pair, paths []mesh.Path, h Hooks) Aggregate {
 	if len(paths) < len(pairs) {
 		panic(fmt.Sprintf("core: SelectAllInto: paths slice too short (%d < %d)", len(paths), len(pairs)))
 	}
-	return sel.selectRange(pairs, paths, 0, len(pairs), observe)
+	return sel.selectRange(pairs, paths, 0, len(pairs), h)
 }
 
 // selectRange routes pairs[lo:hi] into paths[lo:hi] with one scratch,
-// reporting edges to observe. It is the per-worker body of both the
-// serial and the parallel fused engines.
-func (sel *Selector) selectRange(pairs []mesh.Pair, paths []mesh.Path, lo, hi int, observe Observer) Aggregate {
+// reporting edges and paths to the hooks. It is the per-worker body of
+// both the serial and the parallel fused engines.
+func (sel *Selector) selectRange(pairs []mesh.Pair, paths []mesh.Path, lo, hi int, h Hooks) Aggregate {
 	sc := sel.newScratch()
 	var agg Aggregate
 	for i := lo; i < hi; i++ {
 		tr := sel.constructInto(pairs[i].S, pairs[i].T, uint64(i), false, sc)
 		paths[i] = tr.Path
 		agg.Add(tr.Stats)
-		if observe != nil {
-			sel.m.PathEdges(tr.Path, func(e mesh.EdgeID) { observe(i, e) })
+		if h.Edge != nil {
+			sel.m.PathEdges(tr.Path, func(e mesh.EdgeID) { h.Edge(i, e) })
+		}
+		if h.Path != nil {
+			h.Path(i, pairs[i], tr.Path, tr.Stats)
 		}
 	}
 	return agg

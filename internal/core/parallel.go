@@ -30,6 +30,13 @@ func (sel *Selector) SelectAllParallel(pairs []mesh.Pair, workers int) ([]mesh.P
 // degrades to the serial path the way the old small-batch heuristic
 // did.
 func (sel *Selector) SelectAllParallelInto(pairs []mesh.Pair, workers int, paths []mesh.Path, observe Observer) Aggregate {
+	return sel.SelectAllParallelIntoHooks(pairs, workers, paths, Hooks{Edge: observe})
+}
+
+// SelectAllParallelIntoHooks is SelectAllParallelInto with the full
+// hook set (see Hooks); both hooks are invoked concurrently from all
+// workers and must be safe for concurrent use.
+func (sel *Selector) SelectAllParallelIntoHooks(pairs []mesh.Pair, workers int, paths []mesh.Path, h Hooks) Aggregate {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 		if len(pairs) < 2*workers {
@@ -40,7 +47,7 @@ func (sel *Selector) SelectAllParallelInto(pairs []mesh.Pair, workers int, paths
 		workers = len(pairs)
 	}
 	if workers <= 1 {
-		return sel.SelectAllInto(pairs, paths, observe)
+		return sel.SelectAllIntoHooks(pairs, paths, h)
 	}
 	if len(paths) < len(pairs) {
 		panic("core: SelectAllParallelInto: paths slice too short")
@@ -63,7 +70,7 @@ func (sel *Selector) SelectAllParallelInto(pairs []mesh.Pair, workers int, paths
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			aggs[w] = sel.selectRange(pairs, paths, lo, hi, observe)
+			aggs[w] = sel.selectRange(pairs, paths, lo, hi, h)
 		}(w, lo, hi)
 	}
 	wg.Wait()

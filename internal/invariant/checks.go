@@ -1,0 +1,285 @@
+package invariant
+
+import (
+	"errors"
+	"fmt"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// Stretch envelopes. Envelope2D is the paper's exact Theorem 3.4
+// constant for the §3.3 construction. The general construction's
+// Theorem 4.2 proves O(d²) stretch without naming the constant;
+// GeneralFactor·d² is the empirical envelope the reproduction enforces
+// (E3 measures ≤ ~12·d², so a violation means a real regression, not
+// noise).
+const (
+	Envelope2D    = 64
+	GeneralFactor = 50
+)
+
+// StretchEnvelope returns the enforced stretch bound for a selector
+// configuration on a d-dimensional mesh, before the non-power-of-two
+// embedding slack is applied. ok is false when no bound applies (the
+// DisableBridges access-tree ablation has provably unbounded stretch,
+// and non-paper BridgeFactor values void Theorem 4.2's geometry).
+func (e *Engine) StretchEnvelope() (bound float64, ok bool) {
+	if e.opt.DisableBridges {
+		return 0, false
+	}
+	if f := e.opt.BridgeFactor; f != 0 && f != 1 {
+		return 0, false
+	}
+	if e.sel.Options().Variant == 0 { // core.Variant2D
+		return Envelope2D * e.slack, true
+	}
+	d := float64(e.m.Dim())
+	return GeneralFactor * d * d * e.slack, true
+}
+
+// checkPathValid: the delivered path must be a walk on the mesh from S
+// to T (§2's routing model) and, unless the KeepCycles ablation is
+// active, simple — the paper removes cycles without loss of generality
+// after Lemma 3.8. The trace's length accounting must agree with the
+// path it describes.
+func checkPathValid(e *Engine, ctx *Context) error {
+	if err := e.m.Validate(ctx.Delivered, ctx.S, ctx.T); err != nil {
+		return err
+	}
+	if !e.opt.KeepCycles && !ctx.Delivered.IsSimple() {
+		return errors.New("path visits a node twice after cycle removal")
+	}
+	if got, want := ctx.Trace.Stats.Len, ctx.Trace.Path.Len(); got != want {
+		return fmt.Errorf("stats.Len %d != constructed path length %d", got, want)
+	}
+	return nil
+}
+
+// checkTraceAgreement: algorithm H is oblivious — the path is a pure
+// function of (seed, stream, s, t) — so the delivered path must equal
+// the independently re-derived trace path bit for bit. This is the
+// check that catches corruption between selection and delivery (and
+// any nondeterminism regression in the selector).
+func checkTraceAgreement(e *Engine, ctx *Context) error {
+	a, b := ctx.Delivered, ctx.Trace.Path
+	if len(a) != len(b) {
+		return fmt.Errorf("delivered path has %d nodes, re-derived path %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("delivered path diverges from re-derived path at hop %d (%v vs %v)",
+				i, e.m.CoordOf(a[i]), e.m.CoordOf(b[i]))
+		}
+	}
+	return nil
+}
+
+// checkWaypoints: the algorithm selects one random node per chain
+// submesh with v_0 = s and v_last = t (§3.3); every waypoint must lie
+// inside its chain submesh (the membership Lemma 3.1's hierarchy
+// provides), and the chain-length accounting must be consistent.
+func checkWaypoints(e *Engine, ctx *Context) error {
+	tr := &ctx.Trace
+	if ctx.S == ctx.T {
+		if tr.Stats.ChainLen != 1 || len(tr.Waypoints) != 1 || tr.Waypoints[0] != ctx.S {
+			return fmt.Errorf("degenerate packet: chainLen %d, waypoints %v", tr.Stats.ChainLen, tr.Waypoints)
+		}
+		return nil
+	}
+	if len(tr.Waypoints) != len(tr.Chain) {
+		return fmt.Errorf("%d waypoints for %d chain submeshes", len(tr.Waypoints), len(tr.Chain))
+	}
+	if tr.Stats.ChainLen != len(tr.Chain) {
+		return fmt.Errorf("stats.ChainLen %d != chain length %d", tr.Stats.ChainLen, len(tr.Chain))
+	}
+	if tr.Waypoints[0] != ctx.S {
+		return fmt.Errorf("first waypoint %d is not the source %d", tr.Waypoints[0], ctx.S)
+	}
+	if last := tr.Waypoints[len(tr.Waypoints)-1]; last != ctx.T {
+		return fmt.Errorf("last waypoint %d is not the target %d", last, ctx.T)
+	}
+	for i, b := range tr.Chain {
+		if c := e.m.CoordOf(tr.Waypoints[i]); !e.m.BoxContains(b, c) {
+			return fmt.Errorf("waypoint %d at %v outside its chain submesh %v", i, c, b)
+		}
+	}
+	return nil
+}
+
+// checkChainShape: the chain must be bitonic (Lemma 3.2) — submeshes
+// ascend by containment from the source leaf to the bridge and descend
+// from the bridge to the target leaf, with the bridge exactly in the
+// middle, containing both endpoints (Lemma 3.3/4.1). The source lies
+// in every ascending submesh and the target in every descending one.
+func checkChainShape(e *Engine, ctx *Context) error {
+	if ctx.S == ctx.T {
+		return nil
+	}
+	chain := ctx.Trace.Chain
+	n := len(chain)
+	if n == 0 {
+		return errors.New("empty chain")
+	}
+	if n%2 == 0 {
+		return fmt.Errorf("chain has even length %d; bitonic chains are symmetric around the bridge", n)
+	}
+	mid := (n - 1) / 2
+	if !chain[mid].Equal(ctx.Trace.Bridge.Box) {
+		return fmt.Errorf("middle chain submesh %v is not the bridge %v", chain[mid], ctx.Trace.Bridge.Box)
+	}
+	sc, tc := e.m.CoordOf(ctx.S), e.m.CoordOf(ctx.T)
+	for i := 0; i <= mid; i++ {
+		if !e.m.BoxContains(chain[i], sc) {
+			return fmt.Errorf("ascending submesh %d (%v) does not contain the source %v", i, chain[i], sc)
+		}
+	}
+	for i := mid; i < n; i++ {
+		if !e.m.BoxContains(chain[i], tc) {
+			return fmt.Errorf("descending submesh %d (%v) does not contain the target %v", i, chain[i], tc)
+		}
+	}
+	if f := e.opt.BridgeFactor; f != 0 && f != 1 {
+		// Shrunken/inflated bridges (the E23 ablation) void the λ-grid
+		// alignment that containment into the bridge relies on.
+		return nil
+	}
+	for i := 0; i < mid; i++ {
+		if !e.m.BoxContainsBox(chain[i+1], chain[i]) {
+			return fmt.Errorf("ascent broken: submesh %d (%v) not contained in submesh %d (%v)",
+				i, chain[i], i+1, chain[i+1])
+		}
+	}
+	for i := mid; i < n-1; i++ {
+		if !e.m.BoxContainsBox(chain[i], chain[i+1]) {
+			return fmt.Errorf("descent broken: submesh %d (%v) not contained in submesh %d (%v)",
+				i+1, chain[i+1], i, chain[i])
+		}
+	}
+	return nil
+}
+
+// checkStretch: Theorem 3.4 bounds the 2-D construction's stretch by
+// 64 and Theorem 4.2 bounds the general construction by O(d²); the
+// bound holds for the as-constructed (pre cycle removal) length, so it
+// is enforced on RawLen, with cycle removal additionally required
+// never to lengthen the path.
+func checkStretch(e *Engine, ctx *Context) error {
+	tr := &ctx.Trace
+	if tr.Stats.Len > tr.Stats.RawLen {
+		return fmt.Errorf("cycle removal lengthened the path: %d > raw %d", tr.Stats.Len, tr.Stats.RawLen)
+	}
+	if ctx.Dist == 0 {
+		if tr.Stats.Len != 0 {
+			return fmt.Errorf("s == t but path has %d edges", tr.Stats.Len)
+		}
+		return nil
+	}
+	bound, ok := e.StretchEnvelope()
+	if !ok {
+		return nil
+	}
+	if stretch := float64(tr.Stats.RawLen) / float64(ctx.Dist); stretch > bound {
+		return fmt.Errorf("stretch %.2f (raw len %d / dist %d) exceeds the bound %.0f",
+			stretch, tr.Stats.RawLen, ctx.Dist, bound)
+	}
+	return nil
+}
+
+// checkBitBudget: Lemma 5.4 bounds the per-packet randomness of the
+// §5.3 reuse scheme by O(d·log(D·√d)) bits. The budget is recomputed
+// from the packet's actual chain: the dimension permutation, the two
+// reservoir charges of 2·d·⌈log₂(max chain side)⌉ bits, and a
+// rejection-sampling envelope for every draw that cannot come from the
+// reservoir prefix (non-power-of-two sides of clipped boxes).
+// Rejection sampling has no deterministic worst case, so each
+// rejection-sampled draw is charged 4 attempts plus a shared slack —
+// an envelope the true consumption stays under with overwhelming
+// probability, and deterministically reproducible for any fixed
+// (seed, stream, s, t).
+func checkBitBudget(e *Engine, ctx *Context) error {
+	if ctx.S == ctx.T {
+		if ctx.Trace.Stats.RandomBits != 0 {
+			return fmt.Errorf("s == t but %d random bits consumed", ctx.Trace.Stats.RandomBits)
+		}
+		return nil
+	}
+	tr := &ctx.Trace
+	d := e.m.Dim()
+	var budget int64
+	if !e.opt.FixedDimOrder {
+		// Fisher–Yates over d dimensions: one Intn(i) per i = 2..d,
+		// each a rejection-sampled draw of ⌈log₂ i⌉ bits.
+		for i := 2; i <= d; i++ {
+			budget += int64(4 * bitsFor(i))
+		}
+	}
+	interior := tr.Chain
+	if len(interior) >= 2 {
+		interior = interior[1 : len(interior)-1]
+	}
+	if e.opt.FreshBits {
+		// Naive scheme ablation: every interior waypoint coordinate is
+		// a fresh draw.
+		for _, b := range interior {
+			for dim := 0; dim < d; dim++ {
+				side := b.Side(dim)
+				if side <= 1 {
+					continue
+				}
+				if side&(side-1) == 0 {
+					budget += int64(bitsFor(side))
+				} else {
+					budget += int64(4 * bitsFor(side))
+				}
+			}
+		}
+	} else {
+		// §5.3 reuse: two reservoirs sized for the largest chain
+		// submesh, prefix-shared by all power-of-two draws; only
+		// non-power-of-two (clipped) sides fall back to charged draws.
+		capBits := 0
+		for _, b := range tr.Chain {
+			if v := bitsFor(b.MaxSide()); v > capBits {
+				capBits = v
+			}
+		}
+		budget += int64(2 * d * capBits)
+		for _, b := range interior {
+			for dim := 0; dim < d; dim++ {
+				side := b.Side(dim)
+				if side > 1 && side&(side-1) != 0 {
+					budget += int64(4 * bitsFor(side))
+				}
+			}
+		}
+	}
+	budget += 128 // shared rejection slack
+	if tr.Stats.RandomBits > budget {
+		return fmt.Errorf("consumed %d random bits, Lemma 5.4 envelope is %d (chain %d, d %d)",
+			tr.Stats.RandomBits, budget, tr.Stats.ChainLen, d)
+	}
+	return nil
+}
+
+// bitsFor returns ⌈log₂ n⌉ for n ≥ 1 — the bits one uniform draw in
+// [0, n) costs before rejection.
+func bitsFor(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// pathsEqual reports whether two paths are identical node sequences.
+func pathsEqual(a, b mesh.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+package invariant
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/mesh"
+)
+
+// FuzzCheckedPath throws arbitrary (endpoints, stream, config) tuples
+// at the full invariant suite. Any crash input shrinks to a minimal
+// (a, b, stream, cfg) witness; the failure message carries the
+// (seed, stream, s, t) tuple, replayable via `meshroute -check -pair`
+// or `replay -check` (see EXPERIMENTS.md).
+func FuzzCheckedPath(f *testing.F) {
+	f.Add(uint32(0), uint32(255), uint64(0), uint8(0))
+	f.Add(uint32(100), uint32(101), uint64(9), uint8(1))
+	f.Add(uint32(17), uint32(240), uint64(3), uint8(2))
+	f.Add(uint32(63), uint32(64), uint64(12), uint8(3))
+	f.Add(uint32(7), uint32(7), uint64(1), uint8(4))
+	f.Add(uint32(5), uint32(200), uint64(77), uint8(5))
+
+	engines := []*Engine{
+		New(core.MustNewSelector(mesh.MustSquare(2, 16), core.Options{Variant: core.Variant2D, Seed: 1})),
+		New(core.MustNewSelector(mesh.MustSquare(2, 16), core.Options{Variant: core.VariantGeneral, Seed: 2})),
+		New(core.MustNewSelector(mesh.MustSquareTorus(2, 16), core.Options{Variant: core.Variant2D, Seed: 3})),
+		New(core.MustNewSelector(mesh.MustSquare(3, 8), core.Options{Variant: core.VariantGeneral, Seed: 4})),
+		New(core.MustNewSelector(mesh.MustSquare(4, 4), core.Options{Variant: core.VariantGeneral, Seed: 5})),
+		New(core.MustNewSelector(mustNew(12, 12), core.Options{Variant: core.Variant2D, Seed: 6})),
+	}
+
+	f.Fuzz(func(t *testing.T, a, b uint32, stream uint64, pick uint8) {
+		e := engines[int(pick)%len(engines)]
+		m := e.Selector().Mesh()
+		s := mesh.NodeID(int(a) % m.Size())
+		d := mesh.NodeID(int(b) % m.Size())
+		if vs := e.CheckPath(s, d, stream, nil); len(vs) != 0 {
+			t.Fatalf("invariant violations for packet %d->%d stream %d: %v", s, d, stream, vs)
+		}
+		e.Reset() // keep the shared record from growing across the corpus
+	})
+}
+
+func mustNew(dims ...int) *mesh.Mesh {
+	m, err := mesh.New(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,97 @@
+package serial
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+// FuzzLoadProblem feeds arbitrary bytes to the problem decoder: it
+// must never panic, and any input it accepts must survive a
+// save → load round trip unchanged (canonical-form property).
+func FuzzLoadProblem(f *testing.F) {
+	// Seed with a real problem file and a few near-misses.
+	var buf bytes.Buffer
+	m := mesh.MustSquare(2, 4)
+	if err := SaveProblem(&buf, workload.Transpose(m)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"mesh":{"dims":[4,4]},"pairs":[[0,1]]}`))
+	f.Add([]byte(strings.Replace(buf.String(), "4", "0", 1)))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prob, err := LoadProblem(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: everything must be internally consistent...
+		n := prob.M.Size()
+		for _, pr := range prob.Pairs {
+			if int(pr.S) >= n || int(pr.T) >= n || pr.S < 0 || pr.T < 0 {
+				t.Fatalf("accepted out-of-range pair %v on %v", pr, prob.M)
+			}
+		}
+		// ...and round-trip exactly.
+		var out bytes.Buffer
+		if err := SaveProblem(&out, prob); err != nil {
+			t.Fatalf("re-save of accepted problem failed: %v", err)
+		}
+		again, err := LoadProblem(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-load of re-saved problem failed: %v", err)
+		}
+		if again.Name != prob.Name || len(again.Pairs) != len(prob.Pairs) {
+			t.Fatalf("round trip changed the problem: %+v vs %+v", again, prob)
+		}
+		for i := range prob.Pairs {
+			if again.Pairs[i] != prob.Pairs[i] {
+				t.Fatalf("round trip changed pair %d: %v vs %v", i, again.Pairs[i], prob.Pairs[i])
+			}
+		}
+	})
+}
+
+// FuzzLoadRun feeds arbitrary bytes to the run decoder: never panic,
+// and accepted runs must contain only validated paths (LoadRun's
+// contract) that a re-save round-trips.
+func FuzzLoadRun(f *testing.F) {
+	m := mesh.MustSquare(2, 4)
+	prob := workload.Transpose(m)
+	paths := make([]mesh.Path, len(prob.Pairs))
+	for i, pr := range prob.Pairs {
+		paths[i] = m.StaircasePath(pr.S, pr.T, mesh.IdentityPerm(2))
+	}
+	var buf bytes.Buffer
+	if err := SaveRun(&buf, Run{Problem: prob, Algorithm: "dim-order", Seed: 1, Paths: paths}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"problem":{}}`))
+	f.Add([]byte(strings.Replace(buf.String(), "dim-order", "", 1)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := LoadRun(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, p := range run.Paths {
+			pr := run.Problem.Pairs[i]
+			if err := run.Problem.M.Validate(p, pr.S, pr.T); err != nil {
+				t.Fatalf("accepted run with invalid path %d: %v", i, err)
+			}
+		}
+		var out bytes.Buffer
+		if err := SaveRun(&out, run); err != nil {
+			t.Fatalf("re-save of accepted run failed: %v", err)
+		}
+		if _, err := LoadRun(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-load of re-saved run failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/workload"
+)
+
+// dimOrderPaths builds a deterministic path system for the transpose
+// permutation.
+func dimOrderPaths(m *mesh.Mesh) []mesh.Path {
+	prob := workload.Transpose(m)
+	paths := make([]mesh.Path, len(prob.Pairs))
+	for i, pr := range prob.Pairs {
+		paths[i] = m.StaircasePath(pr.S, pr.T, mesh.IdentityPerm(m.Dim()))
+	}
+	return paths
+}
+
+// OnTraverse must fire exactly once per packet move: the total count
+// equals the total path length, and per-edge counts reconstruct the
+// static edge loads in both duplex modes.
+func TestOnTraverseCountsEveryMove(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	paths := dimOrderPaths(m)
+	want := 0
+	for _, p := range paths {
+		want += p.Len()
+	}
+	for _, fullDuplex := range []bool{false, true} {
+		counts := make([]int, m.EdgeSpace())
+		total := 0
+		r := RunOpts(m, paths, Options{
+			Discipline: FurthestToGo,
+			FullDuplex: fullDuplex,
+			OnTraverse: func(step int, e mesh.EdgeID) {
+				if step < 1 || step > 10*want {
+					t.Fatalf("implausible step %d", step)
+				}
+				counts[e]++
+				total++
+			},
+		})
+		if total != want {
+			t.Fatalf("fullDuplex=%v: observed %d traversals, want %d", fullDuplex, total, want)
+		}
+		if r.Delivered != len(paths) {
+			t.Fatalf("fullDuplex=%v: delivered %d of %d", fullDuplex, r.Delivered, len(paths))
+		}
+		for e, load := range metrics.EdgeLoads(m, paths) {
+			if int64(counts[e]) != load {
+				t.Fatalf("fullDuplex=%v: edge %d crossed %d times, static load %d",
+					fullDuplex, e, counts[e], load)
+			}
+		}
+	}
+}
+
+// An observer that aborts early (stops recording after a threshold)
+// must not perturb the schedule: the run's result is identical to an
+// unobserved run, and the observer sees a prefix of the traversals.
+func TestOnTraverseEarlyAbortObserver(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	paths := dimOrderPaths(m)
+	base := Run(m, paths, FurthestToGo)
+
+	const limit = 10
+	seen := 0
+	aborted := false
+	r := RunOpts(m, paths, Options{
+		Discipline: FurthestToGo,
+		OnTraverse: func(step int, e mesh.EdgeID) {
+			if aborted {
+				return // early abort: observer went quiescent
+			}
+			seen++
+			if seen >= limit {
+				aborted = true
+			}
+		},
+	})
+	if !aborted {
+		t.Fatalf("observer never reached its abort threshold (saw %d)", seen)
+	}
+	if seen != limit {
+		t.Fatalf("observer recorded %d traversals after aborting at %d", seen, limit)
+	}
+	if r != base {
+		t.Fatalf("observed run diverged from unobserved run:\n%+v\n%+v", r, base)
+	}
+}

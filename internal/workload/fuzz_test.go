@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// FuzzGenerators drives every workload generator with arbitrary seeds
+// and parameters and checks the universal contract (all endpoints in
+// range) plus each generator's own guarantee: permutation generators
+// emit permutations, local traffic respects its radius, hot-spot
+// traffic emits the requested packet count.
+func FuzzGenerators(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0))
+	f.Add(uint64(42), uint8(1), uint8(1))
+	f.Add(uint64(7), uint8(2), uint8(2))
+	f.Add(uint64(99), uint8(3), uint8(3))
+	f.Add(uint64(3), uint8(4), uint8(0))
+	f.Add(uint64(0), uint8(5), uint8(1))
+	f.Add(uint64(12), uint8(6), uint8(2))
+
+	meshes := []*mesh.Mesh{
+		mesh.MustSquare(2, 8),
+		mesh.MustSquareTorus(2, 8),
+		mesh.MustSquare(3, 4),
+		mesh.MustSquare(2, 16),
+	}
+
+	f.Fuzz(func(t *testing.T, seed uint64, pick, meshPick uint8) {
+		m := meshes[int(meshPick)%len(meshes)]
+		var prob Problem
+		permutation := false
+		switch pick % 7 {
+		case 0:
+			prob = RandomPermutation(m, seed)
+			permutation = true
+		case 1:
+			prob = Transpose(m)
+			permutation = true
+		case 2:
+			prob = Tornado(m)
+			permutation = true
+		case 3:
+			prob = BitComplement(m)
+			permutation = true
+		case 4:
+			prob = RandomPairs(m, 1+int(seed%64), seed)
+		case 5:
+			r := 1 + int(seed%3)
+			prob = LocalRandom(m, 1+int(seed%64), r, seed)
+			for _, pr := range prob.Pairs {
+				if d := m.Dist(pr.S, pr.T); d > r {
+					t.Fatalf("local-random pair %v at distance %d > radius %d", pr, d, r)
+				}
+			}
+		case 6:
+			count := 1 + int(seed%64)
+			prob = HotSpot(m, count, 1+int(seed%4), seed)
+			if len(prob.Pairs) != count {
+				t.Fatalf("hot-spot emitted %d pairs, want %d", len(prob.Pairs), count)
+			}
+		}
+		n := m.Size()
+		for _, pr := range prob.Pairs {
+			if pr.S < 0 || int(pr.S) >= n || pr.T < 0 || int(pr.T) >= n {
+				t.Fatalf("%s: out-of-range pair %v on %v", prob.Name, pr, m)
+			}
+		}
+		if permutation {
+			if len(prob.Pairs) != n {
+				t.Fatalf("%s: %d pairs on %d nodes", prob.Name, len(prob.Pairs), n)
+			}
+			srcSeen := make([]bool, n)
+			dstSeen := make([]bool, n)
+			for _, pr := range prob.Pairs {
+				if srcSeen[pr.S] {
+					t.Fatalf("%s: duplicate source %d", prob.Name, pr.S)
+				}
+				if dstSeen[pr.T] {
+					t.Fatalf("%s: duplicate destination %d", prob.Name, pr.T)
+				}
+				srcSeen[pr.S], dstSeen[pr.T] = true, true
+			}
+		}
+	})
+}

@@ -30,6 +30,11 @@ type Session struct {
 	maxLen    int64 // longest path routed
 
 	live *LiveLoads // nil when live edge accounting is off
+
+	// onPath, when set, sees every completed route with its stream id —
+	// the online counterpart of the batch PathObserver hook. The
+	// invariant engine attaches here.
+	onPath func(stream uint64, src, dst NodeID, p Path)
 }
 
 // NewSession wraps an existing router.
@@ -49,6 +54,17 @@ func (s *Session) Track(live *LiveLoads) { s.live = live }
 
 // Live returns the attached tracker, or nil.
 func (s *Session) Live() *LiveLoads { return s.live }
+
+// Observe attaches a per-route observer invoked for every completed
+// route with the route's stream id, endpoints, and selected path;
+// pass nil to detach. The observer runs before the route is counted
+// as completed and, under concurrent Route calls, from multiple
+// goroutines — it must be safe for concurrent use (the invariant
+// engine's SessionObserver is). Not safe to call concurrently with
+// Route.
+func (s *Session) Observe(fn func(stream uint64, src, dst NodeID, p Path)) {
+	s.onPath = fn
+}
 
 // Route selects a path for one packet, consuming the next stream id.
 // When a LiveLoads tracker is attached, the path's edge crossings are
@@ -77,6 +93,9 @@ func (s *Session) account(id uint64, src, dst NodeID, p Path) {
 	m := s.r.Mesh()
 	if s.live != nil {
 		s.live.AddPath(m, id, p)
+	}
+	if s.onPath != nil {
+		s.onPath(id, src, dst, p)
 	}
 	l := int64(p.Len())
 	atomic.AddInt64(&s.totalLen, l)
