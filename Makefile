@@ -26,7 +26,12 @@ FUZZ_TARGETS := \
 
 FUZZ_ONLY ?= $(FUZZ_TARGETS)
 
-.PHONY: build test vet race fuzz verify bench cover
+.PHONY: build test vet race fuzz verify bench bench-json bench-smoke cover
+
+# Committed benchmark baseline for the chain-cache/zero-alloc PR:
+# headline Path/SelectAll benchmarks (cached vs uncached ablations)
+# rendered to JSON (ns/op, B/op, allocs/op) via cmd/benchjson.
+BENCH_JSON ?= BENCH_PR3.json
 
 build:
 	$(GO) build ./...
@@ -57,3 +62,13 @@ cover:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkPath|BenchmarkSelectAll' -benchmem \
+		. ./internal/core | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+
+# One-iteration pass over every benchmark: catches benchmarks that
+# panic or no longer compile without paying for real measurements (the
+# CI benchmark gate).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact, so benchmark baselines can be committed and diffed
+// (`make bench-json` writes BENCH_PR3.json with it).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o bench.json
+//
+// The output records the environment header lines (goos, goarch, pkg,
+// cpu) alongside each benchmark's iteration count, ns/op, B/op and
+// allocs/op. Non-benchmark lines (PASS, ok, warm-up chatter) are
+// ignored, so the tool can sit directly after `go test` in a pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. BytesPerOp/AllocsPerOp are -1 when the
+// run did not use -benchmem (the fields are then omitted from JSON via
+// pointer indirection in record).
+type Result struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// File is the top-level JSON document.
+type File struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkSelectAll/2d-side32/cached-8   434   2749454 ns/op   91161 B/op   1024 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
+}
+
+func run(args []string, in io.Reader, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	doc, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
+		return 1
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return 0
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	return 0
+}
+
+// parse scans go-test bench output, tracking the current package from
+// "pkg:" header lines so each result is attributed to its package.
+func parse(in io.Reader) (File, error) {
+	var doc File
+	pkg := ""
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if m := benchLine.FindStringSubmatch(line); m != nil {
+				r, err := record(m, pkg)
+				if err != nil {
+					return doc, fmt.Errorf("line %q: %w", line, err)
+				}
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+func record(m []string, pkg string) (Result, error) {
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Result{}, err
+	}
+	ns, err := strconv.ParseFloat(m[3], 64)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{Name: m[1], Pkg: pkg, Iterations: iters, NsPerOp: ns}
+	if m[4] != "" {
+		b, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			return Result{}, err
+		}
+		r.BytesPerOp = &b
+	}
+	if m[5] != "" {
+		a, err := strconv.ParseInt(m[5], 10, 64)
+		if err != nil {
+			return Result{}, err
+		}
+		r.AllocsPerOp = &a
+	}
+	return r, nil
+}

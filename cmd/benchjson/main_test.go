@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: obliviousmesh/internal/core
+cpu: Imaginary CPU @ 3.0GHz
+BenchmarkSelectAll/2d-side32/cached-8         	     434	   2749454 ns/op	   91161 B/op	    1024 allocs/op
+BenchmarkSelectAll/2d-side32/uncached-8       	     267	   4480879 ns/op	 3615551 B/op	   43586 allocs/op
+BenchmarkPathWarm/cached-8                    	  228529	      5232 ns/op	     160 B/op	       2 allocs/op
+PASS
+ok  	obliviousmesh/internal/core	4.919s
+pkg: obliviousmesh
+BenchmarkRoutePermutation-8                   	      10	 104000000 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "Imaginary CPU @ 3.0GHz" {
+		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkSelectAll/2d-side32/cached-8" ||
+		b.Pkg != "obliviousmesh/internal/core" ||
+		b.Iterations != 434 || b.NsPerOp != 2749454 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 91161 {
+		t.Errorf("bytes/op = %v, want 91161", b.BytesPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 1024 {
+		t.Errorf("allocs/op = %v, want 1024", b.AllocsPerOp)
+	}
+	// Last result has no -benchmem columns and a later pkg header.
+	last := doc.Benchmarks[3]
+	if last.Pkg != "obliviousmesh" || last.BytesPerOp != nil || last.AllocsPerOp != nil {
+		t.Errorf("no-benchmem benchmark = %+v", last)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var errOut bytes.Buffer
+	if got := run([]string{"-o", path}, strings.NewReader(sample), &errOut); got != 0 {
+		t.Fatalf("exit %d, stderr: %s", got, errOut.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc File
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Errorf("round-tripped %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	// Empty input is an error (guards against a silently empty artifact
+	// when the bench pattern matches nothing).
+	var errOut bytes.Buffer
+	if got := run(nil, strings.NewReader("PASS\nok x 1s\n"), &errOut); got != 1 {
+		t.Fatalf("empty input: exit %d, want 1", got)
+	}
+	if !strings.Contains(errOut.String(), "no benchmark lines") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}

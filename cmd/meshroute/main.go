@@ -9,6 +9,7 @@
 //	meshroute [-d 2] [-side 32] [-torus] [-algo H] [-workload permutation]
 //	          [-seed 1] [-simulate] [-delay 0] [-workers 0] [-check]
 //	          [-pair "x1,y1:x2,y2"] [-l 8] [-heatmap] [-save run.json]
+//	          [-nochaincache] [-cpuprofile p.out] [-memprofile m.out] [-trace t.out]
 //
 // Algorithms: H, H-general, access-tree, dim-order, rand-dim-order,
 // rand-monotone, valiant, offline.
@@ -20,6 +21,12 @@
 // (stretch bound, bitonic chain shape, waypoint membership, random-bit
 // budget — see DESIGN.md §8) and exits non-zero on any violation,
 // printing a replayable witness for each.
+//
+// -cpuprofile, -memprofile and -trace write pprof/runtime-trace
+// artifacts for the run, so hot-path regressions can be diagnosed
+// (`go tool pprof`, `go tool trace`) without editing code.
+// -nochaincache disables the (s, t) → bitonic-chain memoization layer
+// (ablation; cached and uncached runs select byte-identical paths).
 package main
 
 import (
@@ -28,6 +35,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sync"
 	"sync/atomic"
 
@@ -52,20 +62,24 @@ func main() {
 
 // config carries the parsed flag set.
 type config struct {
-	d, side  int
-	torus    bool
-	algoName string
-	wlName   string
-	seed     uint64
-	simulate bool
-	maxDelay int
-	workers  int
-	pair     string
-	l        int
-	heatmap  bool
-	live     bool
-	check    bool
-	save     string
+	d, side      int
+	torus        bool
+	algoName     string
+	wlName       string
+	seed         uint64
+	simulate     bool
+	maxDelay     int
+	workers      int
+	pair         string
+	l            int
+	heatmap      bool
+	live         bool
+	check        bool
+	save         string
+	noChainCache bool
+	cpuProfile   string
+	memProfile   string
+	traceFile    string
 }
 
 // run is the testable body of the command: parse args, route, report.
@@ -90,6 +104,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&cfg.live, "live", false, "route as streaming traffic with fused live accounting and rolling congestion/stretch reports")
 	fs.BoolVar(&cfg.check, "check", false, "machine-check every selected path against the paper's invariants (DESIGN.md §8)")
 	fs.StringVar(&cfg.save, "save", "", "write the run (problem+paths+report) as JSON to this file")
+	fs.BoolVar(&cfg.noChainCache, "nochaincache", false, "disable the (s,t)->chain memoization layer (ablation; paths are identical either way)")
+	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile at the end of the run to this file (go tool pprof)")
+	fs.StringVar(&cfg.traceFile, "trace", "", "write a runtime execution trace of the run to this file (go tool trace)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -97,11 +115,86 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "meshroute: unexpected arguments: %v\n", fs.Args())
 		return 2
 	}
-	if err := route(cfg, stdout); err != nil {
+	stop, err := startDiagnostics(cfg)
+	if err != nil {
 		fmt.Fprintf(stderr, "meshroute: %v\n", err)
 		return 1
 	}
+	routeErr := route(cfg, stdout)
+	if err := stop(); err != nil && routeErr == nil {
+		routeErr = err
+	}
+	if routeErr != nil {
+		fmt.Fprintf(stderr, "meshroute: %v\n", routeErr)
+		return 1
+	}
 	return 0
+}
+
+// startDiagnostics starts the requested CPU profile and execution
+// trace; the returned stop function ends them and writes the heap
+// profile, covering the whole routing run so hot-path regressions can
+// be diagnosed from the artifacts alone.
+func startDiagnostics(cfg config) (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	if cfg.cpuProfile != "" {
+		if cpuF, err = os.Create(cfg.cpuProfile); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if cfg.traceFile != "" {
+		if traceF, err = os.Create(cfg.traceFile); err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, err
+		}
+		if err = trace.Start(traceF); err != nil {
+			traceF.Close()
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if traceF != nil {
+			trace.Stop()
+			if err := traceF.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cfg.memProfile != "" {
+			f, err := os.Create(cfg.memProfile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return firstErr
+			}
+			runtime.GC() // materialize a settled heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
 }
 
 func route(cfg config, out io.Writer) error {
@@ -123,7 +216,7 @@ func route(cfg config, out io.Writer) error {
 		return runHopByHop(out, m, cfg.algoName, cfg.wlName, cfg.seed, cfg.l)
 	}
 
-	algo, err := cli.BuildAlgorithm(cfg.algoName, m, cfg.seed)
+	algo, err := cli.BuildAlgorithmCache(cfg.algoName, m, cfg.seed, cfg.noChainCache)
 	if err != nil {
 		return err
 	}
@@ -186,6 +279,11 @@ func route(cfg config, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "live congestion   = %d   (%s, %d traversals accounted in-flight)\n",
 			liveC, status, tracker.Total())
+	}
+	if isCore {
+		if cs, ok := named.Sel.ChainCacheStats(); ok {
+			fmt.Fprintf(out, "chain cache       = %s\n", cs)
+		}
 	}
 	if cfg.heatmap {
 		fmt.Fprint(out, metrics.LoadHeatmap(m, metrics.EdgeLoads(m, paths)))

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -88,6 +89,20 @@ func TestRun(t *testing.T) {
 			wantOut: []string{"adversarial pinned edge", " 0 violations"},
 		},
 		{
+			name:    "chain cache stats line",
+			args:    []string{"-d", "2", "-side", "8", "-check"},
+			exit:    0,
+			wantOut: []string{"chain cache       = ", "hit rate", " 0 violations"},
+		},
+		{
+			name: "nochaincache ablation",
+			args: []string{"-d", "2", "-side", "8", "-nochaincache", "-check"},
+			exit: 0,
+			wantOut: []string{
+				"congestion C", " 0 violations",
+			},
+		},
+		{
 			name:       "unknown flag",
 			args:       []string{"-no-such-flag"},
 			exit:       2,
@@ -155,6 +170,67 @@ func TestRun(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// The -nochaincache ablation must not change the selected paths: both
+// runs print identical reports (modulo the cache-stats line, which only
+// the cached run emits).
+func TestRunCacheAblationIdenticalOutput(t *testing.T) {
+	strip := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "chain cache") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	var cached, uncached, errOut bytes.Buffer
+	if got := run([]string{"-d", "2", "-side", "16", "-seed", "7"}, &cached, &errOut); got != 0 {
+		t.Fatalf("cached run: exit %d, stderr: %s", got, errOut.String())
+	}
+	if got := run([]string{"-d", "2", "-side", "16", "-seed", "7", "-nochaincache"}, &uncached, &errOut); got != 0 {
+		t.Fatalf("uncached run: exit %d, stderr: %s", got, errOut.String())
+	}
+	if strip(cached.String()) != uncached.String() {
+		t.Errorf("reports differ with/without chain cache:\ncached:\n%s\nuncached:\n%s",
+			cached.String(), uncached.String())
+	}
+	if !strings.Contains(cached.String(), "chain cache") {
+		t.Errorf("cached run missing chain-cache stats line:\n%s", cached.String())
+	}
+	if strings.Contains(uncached.String(), "chain cache") {
+		t.Errorf("uncached run should not print chain-cache stats:\n%s", uncached.String())
+	}
+}
+
+// The profiling flags must produce non-empty artifact files.
+func TestRunProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	trc := filepath.Join(dir, "trace.out")
+	var out, errOut bytes.Buffer
+	args := []string{"-d", "2", "-side", "8",
+		"-cpuprofile", cpu, "-memprofile", mem, "-trace", trc}
+	if got := run(args, &out, &errOut); got != 0 {
+		t.Fatalf("exit %d, stderr: %s", got, errOut.String())
+	}
+	for _, p := range []string{cpu, mem, trc} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile artifact %s: %v", p, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile artifact %s is empty", p)
+		}
+	}
+	// An unwritable profile path must fail cleanly before routing.
+	bad := filepath.Join(dir, "missing", "cpu.out")
+	if got := run([]string{"-side", "8", "-cpuprofile", bad}, &out, &errOut); got != 1 {
+		t.Fatalf("unwritable cpuprofile: exit %d, want 1", got)
 	}
 }
 

@@ -35,6 +35,16 @@ func Split(seed, id uint64) *Source {
 	return NewSource(mix(seed^mix(id)) | 1)
 }
 
+// ReseedSplit resets s in place to the exact state Split(seed, id)
+// would construct — same stream, same bit accounting, zero
+// allocations. It is the batch engines' per-packet reseed: one Source
+// lives in each worker's scratch and is rewound for every packet, so
+// the per-packet heap allocation of Split disappears without
+// perturbing a single random bit.
+func (s *Source) ReseedSplit(seed, id uint64) {
+	*s = Source{state: mix(seed^mix(id)) | 1}
+}
+
 // mix is the SplitMix64 finalizer.
 func mix(z uint64) uint64 {
 	z += 0x9e3779b97f4a7c15
@@ -125,11 +135,18 @@ func (s *Source) Intn(n int) int {
 // used for the per-packet random dimension ordering. The cost is
 // O(n log n) random bits, matching the paper's O(d log d).
 func (s *Source) Perm(n int) []int {
-	p := make([]int, n)
+	return s.PermInto(make([]int, n))
+}
+
+// PermInto fills p with a uniform random permutation of 0..len(p)-1
+// and returns it — Perm without the allocation, drawing exactly the
+// same bits in the same order, for hot paths that reuse a per-worker
+// buffer.
+func (s *Source) PermInto(p []int) []int {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := s.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}

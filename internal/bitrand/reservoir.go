@@ -30,11 +30,28 @@ type reservoirDim struct {
 // src (charging them immediately) and returns the filled reservoir.
 // capBits is typically ceil(log2(maximum submesh side)) per Lemma 5.4.
 func NewReservoir(src *Source, d, capBits int) *Reservoir {
-	r := &Reservoir{src: src, dims: make([]reservoirDim, d)}
+	r := NewReservoirBuf(d)
+	r.Refill(src, capBits)
+	return r
+}
+
+// NewReservoirBuf returns an empty d-dimension reservoir holding no
+// bits; Refill charges and loads it. Splitting construction from
+// filling lets batch engines keep one reservoir per worker and refill
+// it per packet instead of allocating two reservoirs per path.
+func NewReservoirBuf(d int) *Reservoir {
+	return &Reservoir{dims: make([]reservoirDim, d)}
+}
+
+// Refill reloads the reservoir from src with capBits fresh bits per
+// dimension, charging them immediately — exactly the draws NewReservoir
+// performs, in the same order, so amortizing the reservoir across
+// packets cannot change any selected path.
+func (r *Reservoir) Refill(src *Source, capBits int) {
+	r.src = src
 	for i := range r.dims {
 		r.dims[i] = reservoirDim{bits: src.Bits(capBits), nbits: capBits}
 	}
-	return r
 }
 
 // DrawDim returns a value in [0, side) for dimension i using the

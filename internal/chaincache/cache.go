@@ -1,0 +1,265 @@
+// Package chaincache interns bitonic chains. The chain of submeshes a
+// packet (s, t) routes through — type-1 climbs, bridge, type-1 descent
+// (§3.3 / §4.1) — is a pure function of the endpoints and the
+// selector's fixed configuration; only the waypoint draws inside the
+// chain consume per-packet randomness. Recomputing the chain for every
+// packet therefore wastes the dominant share of the hot path on
+// workloads that repeat (s, t) pairs, which is exactly the regime the
+// ROADMAP's millions-of-packets traffic lives in (and the regime
+// Compact Oblivious Routing and Sparse Semi-Oblivious Routing argue
+// oblivious schemes must serve cheaply).
+//
+// The cache is sharded for concurrency: each shard is an independent
+// mutex-guarded LRU, so the parallel batch engines and concurrent
+// Sessions contend only when their packets hash to the same shard.
+// Entries are interned — all callers for one key share one immutable
+// *Entry — and the per-shard capacity bound keeps resident memory
+// O(capacity · chain length) regardless of how many distinct pairs a
+// workload touches. Hit/miss/eviction counters are kept per shard
+// (bumped under the shard lock, no extra atomics on the hot path) and
+// aggregated into a metrics.CacheStats snapshot on demand.
+package chaincache
+
+import (
+	"sync"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+)
+
+// Key identifies one cached chain: the packet's canonical endpoints.
+// Chains depend only on (source, target) for a fixed selector
+// configuration (variant, bridge factor, bridge ablation), so the
+// configuration is *not* part of the key — a cache belongs to exactly
+// one selector.
+type Key struct {
+	S, T mesh.NodeID
+}
+
+// Entry is one interned chain with its precomputed derived values.
+// Entries are shared across goroutines and must be treated as
+// immutable: neither the box slice nor the boxes' coordinate vectors
+// may be mutated by callers.
+type Entry struct {
+	Chain  []mesh.Box
+	Bridge decomp.Bridge
+	// CapBits is ⌈log₂(max side over the chain)⌉ — the §5.3 reservoir
+	// size for this chain, precomputed so a cache hit skips the scan.
+	CapBits int
+}
+
+// node is one LRU list element; the list is intrusive so that steady
+// state cache hits allocate nothing.
+type node struct {
+	key        Key
+	ent        *Entry
+	prev, next *node
+}
+
+// shard is one independent LRU. The padding keeps adjacent shard
+// headers from sharing a cache line under concurrent lock traffic.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[Key]*node
+	mru, lru *node // doubly-linked recency list; mru = most recent
+	cap      int
+	hits     int64
+	misses   int64
+	evicts   int64
+	_        [24]byte
+}
+
+// Cache is a sharded, concurrency-safe chain cache. Construct with
+// New; all methods are safe for concurrent use.
+type Cache struct {
+	shards []shard
+	mask   uint64
+}
+
+// DefaultCapacity bounds resident entries when New is given
+// capacity ≤ 0. Sized so that full permutation traffic on the largest
+// meshes the experiments route (side-128 2-D: 16384 distinct pairs)
+// stays resident with room to spare.
+const DefaultCapacity = 1 << 15
+
+// New builds a cache holding at most capacity entries (≤ 0 means
+// DefaultCapacity) across `shards` shards (≤ 0 picks a default sized
+// like metrics.LiveLoads: a power of two ≥ 1, capped at 16). Capacity
+// is split evenly across shards, each shard holding at least one
+// entry.
+func New(capacity, shards int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := capacity / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*node, perShard)
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+// hash mixes the key into a shard index (SplitMix64 finalizer; the low
+// bits of node IDs are far too regular to use directly).
+func hash(k Key) uint64 {
+	z := (uint64(k.S)*0x9e3779b97f4a7c15 ^ uint64(k.T)) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Shards returns the number of shards.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Capacity returns the total entry bound across all shards.
+func (c *Cache) Capacity() int {
+	return len(c.shards) * c.shards[0].cap
+}
+
+// Get returns the interned entry for k, or nil when absent. A hit
+// refreshes the entry's recency.
+func (c *Cache) Get(k Key) *Entry {
+	sh := &c.shards[hash(k)&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n, ok := sh.entries[k]; ok {
+		sh.hits++
+		sh.touch(n)
+		return n.ent
+	}
+	sh.misses++
+	return nil
+}
+
+// GetOrCompute returns the interned entry for k, calling compute to
+// build it on a miss. compute runs outside the shard lock, so
+// concurrent misses on one key may compute twice; the first insert
+// wins and every caller receives the winning entry, preserving the
+// interning guarantee. compute must return an immutable entry.
+func (c *Cache) GetOrCompute(k Key, compute func() *Entry) *Entry {
+	sh := &c.shards[hash(k)&c.mask]
+	sh.mu.Lock()
+	if n, ok := sh.entries[k]; ok {
+		sh.hits++
+		sh.touch(n)
+		e := n.ent
+		sh.mu.Unlock()
+		return e
+	}
+	sh.misses++
+	sh.mu.Unlock()
+
+	e := compute()
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n, ok := sh.entries[k]; ok {
+		// A concurrent computer inserted first; intern theirs.
+		sh.touch(n)
+		return n.ent
+	}
+	n := &node{key: k, ent: e}
+	sh.entries[k] = n
+	sh.pushFront(n)
+	if len(sh.entries) > sh.cap {
+		sh.evict()
+	}
+	return e
+}
+
+// touch moves n to the front (most recently used) of its shard's list.
+// Caller holds the shard lock.
+func (sh *shard) touch(n *node) {
+	if sh.mru == n {
+		return
+	}
+	sh.unlink(n)
+	sh.pushFront(n)
+}
+
+func (sh *shard) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		sh.mru = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		sh.lru = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (sh *shard) pushFront(n *node) {
+	n.next = sh.mru
+	if sh.mru != nil {
+		sh.mru.prev = n
+	}
+	sh.mru = n
+	if sh.lru == nil {
+		sh.lru = n
+	}
+}
+
+// evict drops the least recently used entry. Caller holds the lock.
+func (sh *shard) evict() {
+	n := sh.lru
+	if n == nil {
+		return
+	}
+	sh.unlink(n)
+	delete(sh.entries, n.key)
+	sh.evicts++
+}
+
+// Len returns the number of resident entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates the per-shard counters into one snapshot.
+func (c *Cache) Stats() metrics.CacheStats {
+	var s metrics.CacheStats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Add(metrics.CacheStats{
+			Hits: sh.hits, Misses: sh.misses, Evictions: sh.evicts,
+			Entries: len(sh.entries), Capacity: sh.cap,
+		})
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[Key]*node, sh.cap)
+		sh.mru, sh.lru = nil, nil
+		sh.hits, sh.misses, sh.evicts = 0, 0, 0
+		sh.mu.Unlock()
+	}
+}

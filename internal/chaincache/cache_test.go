@@ -1,0 +1,167 @@
+package chaincache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func entryFor(k Key) *Entry {
+	return &Entry{Chain: []mesh.Box{}, CapBits: int(k.S+k.T) % 7}
+}
+
+func TestGetOrComputeInterns(t *testing.T) {
+	c := New(64, 4)
+	k := Key{S: 3, T: 9}
+	computed := 0
+	e1 := c.GetOrCompute(k, func() *Entry { computed++; return entryFor(k) })
+	e2 := c.GetOrCompute(k, func() *Entry { computed++; return entryFor(k) })
+	if computed != 1 {
+		t.Fatalf("compute ran %d times, want 1", computed)
+	}
+	if e1 != e2 {
+		t.Fatal("second lookup returned a different entry pointer (interning broken)")
+	}
+	if got := c.Get(k); got != e1 {
+		t.Fatal("Get returned a different entry than GetOrCompute")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+	if st.Entries != 1 || c.Len() != 1 {
+		t.Fatalf("entries = %d (Len %d), want 1", st.Entries, c.Len())
+	}
+}
+
+func TestGetMissCounts(t *testing.T) {
+	c := New(16, 1)
+	if e := c.Get(Key{S: 1, T: 2}); e != nil {
+		t.Fatalf("Get on empty cache returned %v", e)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 1 miss", st)
+	}
+}
+
+// TestLRUEviction: with a single shard of capacity 3, touching A keeps
+// it resident while the least-recently-used entry is evicted.
+func TestLRUEviction(t *testing.T) {
+	c := New(3, 1)
+	if c.Capacity() != 3 {
+		t.Fatalf("capacity = %d, want 3", c.Capacity())
+	}
+	keys := []Key{{S: 1}, {S: 2}, {S: 3}}
+	for _, k := range keys {
+		c.GetOrCompute(k, func() *Entry { return entryFor(k) })
+	}
+	// Refresh key 1, then insert a fourth: key 2 is now LRU.
+	if c.Get(keys[0]) == nil {
+		t.Fatal("key 1 missing before eviction")
+	}
+	k4 := Key{S: 4}
+	c.GetOrCompute(k4, func() *Entry { return entryFor(k4) })
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after eviction, want 3", c.Len())
+	}
+	if c.Get(keys[1]) != nil {
+		t.Fatal("key 2 should have been evicted as LRU")
+	}
+	for _, k := range []Key{keys[0], keys[2], k4} {
+		if c.Get(k) == nil {
+			t.Fatalf("key %v unexpectedly evicted", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCapacityBoundHolds(t *testing.T) {
+	c := New(32, 4)
+	for i := 0; i < 1000; i++ {
+		k := Key{S: mesh.NodeID(i), T: mesh.NodeID(i * 31)}
+		c.GetOrCompute(k, func() *Entry { return entryFor(k) })
+	}
+	if c.Len() > c.Capacity() {
+		t.Fatalf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions after overflowing the capacity")
+	}
+	if int64(st.Entries) != int64(c.Len()) {
+		t.Fatalf("stats entries %d != Len %d", st.Entries, c.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(16, 2)
+	k := Key{S: 5, T: 6}
+	c.GetOrCompute(k, func() *Entry { return entryFor(k) })
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", c.Len())
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 {
+		t.Fatalf("stats not zeroed after Reset: %+v", st)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := New(0, 0)
+	if c.Capacity() < DefaultCapacity {
+		t.Fatalf("default capacity = %d, want ≥ %d", c.Capacity(), DefaultCapacity)
+	}
+	if s := c.Shards(); s&(s-1) != 0 || s < 1 {
+		t.Fatalf("shard count %d not a power of two", s)
+	}
+}
+
+// TestConcurrentIntern hammers one small key set from many goroutines;
+// under -race this doubles as the concurrency-safety check. Every
+// caller must observe the same interned pointer per key.
+func TestConcurrentIntern(t *testing.T) {
+	c := New(256, 8)
+	const keys, workers, iters = 32, 8, 500
+	got := make([][]*Entry, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		got[w] = make([]*Entry, keys)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := Key{S: mesh.NodeID(i % keys), T: mesh.NodeID((i * 7) % keys)}
+				e := c.GetOrCompute(k, func() *Entry { return entryFor(k) })
+				if e == nil {
+					t.Error("nil entry from GetOrCompute")
+					return
+				}
+				got[w][i%keys] = e
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Lookups() != workers*iters {
+		t.Fatalf("lookups = %d, want %d", st.Lookups(), workers*iters)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := New(8, 1)
+	k := Key{S: 1, T: 2}
+	c.GetOrCompute(k, func() *Entry { return entryFor(k) })
+	c.Get(k)
+	s := fmt.Sprint(c.Stats())
+	if s == "" {
+		t.Fatal("empty stats string")
+	}
+	if hr := c.Stats().HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", hr)
+	}
+}

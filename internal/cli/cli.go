@@ -46,19 +46,29 @@ func AlgorithmNames() []string {
 // non-oblivious "offline" comparator is not a PathSelector and is
 // handled separately by callers.
 func BuildAlgorithm(name string, m *mesh.Mesh, seed uint64) (baseline.PathSelector, error) {
+	return BuildAlgorithmCache(name, m, seed, false)
+}
+
+// BuildAlgorithmCache is BuildAlgorithm with the chain cache toggle:
+// disableChainCache turns off the (s, t) → chain memoization of the
+// core selectors (the meshroute -nochaincache ablation). Baselines
+// have no chain cache and ignore the toggle.
+func BuildAlgorithmCache(name string, m *mesh.Mesh, seed uint64, disableChainCache bool) (baseline.PathSelector, error) {
 	switch name {
 	case "H":
 		v := core.VariantGeneral
 		if m.Dim() == 2 {
 			v = core.Variant2D
 		}
-		sel, err := core.NewSelector(m, core.Options{Variant: v, Seed: seed})
+		sel, err := core.NewSelector(m, core.Options{Variant: v, Seed: seed,
+			DisableChainCache: disableChainCache})
 		if err != nil {
 			return nil, err
 		}
 		return baseline.Named{Label: "H", Sel: sel}, nil
 	case "H-general":
-		sel, err := core.NewSelector(m, core.Options{Variant: core.VariantGeneral, Seed: seed})
+		sel, err := core.NewSelector(m, core.Options{Variant: core.VariantGeneral, Seed: seed,
+			DisableChainCache: disableChainCache})
 		if err != nil {
 			return nil, err
 		}

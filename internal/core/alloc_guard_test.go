@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+// Allocation ceilings for the warm hot path. These are regression
+// guards, not aspirations: `go test` fails if a change pushes the
+// steady-state allocation count above them, instead of the regression
+// landing silently and surfacing months later in a soak run.
+//
+// The warm steady state allocates only the caller-owned final path
+// (one slice per packet) plus occasional map/slice growth inside the
+// reused scratch; everything else — rng, chain, perm, waypoints,
+// reservoirs, raw path — is served from the pool and the chain cache.
+const (
+	maxPathAllocs      = 3.0 // Selector.Path, warm cache, per call
+	maxSelectAllPerPkt = 3.0 // SelectAllInto, warm cache, per packet
+)
+
+func TestPathAllocsWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	m := mesh.MustSquare(2, 32)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1})
+	s, d := mesh.NodeID(0), mesh.NodeID(m.Size()-1)
+	// Warm the cache, the scratch pool and every growable buffer.
+	for i := 0; i < 64; i++ {
+		sink = sel.Path(s, d, uint64(i%8))
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		sink = sel.Path(s, d, 3)
+	})
+	if avg > maxPathAllocs {
+		t.Errorf("Selector.Path allocates %.1f/op warm, budget %.1f", avg, maxPathAllocs)
+	}
+}
+
+func TestSelectAllIntoAllocsWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	m := mesh.MustSquare(2, 32)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1})
+	prob := workload.RandomPermutation(m, 3)
+	paths := make([]mesh.Path, len(prob.Pairs))
+	// Warm pass fills the chain cache and grows all scratch buffers.
+	for i := 0; i < 3; i++ {
+		sel.SelectAllInto(prob.Pairs, paths, nil)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		sel.SelectAllInto(prob.Pairs, paths, nil)
+	})
+	perPkt := avg / float64(len(prob.Pairs))
+	if perPkt > maxSelectAllPerPkt {
+		t.Errorf("SelectAllInto allocates %.2f/packet warm (%.0f/batch over %d packets), budget %.1f",
+			perPkt, avg, len(prob.Pairs), maxSelectAllPerPkt)
+	}
+}

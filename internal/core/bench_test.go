@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+// sink defeats dead-code elimination in benchmarks and alloc guards.
+var sink interface{}
+
+// BenchmarkSelectAll is the PR-3 headline: the fused batch engine with
+// the chain cache warm versus the uncached ablation, on the same
+// problem with the same seed (the selected paths are byte-identical —
+// TestChainCacheGoldenEquality asserts it; this measures the cost).
+func BenchmarkSelectAll(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		m    *mesh.Mesh
+		v    Variant
+	}{
+		{"2d-side32", mesh.MustSquare(2, 32), Variant2D},
+		{"2d-side64", mesh.MustSquare(2, 64), Variant2D},
+		{"3d-side8", mesh.MustSquare(3, 8), VariantGeneral},
+	} {
+		prob := workload.RandomPermutation(c.m, 3)
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"cached", false}, {"uncached", true}} {
+			b.Run(c.name+"/"+mode.name, func(b *testing.B) {
+				sel := MustNewSelector(c.m, Options{
+					Variant: c.v, Seed: 1, DisableChainCache: mode.disable,
+				})
+				paths := make([]mesh.Path, len(prob.Pairs))
+				sel.SelectAllInto(prob.Pairs, paths, nil) // warm cache + pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sel.SelectAllInto(prob.Pairs, paths, nil)
+				}
+				sink = paths
+			})
+		}
+	}
+}
+
+// BenchmarkSelectAllParallel measures the parallel fused engine with
+// the warm shared cache (workers contend on the sharded LRU).
+func BenchmarkSelectAllParallel(b *testing.B) {
+	m := mesh.MustSquare(2, 64)
+	prob := workload.RandomPermutation(m, 3)
+	for _, workers := range []int{2, 4, 8} {
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"cached", false}, {"uncached", true}} {
+			b.Run(fmt.Sprintf("workers%d/%s", workers, mode.name), func(b *testing.B) {
+				sel := MustNewSelector(m, Options{
+					Variant: Variant2D, Seed: 1, DisableChainCache: mode.disable,
+				})
+				paths := make([]mesh.Path, len(prob.Pairs))
+				sel.SelectAllParallelInto(prob.Pairs, workers, paths, nil)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sel.SelectAllParallelInto(prob.Pairs, workers, paths, nil)
+				}
+				sink = paths
+			})
+		}
+	}
+}
+
+// BenchmarkPathWarm measures the single-packet entry point on a warm
+// cache — the per-request cost a streaming Session pays.
+func BenchmarkPathWarm(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"cached", false}, {"uncached", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := mesh.MustSquare(2, 64)
+			sel := MustNewSelector(m, Options{
+				Variant: Variant2D, Seed: 1, DisableChainCache: mode.disable,
+			})
+			s, t := mesh.NodeID(0), mesh.NodeID(m.Size()-1)
+			sink = sel.Path(s, t, 0) // warm
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = sel.Path(s, t, uint64(i&7))
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+// cacheEquivCases is the variant matrix of the golden-equality suite:
+// every construction the selector supports, on meshes and tori, with
+// the §5.3 reuse scheme on and off.
+func cacheEquivCases() []struct {
+	name string
+	m    *mesh.Mesh
+	opt  Options
+} {
+	return []struct {
+		name string
+		m    *mesh.Mesh
+		opt  Options
+	}{
+		{"2d", mesh.MustSquare(2, 16), Options{Variant: Variant2D}},
+		{"general-3d", mesh.MustSquare(3, 8), Options{Variant: VariantGeneral}},
+		{"general-4d", mesh.MustSquare(4, 4), Options{Variant: VariantGeneral}},
+		{"torus-2d", mesh.MustSquareTorus(2, 16), Options{Variant: Variant2D}},
+		{"torus-general", mesh.MustSquareTorus(3, 8), Options{Variant: VariantGeneral}},
+		{"disable-bridges", mesh.MustSquare(2, 16), Options{Variant: Variant2D, DisableBridges: true}},
+		{"fresh-bits", mesh.MustSquare(2, 16), Options{Variant: Variant2D, FreshBits: true}},
+		{"fixed-dim-order", mesh.MustSquare(2, 16), Options{Variant: Variant2D, FixedDimOrder: true}},
+		{"bridge-factor", mesh.MustSquare(3, 8), Options{Variant: VariantGeneral, BridgeFactor: 0.5}},
+		{"non-pow2", mesh.MustSquare(2, 12), Options{Variant: Variant2D}},
+	}
+}
+
+// TestChainCacheGoldenEquality: cached and uncached selection must
+// produce byte-identical paths and identical Aggregates for identical
+// (seed, stream, s, t), across every variant and multiple seeds — the
+// acceptance bar that lets the invariant engine audit cached chains.
+func TestChainCacheGoldenEquality(t *testing.T) {
+	for _, c := range cacheEquivCases() {
+		for _, seed := range []uint64{1, 42, 7777} {
+			t.Run(fmt.Sprintf("%s/seed%d", c.name, seed), func(t *testing.T) {
+				optC := c.opt
+				optC.Seed = seed
+				optU := optC
+				optU.DisableChainCache = true
+
+				selC := MustNewSelector(c.m, optC)
+				selU := MustNewSelector(c.m, optU)
+				if _, ok := selC.ChainCacheStats(); !ok {
+					t.Fatal("chain cache should be on by default")
+				}
+				if _, ok := selU.ChainCacheStats(); ok {
+					t.Fatal("DisableChainCache left the cache on")
+				}
+
+				prob := workload.RandomPermutation(c.m, seed+3)
+				pathsU, aggU := selU.SelectAll(prob.Pairs)
+				// Route the cached selector twice: the first pass fills
+				// the cache (all misses), the second is all hits — both
+				// must match the uncached golden output exactly.
+				for _, label := range []string{"cold", "warm"} {
+					pathsC, aggC := selC.SelectAll(prob.Pairs)
+					if !pathsEqual(pathsC, pathsU) {
+						t.Fatalf("%s cached paths differ from uncached", label)
+					}
+					if aggC != aggU {
+						t.Fatalf("%s cached aggregate %+v != uncached %+v", label, aggC, aggU)
+					}
+				}
+				st, _ := selC.ChainCacheStats()
+				if st.Hits == 0 {
+					t.Fatalf("no cache hits after warm pass: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestChainCacheChainIdentity: Chain must return structurally identical
+// chains with the cache on and off, and repeated cached calls must
+// return the same interned boxes.
+func TestChainCacheChainIdentity(t *testing.T) {
+	for _, c := range cacheEquivCases() {
+		t.Run(c.name, func(t *testing.T) {
+			optU := c.opt
+			optU.DisableChainCache = true
+			selC := MustNewSelector(c.m, c.opt)
+			selU := MustNewSelector(c.m, optU)
+			n := mesh.NodeID(c.m.Size() - 1)
+			for _, pr := range []mesh.Pair{{S: 0, T: n}, {S: n / 3, T: n / 2}, {S: n, T: 0}} {
+				chC, brC := selC.Chain(pr.S, pr.T)
+				chU, brU := selU.Chain(pr.S, pr.T)
+				if len(chC) != len(chU) {
+					t.Fatalf("pair %v: cached chain len %d != uncached %d", pr, len(chC), len(chU))
+				}
+				for i := range chC {
+					if !chC[i].Equal(chU[i]) {
+						t.Fatalf("pair %v: chain[%d] %v != %v", pr, i, chC[i], chU[i])
+					}
+				}
+				if !brC.Box.Equal(brU.Box) || brC.Level != brU.Level || brC.Type != brU.Type {
+					t.Fatalf("pair %v: bridge %+v != %+v", pr, brC, brU)
+				}
+			}
+		})
+	}
+}
+
+// TestChainCacheStatsAccounting: a permutation routed twice must show
+// len(pairs) compulsory misses and at least len(pairs) hits (the s==t
+// packets never reach the cache).
+func TestChainCacheStatsAccounting(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1})
+	prob := workload.Transpose(m)
+	distinct := 0
+	for _, pr := range prob.Pairs {
+		if pr.S != pr.T {
+			distinct++
+		}
+	}
+	sel.SelectAll(prob.Pairs)
+	sel.SelectAll(prob.Pairs)
+	st, ok := sel.ChainCacheStats()
+	if !ok {
+		t.Fatal("cache disabled")
+	}
+	if st.Misses != int64(distinct) {
+		t.Fatalf("misses = %d, want %d (one per distinct pair)", st.Misses, distinct)
+	}
+	if st.Hits < int64(distinct) {
+		t.Fatalf("hits = %d, want ≥ %d after the warm pass", st.Hits, distinct)
+	}
+	if st.Entries == 0 || st.Capacity == 0 {
+		t.Fatalf("implausible residency: %+v", st)
+	}
+}
+
+// TestChainCacheBounded: a tiny cache must stay within its bound and
+// still route correctly under eviction pressure.
+func TestChainCacheBounded(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	opt := Options{Variant: Variant2D, Seed: 9, ChainCacheSize: 16}
+	sel := MustNewSelector(m, opt)
+	optU := opt
+	optU.DisableChainCache = true
+	selU := MustNewSelector(m, optU)
+
+	prob := workload.RandomPermutation(m, 5)
+	got, _ := sel.SelectAll(prob.Pairs)
+	want, _ := selU.SelectAll(prob.Pairs)
+	if !pathsEqual(got, want) {
+		t.Fatal("paths differ under eviction pressure")
+	}
+	st, _ := sel.ChainCacheStats()
+	if st.Entries > st.Capacity {
+		t.Fatalf("resident %d exceeds capacity %d", st.Entries, st.Capacity)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions with capacity 16 over %d pairs: %+v", len(prob.Pairs), st)
+	}
+}
+
+// TestChainCacheParallelEquality: the parallel engine with a warm,
+// shared cache must match the serial uncached paths bit for bit (the
+// cache is exercised concurrently; run under -race this doubles as the
+// concurrency check for the sharded LRU inside the selector).
+func TestChainCacheParallelEquality(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 4})
+	selU := MustNewSelector(m, Options{Variant: Variant2D, Seed: 4, DisableChainCache: true})
+	prob := workload.RandomPermutation(m, 8)
+	want, wantAgg := selU.SelectAll(prob.Pairs)
+	for round := 0; round < 3; round++ {
+		got, agg := sel.SelectAllParallel(prob.Pairs, 8)
+		if !pathsEqual(got, want) {
+			t.Fatalf("round %d: parallel cached paths differ", round)
+		}
+		if agg != wantAgg {
+			t.Fatalf("round %d: aggregate %+v != %+v", round, agg, wantAgg)
+		}
+	}
+}

@@ -34,37 +34,62 @@ func (sel *Selector) Explain(s, t mesh.NodeID, stream uint64) Trace {
 
 // PathStats is Path plus exact accounting.
 func (sel *Selector) PathStats(s, t mesh.NodeID, stream uint64) (mesh.Path, Stats) {
-	tr := sel.construct(s, t, stream, false)
+	sc := sel.getScratch()
+	tr := sel.constructInto(s, t, stream, false, sc)
+	sel.putScratch(sc)
 	return tr.Path, tr.Stats
 }
 
 // scratch holds the per-worker reusable buffers of the fused batch
-// path: the raw (pre-cycle-removal) path, the waypoint and coordinate
-// vectors, and the cycle-removal index map. One scratch serves one
-// goroutine; the buffers grow to the largest packet seen and are then
-// reused, so steady-state batch routing allocates only the final path
-// of each packet. Buffer reuse cannot change results: the randomness
-// of a packet depends only on (seed, stream, s, t).
+// path: the per-packet randomness source and §5.3 reservoirs, the raw
+// (pre-cycle-removal) path, the waypoint, coordinate and
+// dimension-permutation vectors, and the cycle-removal index map. One
+// scratch serves one goroutine at a time; the buffers grow to the
+// largest packet seen and are then reused, so steady-state routing
+// allocates only the final path of each packet. Buffer reuse cannot
+// change results: the randomness of a packet depends only on
+// (seed, stream, s, t) and the rng is reseeded to exactly the Split
+// state for every packet.
 type scratch struct {
-	raw  mesh.Path
-	wp   []mesh.NodeID
-	c    mesh.Coord
-	last map[mesh.NodeID]int
+	rng    bitrand.Source
+	raw    mesh.Path
+	wp     []mesh.NodeID
+	c      mesh.Coord
+	perm   []int
+	r1, r2 *bitrand.Reservoir
+	last   map[mesh.NodeID]int
 }
 
 // newScratch builds a scratch for one worker on sel's mesh.
 func (sel *Selector) newScratch() *scratch {
+	d := sel.m.Dim()
 	return &scratch{
-		c:    make(mesh.Coord, sel.m.Dim()),
+		c:    make(mesh.Coord, d),
+		perm: make([]int, d),
+		r1:   bitrand.NewReservoirBuf(d),
+		r2:   bitrand.NewReservoirBuf(d),
 		last: make(map[mesh.NodeID]int, 64),
 	}
 }
 
-// construct runs the path-selection algorithm once with throwaway
+// getScratch leases a scratch from the selector's pool; putScratch
+// returns it. Pooling makes the one-packet entry points (Path,
+// PathStats, Explain, Session.Route) as allocation-lean as the batch
+// engines, which hold one scratch per worker for a whole range.
+func (sel *Selector) getScratch() *scratch   { return sel.pool.Get().(*scratch) }
+func (sel *Selector) putScratch(sc *scratch) { sel.pool.Put(sc) }
+
+// construct runs the path-selection algorithm once with pooled
 // buffers; keepSegments additionally retains the per-hop structure for
-// Explain.
+// Explain. Scratch-aliasing trace fields are cloned before the scratch
+// is released, so the returned trace is safe to retain.
 func (sel *Selector) construct(s, t mesh.NodeID, stream uint64, keepSegments bool) Trace {
-	return sel.constructInto(s, t, stream, keepSegments, sel.newScratch())
+	sc := sel.getScratch()
+	tr := sel.constructInto(s, t, stream, keepSegments, sc)
+	tr.Waypoints = append([]mesh.NodeID(nil), tr.Waypoints...)
+	tr.Perm = append([]int(nil), tr.Perm...)
+	sel.putScratch(sc)
+	return tr
 }
 
 // constructInto is the single construction code path shared by
@@ -72,8 +97,9 @@ func (sel *Selector) construct(s, t mesh.NodeID, stream uint64, keepSegments boo
 // friends); traces stay authoritative by construction, and buffer
 // reuse lives here so every entry point selects bit-for-bit identical
 // paths. Only Trace.Path, Trace.Segments and Trace.Chain are safe to
-// retain across calls with the same scratch; Waypoints aliases
-// scratch memory.
+// retain across calls with the same scratch; Waypoints and Perm alias
+// scratch memory (construct clones them before the scratch returns to
+// the pool). Chain may be an interned cache entry and is read-only.
 func (sel *Selector) constructInto(s, t mesh.NodeID, stream uint64, keepSegments bool, sc *scratch) Trace {
 	if s == t {
 		return Trace{
@@ -83,18 +109,21 @@ func (sel *Selector) constructInto(s, t mesh.NodeID, stream uint64, keepSegments
 			Stats:     Stats{ChainLen: 1},
 		}
 	}
-	rng := bitrand.Split(sel.opt.Seed, stream^(uint64(s)<<24)^uint64(t))
-	chain, br := sel.Chain(s, t)
+	rng := &sc.rng
+	rng.ReseedSplit(sel.opt.Seed, stream^(uint64(s)<<24)^uint64(t))
+	chain, br, capBits := sel.chainFor(s, t)
 
 	d := sel.m.Dim()
-	var perm []int
+	perm := sc.perm[:d]
 	if sel.opt.FixedDimOrder {
-		perm = mesh.IdentityPerm(d)
+		for i := range perm {
+			perm[i] = i
+		}
 	} else {
-		perm = rng.Perm(d)
+		rng.PermInto(perm)
 	}
 
-	waypoints := sel.drawWaypoints(chain, s, t, rng, sc)
+	waypoints := sel.drawWaypoints(chain, capBits, s, t, rng, sc)
 
 	tr := Trace{
 		S: s, T: t,

@@ -61,7 +61,8 @@ func (sel *Selector) SelectAllIntoHooks(pairs []mesh.Pair, paths []mesh.Path, h 
 // reporting edges and paths to the hooks. It is the per-worker body of
 // both the serial and the parallel fused engines.
 func (sel *Selector) selectRange(pairs []mesh.Pair, paths []mesh.Path, lo, hi int, h Hooks) Aggregate {
-	sc := sel.newScratch()
+	sc := sel.getScratch()
+	defer sel.putScratch(sc)
 	var agg Aggregate
 	for i := lo; i < hi; i++ {
 		tr := sel.constructInto(pairs[i].S, pairs[i].T, uint64(i), false, sc)

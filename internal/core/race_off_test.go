@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// guards are skipped under -race because instrumentation changes the
+// allocation profile.
+const raceEnabled = false

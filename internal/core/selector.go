@@ -19,10 +19,13 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"obliviousmesh/internal/bitrand"
+	"obliviousmesh/internal/chaincache"
 	"obliviousmesh/internal/decomp"
 	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
 )
 
 // Variant selects between the paper's two constructions.
@@ -85,6 +88,19 @@ type Options struct {
 	// (VariantGeneral only; 0 means the paper's factor 1). Exposed for
 	// the E23 ablation of the paper's constant.
 	BridgeFactor float64
+
+	// DisableChainCache turns off the sharded chain-interning layer
+	// (ablation). By default the selector memoizes the bitonic chain,
+	// bridge and reservoir size per (s, t) — the structural part of
+	// algorithm H, which is a pure function of the endpoints — and
+	// recomputes only the random waypoint draws per packet. Cached and
+	// uncached selection return bit-identical paths.
+	DisableChainCache bool
+
+	// ChainCacheSize bounds the resident interned chains (0 means
+	// chaincache.DefaultCapacity). Least-recently-used chains are
+	// evicted beyond the bound.
+	ChainCacheSize int
 }
 
 // Stats reports per-packet accounting for one path selection.
@@ -98,10 +114,14 @@ type Stats struct {
 }
 
 // Selector selects oblivious paths on a square power-of-two mesh.
+// A selector is safe for concurrent use: per-call scratch buffers come
+// from an internal pool and the chain cache is sharded.
 type Selector struct {
-	m   *mesh.Mesh
-	dc  *decomp.Decomposition
-	opt Options
+	m     *mesh.Mesh
+	dc    *decomp.Decomposition
+	opt   Options
+	cache *chaincache.Cache // interned chains; nil when disabled
+	pool  sync.Pool         // *scratch
 }
 
 // NewSelector builds a selector for m with the given options.
@@ -114,7 +134,12 @@ func NewSelector(m *mesh.Mesh, opt Options) (*Selector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Selector{m: m, dc: dc, opt: opt}, nil
+	sel := &Selector{m: m, dc: dc, opt: opt}
+	if !opt.DisableChainCache {
+		sel.cache = chaincache.New(opt.ChainCacheSize, 0)
+	}
+	sel.pool.New = func() interface{} { return sel.newScratch() }
+	return sel, nil
 }
 
 // MustNewSelector is NewSelector but panics on error.
@@ -136,8 +161,33 @@ func (sel *Selector) Decomposition() *decomp.Decomposition { return sel.dc }
 func (sel *Selector) Options() Options { return sel.opt }
 
 // Chain returns the bitonic chain of submeshes the algorithm would use
-// for (s, t), and the bridge. Exposed for tests and diagnostics.
+// for (s, t), and the bridge. Exposed for tests and diagnostics; served
+// from the chain cache when enabled, so the returned boxes must be
+// treated as read-only.
 func (sel *Selector) Chain(s, t mesh.NodeID) ([]mesh.Box, decomp.Bridge) {
+	chain, br, _ := sel.chainFor(s, t)
+	return chain, br
+}
+
+// chainFor returns the (possibly interned) chain for (s, t) plus the
+// precomputed §5.3 reservoir size. The chain is a pure function of the
+// endpoints under a fixed selector configuration, which is what makes
+// interning sound: a hit returns exactly the boxes a recompute would.
+func (sel *Selector) chainFor(s, t mesh.NodeID) ([]mesh.Box, decomp.Bridge, int) {
+	if sel.cache == nil {
+		chain, br := sel.computeChain(s, t)
+		return chain, br, chainCapBits(chain)
+	}
+	e := sel.cache.GetOrCompute(chaincache.Key{S: s, T: t}, func() *chaincache.Entry {
+		chain, br := sel.computeChain(s, t)
+		return &chaincache.Entry{Chain: chain, Bridge: br, CapBits: chainCapBits(chain)}
+	})
+	return e.Chain, e.Bridge, e.CapBits
+}
+
+// computeChain builds the chain from the decomposition (the uncached
+// construction).
+func (sel *Selector) computeChain(s, t mesh.NodeID) ([]mesh.Box, decomp.Bridge) {
 	sc, tc := sel.m.CoordOf(s), sel.m.CoordOf(t)
 	switch {
 	case sel.opt.DisableBridges:
@@ -151,6 +201,27 @@ func (sel *Selector) Chain(s, t mesh.NodeID) ([]mesh.Box, decomp.Bridge) {
 		}
 		return sel.dc.BitonicChainDFactor(sc, tc, factor)
 	}
+}
+
+// chainCapBits returns ⌈log₂(max side over the chain)⌉, the §5.3
+// reservoir size (Lemma 5.4).
+func chainCapBits(chain []mesh.Box) int {
+	capBits := 0
+	for _, b := range chain {
+		if bl := ceilLog2(b.MaxSide()); bl > capBits {
+			capBits = bl
+		}
+	}
+	return capBits
+}
+
+// ChainCacheStats returns a snapshot of the chain cache's counters;
+// ok is false when the cache is disabled.
+func (sel *Selector) ChainCacheStats() (metrics.CacheStats, bool) {
+	if sel.cache == nil {
+		return metrics.CacheStats{}, false
+	}
+	return sel.cache.Stats(), true
 }
 
 // type1Chain is the access-tree chain (ablation): climb type-1
@@ -197,8 +268,9 @@ func (sel *Selector) Path(s, t mesh.NodeID, stream uint64) mesh.Path {
 // v_0 = s and v_last = t always (their chain boxes are single nodes in
 // the bitonic construction; in the access-tree ablation with h the
 // common height the first and last boxes are the leaves as well).
-// The returned slice aliases sc's waypoint buffer.
-func (sel *Selector) drawWaypoints(chain []mesh.Box, s, t mesh.NodeID, rng *bitrand.Source, sc *scratch) []mesh.NodeID {
+// capBits is the chain's precomputed §5.3 reservoir size (ignored
+// under FreshBits). The returned slice aliases sc's waypoint buffer.
+func (sel *Selector) drawWaypoints(chain []mesh.Box, capBits int, s, t mesh.NodeID, rng *bitrand.Source, sc *scratch) []mesh.NodeID {
 	d := sel.m.Dim()
 	if cap(sc.wp) < len(chain) {
 		sc.wp = make([]mesh.NodeID, len(chain))
@@ -220,19 +292,15 @@ func (sel *Selector) drawWaypoints(chain []mesh.Box, s, t mesh.NodeID, rng *bitr
 
 	// §5.3 reuse scheme: two reservoirs sized for the largest chain
 	// submesh; consecutive submeshes alternate reservoirs so the two
-	// endpoints of every subpath are independent.
-	capBits := 0
-	for _, b := range chain {
-		if bl := ceilLog2(b.MaxSide()); bl > capBits {
-			capBits = bl
-		}
-	}
-	r1 := bitrand.NewReservoir(rng, d, capBits)
-	r2 := bitrand.NewReservoir(rng, d, capBits)
+	// endpoints of every subpath are independent. The reservoirs live
+	// in the scratch and are refilled per packet — the same draws
+	// NewReservoir performs, without the per-packet allocations.
+	sc.r1.Refill(rng, capBits)
+	sc.r2.Refill(rng, capBits)
 	for i := 1; i < len(chain)-1; i++ {
-		r := r1
+		r := sc.r1
 		if i%2 == 0 {
-			r = r2
+			r = sc.r2
 		}
 		for dim := 0; dim < d; dim++ {
 			c[dim] = chain[i].Lo[dim] + r.DrawDim(dim, chain[i].Side(dim))

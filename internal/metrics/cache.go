@@ -1,0 +1,45 @@
+package metrics
+
+import "fmt"
+
+// CacheStats is a point-in-time snapshot of a memoization layer's
+// effectiveness — the reporting vocabulary for the chain cache (and any
+// future interning layer) so that cache health surfaces through the
+// same metrics package as congestion and stretch. Compact Oblivious
+// Routing (Räcke & Schmid) frames per-packet routing-state cost as the
+// budget oblivious schemes compete on; the hit rate here is the
+// fraction of packets whose structural routing state was served from
+// that budget rather than recomputed.
+type CacheStats struct {
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that had to compute (includes insert races)
+	Evictions int64 // entries displaced by the LRU bound
+	Entries   int   // entries currently resident
+	Capacity  int   // maximum resident entries across all shards
+}
+
+// Lookups returns the total number of lookups.
+func (s CacheStats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Add accumulates another snapshot (for summing per-shard counters).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.Capacity += o.Capacity
+}
+
+// String renders the snapshot for CLI reporting.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d evictions, %d/%d entries",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Evictions, s.Entries, s.Capacity)
+}

@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheStats(t *testing.T) {
+	var s CacheStats
+	if s.HitRate() != 0 {
+		t.Fatalf("zero-value hit rate = %v, want 0", s.HitRate())
+	}
+	s.Add(CacheStats{Hits: 3, Misses: 1, Evictions: 2, Entries: 4, Capacity: 8})
+	s.Add(CacheStats{Hits: 1, Misses: 1, Entries: 1, Capacity: 8})
+	if s.Lookups() != 6 {
+		t.Fatalf("lookups = %d, want 6", s.Lookups())
+	}
+	if got := s.HitRate(); got != 4.0/6.0 {
+		t.Fatalf("hit rate = %v, want %v", got, 4.0/6.0)
+	}
+	if s.Entries != 5 || s.Capacity != 16 || s.Evictions != 2 {
+		t.Fatalf("aggregate = %+v", s)
+	}
+	str := s.String()
+	for _, want := range []string{"4 hits", "2 misses", "2 evictions", "5/16 entries"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q, missing %q", str, want)
+		}
+	}
+}

@@ -50,6 +50,9 @@ type (
 	// EdgeObserver receives each packet's edges during fused batch
 	// selection (see SelectAllObserved).
 	EdgeObserver = core.Observer
+	// CacheStats is a snapshot of the router's chain-cache counters
+	// (hits, misses, evictions, residency); see Router.ChainCacheStats.
+	CacheStats = metrics.CacheStats
 )
 
 // RouterOptions configure NewRouter.
@@ -60,6 +63,13 @@ type RouterOptions struct {
 	// 2-dimensional meshes. By default 2-D meshes use the specialized
 	// §3 construction (stretch ≤ 64) and higher dimensions use §4.
 	General bool
+	// DisableChainCache turns off the sharded (s, t) → bitonic-chain
+	// memoization layer (ablation; on by default). Cached and uncached
+	// routers select byte-identical paths for identical seeds and
+	// streams — the cache interns the structural part of algorithm H,
+	// not its randomness. Inspect effectiveness with
+	// Router.ChainCacheStats.
+	DisableChainCache bool
 }
 
 // NewMesh constructs a d-dimensional mesh with equal side lengths.
@@ -80,7 +90,10 @@ func NewRouter(m *Mesh, opt RouterOptions) (*Router, error) {
 	if m.Dim() == 2 && !opt.General {
 		v = core.Variant2D
 	}
-	return core.NewSelector(m, core.Options{Variant: v, Seed: opt.Seed})
+	return core.NewSelector(m, core.Options{
+		Variant: v, Seed: opt.Seed,
+		DisableChainCache: opt.DisableChainCache,
+	})
 }
 
 // Evaluate computes congestion, dilation, stretch and the C* lower
