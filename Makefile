@@ -22,16 +22,17 @@ FUZZ_TARGETS := \
 	internal/invariant:FuzzCheckedPath \
 	internal/serial:FuzzLoadProblem \
 	internal/serial:FuzzLoadRun \
+	internal/serial:FuzzWirePaths \
 	internal/workload:FuzzGenerators
 
 FUZZ_ONLY ?= $(FUZZ_TARGETS)
 
-.PHONY: build test vet race fuzz verify bench bench-json bench-smoke cover
+.PHONY: build test vet race fuzz verify bench bench-json bench-smoke serve-smoke cover
 
-# Committed benchmark baseline for the chain-cache/zero-alloc PR:
-# headline Path/SelectAll benchmarks (cached vs uncached ablations)
+# Committed benchmark baseline for the routing-service PR: headline
+# Path/SelectAll benchmarks plus the loopback ServerBatch benchmark
 # rendered to JSON (ns/op, B/op, allocs/op) via cmd/benchjson.
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 
 build:
 	$(GO) build ./...
@@ -64,11 +65,18 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkPath|BenchmarkSelectAll' -benchmem \
-		. ./internal/core | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+	$(GO) test -run '^$$' -bench 'BenchmarkPath|BenchmarkSelectAll|BenchmarkServer' -benchmem \
+		. ./internal/core ./internal/server | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # One-iteration pass over every benchmark: catches benchmarks that
 # panic or no longer compile without paying for real measurements (the
 # CI benchmark gate).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# End-to-end daemon gate: builds the real meshrouted binary, boots it
+# on a random port, routes a batch through the typed client over both
+# transports, scrapes /metrics, then SIGTERMs it and requires a clean
+# drain (exit 0). See cmd/meshrouted/smoke_test.go.
+serve-smoke:
+	MESHROUTED_SMOKE=1 $(GO) test -run '^TestServeSmoke$$' -v ./cmd/meshrouted

@@ -1,0 +1,329 @@
+package obliviousmesh
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"obliviousmesh/internal/serial"
+)
+
+// ClientConfig tunes a Client. The zero value picks sane defaults.
+type ClientConfig struct {
+	// HTTPClient overrides the transport (default: a client with
+	// keep-alives, so repeated calls reuse one TCP connection).
+	HTTPClient *http.Client
+	// MaxRetries is how many times a request is retried after a 429,
+	// 5xx, or transport error (default 3; 0 keeps the default, use a
+	// negative value to disable retries).
+	MaxRetries int
+	// BaseBackoff is the first retry delay; each subsequent retry
+	// doubles it, jittered to ±50%, capped at MaxBackoff
+	// (defaults 50ms and 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// Client is a typed client for the meshrouted routing service. It is
+// safe for concurrent use and reuses connections across calls.
+//
+// Requests that fail with 429 (shed), a 5xx, or a transport error are
+// retried with jittered exponential backoff, honoring the context —
+// the polite reaction to a load-shedding server. Requests that fail
+// with a 4xx other than 429 are the caller's bug and fail immediately.
+type Client struct {
+	base string
+	hc   *http.Client
+	cfg  ClientConfig
+
+	mu   sync.Mutex // guards mesh/info caching and the jitter rng
+	rng  *rand.Rand
+	info *ServerInfo
+	mesh *Mesh
+}
+
+// ServerInfo describes the remote daemon, as reported by /v1/mesh.
+type ServerInfo struct {
+	Mesh     serial.MeshSpec `json:"mesh"`
+	Seed     uint64          `json:"seed"`
+	Variant  string          `json:"variant"`
+	MaxBatch int             `json:"maxBatch"`
+}
+
+// HTTPError is any non-2xx response from the service, carrying the
+// decoded error envelope.
+type HTTPError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("meshrouted: %d %s: %s",
+		e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// NewClient returns a Client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8732").
+func NewClient(baseURL string, cfg ClientConfig) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   cfg.HTTPClient,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Route asks the service for one path. The returned stream id makes
+// the path replayable: a local Router with the server's seed selects
+// the identical path for (stream, s, t).
+func (c *Client) Route(ctx context.Context, s, t NodeID) (Path, uint64, error) {
+	blob, _ := json.Marshal(struct {
+		S int `json:"s"`
+		T int `json:"t"`
+	}{int(s), int(t)})
+	var resp struct {
+		Stream uint64 `json:"stream"`
+		Path   []int  `json:"path"`
+	}
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/route", blob, "", &resp); err != nil {
+		return nil, 0, err
+	}
+	p := make(Path, len(resp.Path))
+	for i, n := range resp.Path {
+		p[i] = NodeID(n)
+	}
+	return p, resp.Stream, nil
+}
+
+// RouteBatch routes pairs in one request (JSON transport). Path i
+// belongs to pairs[i] and is drawn with stream i, so the reply is a
+// pure function of (server seed, pairs).
+func (c *Client) RouteBatch(ctx context.Context, pairs []Pair) ([]Path, error) {
+	blob, err := marshalPairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Paths [][]int `json:"paths"`
+	}
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/batch", blob, "", &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Paths) != len(pairs) {
+		return nil, fmt.Errorf("meshrouted: got %d paths for %d pairs", len(resp.Paths), len(pairs))
+	}
+	paths := make([]Path, len(resp.Paths))
+	for i, raw := range resp.Paths {
+		p := make(Path, len(raw))
+		for j, n := range raw {
+			p[j] = NodeID(n)
+		}
+		paths[i] = p
+	}
+	return paths, nil
+}
+
+// RouteBatchWire is RouteBatch over the compact binary wire format:
+// one byte per hop instead of JSON integers, with a checksum trailer.
+// The reply is decoded (and validated hop-by-hop) against the
+// server's topology, fetched once via /v1/mesh and cached.
+func (c *Client) RouteBatchWire(ctx context.Context, pairs []Pair) ([]Path, error) {
+	m, err := c.Mesh(ctx)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := marshalPairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	var paths []Path
+	err = c.do(ctx, http.MethodPost, "/v1/batch?format=wire", blob, serial.WireContentType,
+		func(body io.Reader) error {
+			ps, err := serial.DecodeWire(body, m, len(pairs))
+			if err != nil {
+				return fmt.Errorf("meshrouted: decode wire response: %w", err)
+			}
+			paths = ps
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) != len(pairs) {
+		return nil, fmt.Errorf("meshrouted: got %d paths for %d pairs", len(paths), len(pairs))
+	}
+	return paths, nil
+}
+
+// Info fetches /v1/mesh (cached after the first success).
+func (c *Client) Info(ctx context.Context) (ServerInfo, error) {
+	c.mu.Lock()
+	if c.info != nil {
+		info := *c.info
+		c.mu.Unlock()
+		return info, nil
+	}
+	c.mu.Unlock()
+	var info ServerInfo
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/mesh", nil, "", &info); err != nil {
+		return ServerInfo{}, err
+	}
+	m, err := info.Mesh.Build()
+	if err != nil {
+		return ServerInfo{}, fmt.Errorf("meshrouted: server topology: %w", err)
+	}
+	c.mu.Lock()
+	c.info, c.mesh = &info, m
+	c.mu.Unlock()
+	return info, nil
+}
+
+// Mesh returns the server's topology (fetched once, then cached), for
+// validating pairs locally or replaying server paths with a Router.
+func (c *Client) Mesh(ctx context.Context) (*Mesh, error) {
+	if _, err := c.Info(ctx); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mesh, nil
+}
+
+// Health probes /healthz: nil means the daemon is up and not
+// draining; a draining or down daemon returns an error.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, "", func(io.Reader) error { return nil })
+}
+
+// Metrics scrapes the /metrics text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	var text string
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, "", func(body io.Reader) error {
+		b, err := io.ReadAll(body)
+		text = string(b)
+		return err
+	})
+	return text, err
+}
+
+func marshalPairs(pairs []Pair) ([]byte, error) {
+	req := struct {
+		Pairs [][2]int `json:"pairs"`
+	}{Pairs: make([][2]int, len(pairs))}
+	for i, pr := range pairs {
+		req.Pairs[i] = [2]int{int(pr.S), int(pr.T)}
+	}
+	return json.Marshal(req)
+}
+
+// doJSON runs do and decodes a JSON body into out.
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, accept string, out any) error {
+	return c.do(ctx, method, path, body, accept, func(r io.Reader) error {
+		if err := json.NewDecoder(r).Decode(out); err != nil {
+			return fmt.Errorf("meshrouted: decode response: %w", err)
+		}
+		return nil
+	})
+}
+
+// do issues one request with the retry policy: 429/5xx/transport
+// errors retry with jittered exponential backoff (bounded by ctx and
+// MaxRetries); other non-2xx statuses fail immediately as *HTTPError.
+// onBody consumes the 2xx response body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, accept string, onBody func(io.Reader) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt); err != nil {
+				return err // context ended while backing off
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			err := onBody(resp.Body)
+			io.Copy(io.Discard, resp.Body) // drain so the connection is reused
+			resp.Body.Close()
+			return err
+		}
+		herr := &HTTPError{StatusCode: resp.StatusCode, Message: readErrBody(resp.Body)}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode < 500 {
+			return herr // the request itself is wrong; retrying won't help
+		}
+		lastErr = herr
+	}
+	return fmt.Errorf("meshrouted: giving up after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
+}
+
+// sleep blocks for the attempt's jittered backoff or until ctx ends.
+func (c *Client) sleep(ctx context.Context, attempt int) error {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	// Jitter to d/2 + rand(d/2): retries from many clients spread out
+	// instead of stampeding the recovering server in lockstep.
+	c.mu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func readErrBody(r io.Reader) string {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r, 4096)).Decode(&eb); err == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return "(no error body)"
+}

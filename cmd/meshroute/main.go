@@ -115,6 +115,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "meshroute: unexpected arguments: %v\n", fs.Args())
 		return 2
 	}
+	if err := validate(cfg); err != nil {
+		fmt.Fprintf(stderr, "meshroute: %v\n", err)
+		return 2
+	}
 	stop, err := startDiagnostics(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "meshroute: %v\n", err)
@@ -129,6 +133,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// validate rejects out-of-range flag values before any work begins,
+// so every misconfiguration is a fast one-line usage failure (exit 2)
+// rather than a confusing downstream error or a silently degenerate
+// run.
+func validate(cfg config) error {
+	switch {
+	case cfg.d < 1:
+		return fmt.Errorf("-d must be >= 1 (got %d)", cfg.d)
+	case cfg.side < 1:
+		return fmt.Errorf("-side must be >= 1 (got %d)", cfg.side)
+	case cfg.maxDelay < 0:
+		return fmt.Errorf("-delay must be >= 0 (got %d)", cfg.maxDelay)
+	case cfg.l < 1:
+		return fmt.Errorf("-l must be >= 1 (got %d)", cfg.l)
+	case cfg.workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (got %d)", cfg.workers)
+	}
+	return nil
 }
 
 // startDiagnostics starts the requested CPU profile and execution

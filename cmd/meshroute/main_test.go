@@ -115,6 +115,48 @@ func TestRun(t *testing.T) {
 			wantErrOut: []string{"unexpected arguments"},
 		},
 		{
+			name:       "zero dimension",
+			args:       []string{"-d", "0", "-side", "8"},
+			exit:       2,
+			wantErrOut: []string{"-d must be >= 1"},
+		},
+		{
+			name:       "negative dimension",
+			args:       []string{"-d", "-2"},
+			exit:       2,
+			wantErrOut: []string{"-d must be >= 1"},
+		},
+		{
+			name:       "zero side",
+			args:       []string{"-side", "0"},
+			exit:       2,
+			wantErrOut: []string{"-side must be >= 1"},
+		},
+		{
+			name:       "negative delay",
+			args:       []string{"-side", "8", "-delay", "-1"},
+			exit:       2,
+			wantErrOut: []string{"-delay must be >= 0"},
+		},
+		{
+			name:       "zero block side",
+			args:       []string{"-side", "8", "-l", "0"},
+			exit:       2,
+			wantErrOut: []string{"-l must be >= 1"},
+		},
+		{
+			name:       "negative workers",
+			args:       []string{"-side", "8", "-workers", "-4"},
+			exit:       2,
+			wantErrOut: []string{"-workers must be >= 0"},
+		},
+		{
+			name:       "non-numeric side",
+			args:       []string{"-side", "wide"},
+			exit:       2,
+			wantErrOut: []string{"invalid value"},
+		},
+		{
 			name:       "unknown algorithm",
 			args:       []string{"-algo", "quantum"},
 			exit:       1,
@@ -167,6 +209,13 @@ func TestRun(t *testing.T) {
 			for _, want := range tc.wantErrOut {
 				if !strings.Contains(errOut.String(), want) {
 					t.Errorf("stderr missing %q:\n%s", want, errOut.String())
+				}
+			}
+			// Validation failures are one-line diagnostics (parse
+			// errors additionally print the flag package's usage).
+			if tc.exit == 2 && strings.HasPrefix(errOut.String(), "meshroute: ") {
+				if n := strings.Count(strings.TrimRight(errOut.String(), "\n"), "\n"); n != 0 {
+					t.Errorf("validation error is %d lines, want 1:\n%s", n+1, errOut.String())
 				}
 			}
 		})

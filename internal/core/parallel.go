@@ -37,41 +37,56 @@ func (sel *Selector) SelectAllParallelInto(pairs []mesh.Pair, workers int, paths
 // hook set (see Hooks); both hooks are invoked concurrently from all
 // workers and must be safe for concurrent use.
 func (sel *Selector) SelectAllParallelIntoHooks(pairs []mesh.Pair, workers int, paths []mesh.Path, h Hooks) Aggregate {
+	return sel.SelectRangeParallelInto(pairs, 0, len(pairs), workers, paths, h)
+}
+
+// SelectRangeParallelInto routes pairs[lo:hi] into paths[lo:hi] across
+// `workers` goroutines with the same worker-count semantics as
+// SelectAllParallelInto. Packet i keeps randomness stream i — the
+// global index into pairs, not the offset within [lo, hi) — so a large
+// batch can be routed in deadline-checked slices (the routing
+// service's cancellation points) and still produce exactly the paths
+// of one whole-slice call.
+func (sel *Selector) SelectRangeParallelInto(pairs []mesh.Pair, lo, hi, workers int, paths []mesh.Path, h Hooks) Aggregate {
+	if lo < 0 || hi > len(pairs) || lo > hi {
+		panic("core: SelectRangeParallelInto: range out of bounds")
+	}
+	n := hi - lo
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
-		if len(pairs) < 2*workers {
+		if n < 2*workers {
 			workers = 1
 		}
 	}
-	if workers > len(pairs) {
-		workers = len(pairs)
+	if workers > n {
+		workers = n
+	}
+	if len(paths) < hi {
+		panic("core: SelectRangeParallelInto: paths slice too short")
 	}
 	if workers <= 1 {
-		return sel.SelectAllIntoHooks(pairs, paths, h)
-	}
-	if len(paths) < len(pairs) {
-		panic("core: SelectAllParallelInto: paths slice too short")
+		return sel.selectRange(pairs, paths, lo, hi, h)
 	}
 
 	// Contiguous index ranges keep per-worker memory access local and
 	// avoid per-packet channel traffic.
 	var wg sync.WaitGroup
 	aggs := make([]Aggregate, workers)
-	chunk := (len(pairs) + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(pairs) {
+		wlo := lo + w*chunk
+		if wlo >= hi {
 			break
 		}
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
+		whi := wlo + chunk
+		if whi > hi {
+			whi = hi
 		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w, wlo, whi int) {
 			defer wg.Done()
-			aggs[w] = sel.selectRange(pairs, paths, lo, hi, h)
-		}(w, lo, hi)
+			aggs[w] = sel.selectRange(pairs, paths, wlo, whi, h)
+		}(w, wlo, whi)
 	}
 	wg.Wait()
 

@@ -60,3 +60,56 @@ func TestSelectAllParallelEmpty(t *testing.T) {
 		t.Fatalf("paths=%d agg=%+v", len(paths), agg)
 	}
 }
+
+// Routing a batch in arbitrary deadline-check slices through
+// SelectRangeParallelInto must reproduce the whole-slice result
+// bit-for-bit: stream ids are global pair indexes, not slice offsets.
+func TestSelectRangeParallelIntoChunked(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 9})
+	prob := workload.RandomPermutation(m, 9)
+	whole := make([]mesh.Path, len(prob.Pairs))
+	aggWhole := sel.SelectAllParallelInto(prob.Pairs, 0, whole, nil)
+
+	for _, chunk := range []int{1, 7, 64, len(prob.Pairs), 10 * len(prob.Pairs)} {
+		chunked := make([]mesh.Path, len(prob.Pairs))
+		var aggChunked Aggregate
+		for lo := 0; lo < len(prob.Pairs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(prob.Pairs) {
+				hi = len(prob.Pairs)
+			}
+			aggChunked.Merge(sel.SelectRangeParallelInto(prob.Pairs, lo, hi, 3, chunked, Hooks{}))
+		}
+		for i := range whole {
+			if len(whole[i]) != len(chunked[i]) {
+				t.Fatalf("chunk=%d packet %d: length %d != %d", chunk, i, len(chunked[i]), len(whole[i]))
+			}
+			for j := range whole[i] {
+				if whole[i][j] != chunked[i][j] {
+					t.Fatalf("chunk=%d packet %d: node mismatch at %d", chunk, i, j)
+				}
+			}
+		}
+		if aggChunked != aggWhole {
+			t.Errorf("chunk=%d: aggregate %+v != %+v", chunk, aggChunked, aggWhole)
+		}
+	}
+}
+
+func TestSelectRangeParallelIntoBounds(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1})
+	pairs := []mesh.Pair{{S: 0, T: 5}, {S: 3, T: 9}}
+	paths := make([]mesh.Path, len(pairs))
+	for _, bad := range [][2]int{{-1, 1}, {0, 3}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v: no panic", bad)
+				}
+			}()
+			sel.SelectRangeParallelInto(pairs, bad[0], bad[1], 1, paths, Hooks{})
+		}()
+	}
+}

@@ -30,6 +30,12 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // Add accumulates another snapshot (for summing per-shard counters).
+// Every field is additive, including Entries and Capacity: after
+// folding N shards into one CacheStats, Entries is the total resident
+// entries and Capacity the total bound across all shards — the
+// whole-cache occupancy, not any single shard's. String (and the
+// Entries/Capacity columns anywhere a summed snapshot is reported)
+// therefore always describes the aggregate cache.
 func (s *CacheStats) Add(o CacheStats) {
 	s.Hits += o.Hits
 	s.Misses += o.Misses
@@ -38,7 +44,10 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.Capacity += o.Capacity
 }
 
-// String renders the snapshot for CLI reporting.
+// String renders the snapshot for CLI reporting. On a snapshot built
+// with Add, the trailing "entries/capacity" pair is the sum over all
+// shards (see Add) — it reads as one cache because that is the only
+// view callers should reason about.
 func (s CacheStats) String() string {
 	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d evictions, %d/%d entries",
 		s.Hits, s.Misses, 100*s.HitRate(), s.Evictions, s.Entries, s.Capacity)

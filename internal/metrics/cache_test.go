@@ -28,3 +28,48 @@ func TestCacheStats(t *testing.T) {
 		}
 	}
 }
+
+// Add sums every field — including Entries and Capacity — so a
+// snapshot folded over N shards describes the whole cache, and String
+// renders those aggregate totals as if they belonged to one cache.
+// This is the documented contract of the sharded chain cache's stats
+// fold; a per-shard or max-style interpretation of the Entries and
+// Capacity columns would break the occupancy arithmetic pinned here.
+func TestCacheStatsMultiShardAggregate(t *testing.T) {
+	const shards = 16
+	shard := CacheStats{Hits: 30, Misses: 10, Evictions: 5, Entries: 7, Capacity: 32}
+	var sum CacheStats
+	for i := 0; i < shards; i++ {
+		sum.Add(shard)
+	}
+	if sum.Entries != shards*shard.Entries {
+		t.Errorf("Entries = %d, want the %d-shard total %d", sum.Entries, shards, shards*shard.Entries)
+	}
+	if sum.Capacity != shards*shard.Capacity {
+		t.Errorf("Capacity = %d, want the %d-shard total %d", sum.Capacity, shards, shards*shard.Capacity)
+	}
+	if sum.Lookups() != shards*shard.Lookups() {
+		t.Errorf("Lookups = %d, want %d", sum.Lookups(), shards*shard.Lookups())
+	}
+	// The aggregate hit rate of identical shards equals each shard's.
+	if sum.HitRate() != shard.HitRate() {
+		t.Errorf("aggregate hit rate %v != per-shard %v", sum.HitRate(), shard.HitRate())
+	}
+	// String must present the aggregate as one single-valued cache:
+	// summed occupancy over summed capacity, not any per-shard figure.
+	want := "480 hits, 160 misses (75.0% hit rate), 80 evictions, 112/512 entries"
+	if got := sum.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+
+	// Uneven shards (the realistic case): totals still add per-field.
+	var uneven CacheStats
+	uneven.Add(CacheStats{Hits: 1, Entries: 32, Capacity: 32}) // full shard
+	uneven.Add(CacheStats{Misses: 1, Capacity: 32})            // empty shard
+	if uneven.Entries != 32 || uneven.Capacity != 64 {
+		t.Errorf("uneven fold = %d/%d entries, want 32/64", uneven.Entries, uneven.Capacity)
+	}
+	if !strings.Contains(uneven.String(), "32/64 entries") {
+		t.Errorf("String() = %q, want aggregate occupancy 32/64", uneven.String())
+	}
+}

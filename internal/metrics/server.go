@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// ServerCounters is the live request accounting of the routing
+// service: lock-free atomic counters updated on every request, the
+// serving-layer counterpart of LiveLoads' per-edge counters. A
+// snapshot (ServerStats) is taken with atomic loads, so /metrics can
+// be scraped while traffic is in flight.
+//
+// The zero value is ready to use.
+type ServerCounters struct {
+	started   int64 // requests admitted past shedding
+	finished  int64 // requests fully responded
+	ok        int64 // 2xx responses
+	clientErr int64 // 4xx responses other than 429
+	serverErr int64 // 5xx responses
+	shed      int64 // 429 responses from admission control
+	timeout   int64 // requests cut by their deadline
+
+	routes     int64 // paths selected across all requests
+	traversals int64 // Σ|p| — edges of all selected paths
+
+	latencyNs    int64 // Σ request wall time
+	maxLatencyNs int64 // slowest single request
+}
+
+// Start records one admitted request and returns its start time.
+func (c *ServerCounters) Start() time.Time {
+	atomic.AddInt64(&c.started, 1)
+	return time.Now()
+}
+
+// Done records the response to an admitted request: HTTP status code,
+// wall time since Start, and the routes/edges the request produced.
+func (c *ServerCounters) Done(code int, start time.Time, routes, traversals int64) {
+	ns := int64(time.Since(start))
+	atomic.AddInt64(&c.latencyNs, ns)
+	for {
+		cur := atomic.LoadInt64(&c.maxLatencyNs)
+		if ns <= cur || atomic.CompareAndSwapInt64(&c.maxLatencyNs, cur, ns) {
+			break
+		}
+	}
+	atomic.AddInt64(&c.routes, routes)
+	atomic.AddInt64(&c.traversals, traversals)
+	switch {
+	case code >= 200 && code < 300:
+		atomic.AddInt64(&c.ok, 1)
+	case code >= 500:
+		atomic.AddInt64(&c.serverErr, 1)
+	default:
+		atomic.AddInt64(&c.clientErr, 1)
+	}
+	atomic.AddInt64(&c.finished, 1)
+}
+
+// Shed records one request rejected by admission control (HTTP 429).
+// Shed requests never Start: they are counted separately so the
+// latency and in-flight figures describe admitted traffic only.
+func (c *ServerCounters) Shed() { atomic.AddInt64(&c.shed, 1) }
+
+// Timeout records one admitted request cut by its deadline (the
+// request is still finished via Done with its error status).
+func (c *ServerCounters) Timeout() { atomic.AddInt64(&c.timeout, 1) }
+
+// Snapshot assembles a ServerStats from the live counters. Counters
+// are read individually with atomic loads: under concurrent traffic
+// the snapshot is a consistent-enough rolling view, the same contract
+// as Session.Report.
+func (c *ServerCounters) Snapshot() ServerStats {
+	s := ServerStats{
+		Started:      atomic.LoadInt64(&c.started),
+		Finished:     atomic.LoadInt64(&c.finished),
+		OK:           atomic.LoadInt64(&c.ok),
+		ClientErrors: atomic.LoadInt64(&c.clientErr),
+		ServerErrors: atomic.LoadInt64(&c.serverErr),
+		Shed:         atomic.LoadInt64(&c.shed),
+		Timeouts:     atomic.LoadInt64(&c.timeout),
+		Routes:       atomic.LoadInt64(&c.routes),
+		Traversals:   atomic.LoadInt64(&c.traversals),
+		MaxLatency:   time.Duration(atomic.LoadInt64(&c.maxLatencyNs)),
+	}
+	if s.Finished > 0 {
+		s.AvgLatency = time.Duration(atomic.LoadInt64(&c.latencyNs) / s.Finished)
+	}
+	return s
+}
+
+// ServerStats is a point-in-time snapshot of the routing service's
+// request accounting — the serving-layer report type, alongside Report
+// (batch quality) and LiveReport (streaming traffic).
+type ServerStats struct {
+	Started      int64 // requests admitted
+	Finished     int64 // requests responded
+	OK           int64 // 2xx
+	ClientErrors int64 // 4xx except 429
+	ServerErrors int64 // 5xx
+	Shed         int64 // 429 from admission control
+	Timeouts     int64 // deadline-exceeded requests
+	Routes       int64 // paths selected
+	Traversals   int64 // Σ|p| over all selected paths
+	AvgLatency   time.Duration
+	MaxLatency   time.Duration
+}
+
+// InFlight returns the number of admitted requests still executing.
+func (s ServerStats) InFlight() int64 { return s.Started - s.Finished }
+
+// Requests returns all requests seen, shed ones included.
+func (s ServerStats) Requests() int64 { return s.Started + s.Shed }
+
+// String renders the snapshot for logs and CLI reporting.
+func (s ServerStats) String() string {
+	return fmt.Sprintf("%d requests (%d ok, %d client-err, %d server-err, %d shed, %d timeout, %d in flight), %d routes, %d traversals, latency avg %v max %v",
+		s.Requests(), s.OK, s.ClientErrors, s.ServerErrors, s.Shed, s.Timeouts,
+		s.InFlight(), s.Routes, s.Traversals, s.AvgLatency, s.MaxLatency)
+}
+
+// EdgeLoad pairs an edge with its load, for top-k hot-edge reporting.
+type EdgeLoad struct {
+	Edge mesh.EdgeID
+	Load int64
+}
+
+// TopLoads returns the k most-loaded edges of a load snapshot (as from
+// LiveLoads.Snapshot or EdgeLoads), heaviest first; ties break toward
+// the lower edge id so the result is deterministic. Zero-load edges
+// are never reported, so the result may be shorter than k.
+func TopLoads(loads []int64, k int) []EdgeLoad {
+	if k <= 0 {
+		return nil
+	}
+	top := make([]EdgeLoad, 0, k+1)
+	for e, v := range loads {
+		if v <= 0 {
+			continue
+		}
+		if len(top) == k && v <= top[len(top)-1].Load {
+			continue
+		}
+		// Insert in sorted order; the slice stays ≤ k+1 long, so this
+		// is O(k) per candidate and needs no heap.
+		i := sort.Search(len(top), func(i int) bool {
+			return top[i].Load < v
+		})
+		top = append(top, EdgeLoad{})
+		copy(top[i+1:], top[i:])
+		top[i] = EdgeLoad{Edge: mesh.EdgeID(e), Load: v}
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+	return top
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"obliviousmesh/internal/mesh"
+)
+
+func TestServerCountersSnapshot(t *testing.T) {
+	var c ServerCounters
+	start := c.Start()
+	c.Done(200, start, 8, 96)
+	c.Done(400, c.Start(), 0, 0)
+	c.Done(500, c.Start(), 0, 0)
+	c.Shed()
+	c.Timeout()
+	c.Done(504, c.Start(), 0, 0)
+
+	s := c.Snapshot()
+	if s.Requests() != 5 || s.Started != 4 || s.Finished != 4 {
+		t.Fatalf("request accounting wrong: %+v", s)
+	}
+	if s.OK != 1 || s.ClientErrors != 1 || s.ServerErrors != 2 || s.Shed != 1 || s.Timeouts != 1 {
+		t.Fatalf("status accounting wrong: %+v", s)
+	}
+	if s.Routes != 8 || s.Traversals != 96 {
+		t.Fatalf("route accounting wrong: %+v", s)
+	}
+	if s.InFlight() != 0 {
+		t.Fatalf("in flight = %d, want 0", s.InFlight())
+	}
+	if s.MaxLatency < s.AvgLatency || s.AvgLatency < 0 {
+		t.Fatalf("latency accounting wrong: avg %v max %v", s.AvgLatency, s.MaxLatency)
+	}
+	str := s.String()
+	for _, want := range []string{"5 requests", "1 ok", "1 shed", "8 routes", "96 traversals"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestServerCountersInFlight(t *testing.T) {
+	var c ServerCounters
+	start := c.Start()
+	if got := c.Snapshot().InFlight(); got != 1 {
+		t.Fatalf("in flight = %d, want 1", got)
+	}
+	c.Done(200, start, 1, 4)
+	if got := c.Snapshot().InFlight(); got != 0 {
+		t.Fatalf("in flight = %d, want 0", got)
+	}
+}
+
+// The counters are scraped while traffic is in flight; they must stay
+// race-clean and conserve requests under concurrent updates.
+func TestServerCountersConcurrent(t *testing.T) {
+	var c ServerCounters
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Done(200, c.Start(), 1, 3)
+				if i%10 == 0 {
+					c.Shed()
+					_ = c.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.OK != workers*per || s.Routes != workers*per || s.Shed != workers*per/10 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if s.AvgLatency > time.Second {
+		t.Fatalf("implausible latency: %+v", s)
+	}
+}
+
+func TestTopLoads(t *testing.T) {
+	loads := []int64{0, 5, 2, 9, 0, 5, 1}
+	top := TopLoads(loads, 3)
+	want := []EdgeLoad{{Edge: 3, Load: 9}, {Edge: 1, Load: 5}, {Edge: 5, Load: 5}}
+	if len(top) != len(want) {
+		t.Fatalf("top = %v, want %v", top, want)
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("top[%d] = %v, want %v (full: %v)", i, top[i], want[i], top)
+		}
+	}
+	if got := TopLoads(loads, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	// Fewer nonzero edges than k: report only the loaded ones.
+	if got := TopLoads([]int64{0, 0, 7}, 5); len(got) != 1 || got[0] != (EdgeLoad{Edge: mesh.EdgeID(2), Load: 7}) {
+		t.Fatalf("sparse top = %v", got)
+	}
+}

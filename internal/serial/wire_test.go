@@ -1,0 +1,216 @@
+package serial
+
+import (
+	"bytes"
+	"testing"
+
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+// routedPaths selects a real path set with algorithm H, the payload
+// the wire format exists to carry.
+func routedPaths(t testing.TB, m *mesh.Mesh, seed uint64) ([]mesh.Pair, []mesh.Path) {
+	t.Helper()
+	v := core.VariantGeneral
+	if m.Dim() == 2 {
+		v = core.Variant2D
+	}
+	sel, err := core.NewSelector(m, core.Options{Variant: v, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := workload.RandomPermutation(m, seed)
+	paths, _ := sel.SelectAll(prob.Pairs)
+	return prob.Pairs, paths
+}
+
+func pathsEqual(a, b []mesh.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	meshes := []*mesh.Mesh{
+		mesh.MustSquare(2, 8),
+		mesh.MustSquare(3, 4),
+		mesh.MustSquareTorus(2, 8),
+	}
+	for _, m := range meshes {
+		_, paths := routedPaths(t, m, 7)
+		// Mix in the degenerate shapes: empty path, single node.
+		paths = append(paths, mesh.Path{}, mesh.Path{3})
+		var buf bytes.Buffer
+		if err := EncodeWire(&buf, m, paths); err != nil {
+			t.Fatalf("%v: encode: %v", m, err)
+		}
+		got, err := DecodeWire(&buf, m, 0)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m, err)
+		}
+		if !pathsEqual(paths, got) {
+			t.Fatalf("%v: round trip changed the paths", m)
+		}
+	}
+}
+
+func TestWireChecksumAndTruncation(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	_, paths := routedPaths(t, m, 3)
+	var buf bytes.Buffer
+	if err := EncodeWire(&buf, m, paths); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// Flip one hop byte deep in the stream: either the walk breaks or
+	// the checksum catches the altered path.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := DecodeWire(bytes.NewReader(bad), m, 0); err == nil {
+		t.Fatal("corrupted stream decoded cleanly")
+	}
+
+	// Truncation anywhere must fail, never hang or panic.
+	for _, cut := range []int{0, 3, 5, len(blob) / 2, len(blob) - 1} {
+		if _, err := DecodeWire(bytes.NewReader(blob[:cut]), m, 0); err == nil {
+			t.Fatalf("truncated stream (%d bytes) decoded cleanly", cut)
+		}
+	}
+
+	// The declared-count bound is enforced before allocation.
+	if _, err := DecodeWire(bytes.NewReader(blob), m, len(paths)-1); err == nil {
+		t.Fatal("maxPaths bound not enforced")
+	}
+	if _, err := DecodeWire(bytes.NewReader(blob), m, len(paths)); err != nil {
+		t.Fatalf("maxPaths == count rejected: %v", err)
+	}
+}
+
+func TestWireEncoderDeclaredCount(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	var buf bytes.Buffer
+	enc, err := NewWireEncoder(&buf, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err == nil {
+		t.Fatal("Close with paths outstanding must fail")
+	}
+	if err := enc.Encode(mesh.Path{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(mesh.Path{0, 1}); err == nil {
+		t.Fatal("Encode past the declared count must fail")
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWire(&buf, m, 0)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("decode: %v (%d paths)", err, len(got))
+	}
+}
+
+func TestWireRejectsInvalidPath(t *testing.T) {
+	m := mesh.MustSquare(2, 4)
+	// 0 and 5 are not adjacent on a 4x4 mesh.
+	var buf bytes.Buffer
+	if err := EncodeWire(&buf, m, []mesh.Path{{0, 5}}); err == nil {
+		t.Fatal("encoding a non-walk must fail")
+	}
+}
+
+// The decoder and the mesh must agree: decoding against a different
+// topology than the encoder's either fails or yields walks valid on
+// the decoding mesh — never a panic, never an out-of-range node.
+func TestWireCrossMeshDecode(t *testing.T) {
+	enc := mesh.MustSquare(2, 8)
+	_, paths := routedPaths(t, enc, 5)
+	var buf bytes.Buffer
+	if err := EncodeWire(&buf, enc, paths); err != nil {
+		t.Fatal(err)
+	}
+	dec := mesh.MustSquare(3, 4)
+	got, err := DecodeWire(bytes.NewReader(buf.Bytes()), dec, 0)
+	if err != nil {
+		return // rejected: fine
+	}
+	for i, p := range got {
+		if len(p) == 0 {
+			continue
+		}
+		if verr := dec.Validate(p, p.Source(), p.Dest()); verr != nil {
+			t.Fatalf("cross-mesh decode accepted invalid path %d: %v", i, verr)
+		}
+	}
+}
+
+// FuzzWirePaths drives the wire decoder with arbitrary bytes: it must
+// never panic, every accepted path must be a valid walk on the mesh,
+// and accepted streams must re-encode and re-decode to identical
+// paths (round-trip identity — the server/client contract).
+func FuzzWirePaths(f *testing.F) {
+	m := mesh.MustSquare(2, 8)
+	// Seed with real encodings (algorithm H path sets, the degenerate
+	// shapes) plus near-miss mutations, mirroring the seeded corpora of
+	// the JSON fuzz targets.
+	for _, seed := range []uint64{1, 42} {
+		_, paths := routedPaths(f, m, seed)
+		var buf bytes.Buffer
+		if err := EncodeWire(&buf, m, paths[:16]); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	var small bytes.Buffer
+	if err := EncodeWire(&small, m, []mesh.Path{{}, {0}, {0, 1, 2}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(small.Bytes())
+	mut := append([]byte(nil), small.Bytes()...)
+	mut[len(mut)-3] ^= 0xff
+	f.Add(mut)
+	f.Add([]byte(wireMagic))
+	f.Add([]byte("OMP2junk"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		paths, err := DecodeWire(bytes.NewReader(data), m, 1<<16)
+		if err != nil {
+			return
+		}
+		for i, p := range paths {
+			if len(p) == 0 {
+				continue
+			}
+			if verr := m.Validate(p, p.Source(), p.Dest()); verr != nil {
+				t.Fatalf("accepted invalid path %d: %v", i, verr)
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeWire(&buf, m, paths); err != nil {
+			t.Fatalf("re-encode of accepted paths failed: %v", err)
+		}
+		again, err := DecodeWire(&buf, m, 0)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !pathsEqual(paths, again) {
+			t.Fatal("round trip changed the paths")
+		}
+	})
+}

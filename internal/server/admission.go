@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed is returned by admit when the bounded queue is full; the
+// handler answers 429 so the client backs off instead of piling onto
+// an already-saturated server.
+var errShed = errors.New("server: admission queue full")
+
+// admitter is the bounded-queue admission gate: at most `inflight`
+// requests execute at once, at most `queue` more wait for a slot, and
+// everything beyond that is shed immediately. Waiters are bounded by
+// their request context, so the gate can never block a request past
+// its deadline — the two properties (shed, don't queue unboundedly)
+// that keep tail latency flat when offered load exceeds capacity.
+type admitter struct {
+	sem      chan struct{}
+	waiting  int64
+	maxQueue int64
+}
+
+func newAdmitter(inflight, queue int) *admitter {
+	return &admitter{
+		sem:      make(chan struct{}, inflight),
+		maxQueue: int64(queue),
+	}
+}
+
+// admit blocks until a slot frees, the queue overflows (errShed), or
+// ctx ends (its error). On nil the caller owns a slot and must call
+// release exactly once.
+func (a *admitter) admit(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if atomic.AddInt64(&a.waiting, 1) > a.maxQueue {
+		atomic.AddInt64(&a.waiting, -1)
+		return errShed
+	}
+	defer atomic.AddInt64(&a.waiting, -1)
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admitter) release() { <-a.sem }
+
+// Waiting returns the current queue depth (for /metrics).
+func (a *admitter) Waiting() int64 { return atomic.LoadInt64(&a.waiting) }
+
+// InFlight returns the number of held slots (for /metrics).
+func (a *admitter) InFlight() int { return len(a.sem) }

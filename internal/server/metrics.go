@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"obliviousmesh/internal/metrics"
+)
+
+// handleMetrics renders the live counters in a flat text exposition
+// (Prometheus-style `name{labels} value` lines): per-endpoint request
+// and latency counters, admission-gate gauges, the LiveLoads top-k hot
+// edges with the live congestion, and the chain-cache health. Every
+// figure is read with atomic loads while traffic is in flight — the
+// scrape is a consistent-enough rolling view, never a stop-the-world.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+func (s *Server) writeMetrics(w io.Writer) {
+	writeEndpoint := func(endpoint string, st metrics.ServerStats) {
+		e := func(name string, v int64) {
+			fmt.Fprintf(w, "meshrouted_%s{endpoint=%q} %d\n", name, endpoint, v)
+		}
+		e("requests_total", st.Requests())
+		e("responses_ok_total", st.OK)
+		e("responses_client_error_total", st.ClientErrors)
+		e("responses_server_error_total", st.ServerErrors)
+		e("shed_total", st.Shed)
+		e("timeouts_total", st.Timeouts)
+		e("requests_in_flight", st.InFlight())
+		e("routes_total", st.Routes)
+		e("route_edges_total", st.Traversals)
+		fmt.Fprintf(w, "meshrouted_latency_avg_seconds{endpoint=%q} %.9f\n",
+			endpoint, st.AvgLatency.Seconds())
+		fmt.Fprintf(w, "meshrouted_latency_max_seconds{endpoint=%q} %.9f\n",
+			endpoint, st.MaxLatency.Seconds())
+	}
+	writeEndpoint("route", s.routeC.Snapshot())
+	writeEndpoint("batch", s.batchC.Snapshot())
+
+	fmt.Fprintf(w, "meshrouted_admission_in_flight %d\n", s.adm.InFlight())
+	fmt.Fprintf(w, "meshrouted_admission_waiting %d\n", s.adm.Waiting())
+	fmt.Fprintf(w, "meshrouted_draining %d\n", boolGauge(s.draining.Load()))
+	fmt.Fprintf(w, "meshrouted_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
+
+	// Live edge loads: the streaming congestion view of DESIGN.md §7,
+	// scraped instead of printed.
+	snap := s.live.Snapshot()
+	fmt.Fprintf(w, "meshrouted_live_congestion %d\n", metrics.MaxLoad(snap))
+	fmt.Fprintf(w, "meshrouted_live_traversals_total %d\n", s.live.Total())
+	for rank, el := range metrics.TopLoads(snap, s.cfg.TopK) {
+		fmt.Fprintf(w, "meshrouted_edge_load{rank=\"%d\",edge=%q} %d\n",
+			rank, s.m.EdgeString(el.Edge), el.Load)
+	}
+
+	if cs, ok := s.sel.ChainCacheStats(); ok {
+		fmt.Fprintf(w, "meshrouted_chain_cache_hits_total %d\n", cs.Hits)
+		fmt.Fprintf(w, "meshrouted_chain_cache_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(w, "meshrouted_chain_cache_evictions_total %d\n", cs.Evictions)
+		fmt.Fprintf(w, "meshrouted_chain_cache_entries %d\n", cs.Entries)
+		fmt.Fprintf(w, "meshrouted_chain_cache_capacity %d\n", cs.Capacity)
+		fmt.Fprintf(w, "meshrouted_chain_cache_hit_rate %.6f\n", cs.HitRate())
+	}
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,483 @@
+// Package server is the network face of the oblivious router: an
+// HTTP/JSON service (with a compact binary batch mode) over stdlib
+// net/http that serves path selections from one shared core.Selector.
+//
+// Oblivious routing is the natural algorithm to serve this way — a
+// path depends only on (seed, stream, source, target), so the server
+// keeps no per-flow state, any replica with the same seed gives the
+// same answers, and horizontal scaling is a load balancer away
+// (Compact Oblivious Routing and Sparse Semi-Oblivious Routing both
+// make this argument for oblivious schemes). What the server adds is
+// production behavior: bounded-queue admission control that sheds load
+// with 429 instead of queueing unboundedly, per-request deadlines
+// propagated through context, live observability (/metrics exposes
+// the LiveLoads hot edges, chain-cache health and request counters),
+// and graceful drain for SIGTERM rollouts.
+//
+// Endpoints:
+//
+//	POST /v1/route    {"s":0,"t":17}            → {"stream":n,"path":[...]}
+//	POST /v1/batch    {"pairs":[[s,t],...]}     → {"paths":[[...],...]}
+//	                  ?format=wire (or Accept: application/x-obliviousmesh-paths)
+//	                  streams the compact binary path encoding instead
+//	GET  /v1/mesh     topology + seed + limits, for typed clients
+//	GET  /healthz     200 ok / 503 draining
+//	GET  /metrics     text exposition of live counters
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"obliviousmesh/internal/core"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/serial"
+)
+
+// Config sizes a Server. The zero value of every limit picks a
+// production-ish default; Mesh is required.
+type Config struct {
+	Mesh *mesh.Mesh
+	// Seed keys the selector; replicas with equal (Mesh, Seed, General)
+	// serve identical paths.
+	Seed    uint64
+	General bool // force the §4 construction on 2-D meshes
+	// DisableChainCache turns off the (s,t)→chain memoization.
+	DisableChainCache bool
+
+	// MaxInFlight is the number of routing requests allowed to execute
+	// concurrently (default 2×GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue is how many admitted-but-waiting requests may hold at
+	// the admission gate before new arrivals are shed with 429
+	// (default 4×MaxInFlight). Waiters are bounded by their request
+	// deadline, so the gate never blocks unboundedly.
+	MaxQueue int
+	// MaxBatch caps the pairs of one /v1/batch request (default 65536).
+	MaxBatch int
+	// BatchWorkers caps the selection goroutines one batch request may
+	// fan out to (default 4), so a single huge batch cannot monopolize
+	// the CPUs that concurrent small requests need.
+	BatchWorkers int
+	// BatchChunk is the deadline-check granularity of batch selection:
+	// the request context is consulted between chunks of this many
+	// pairs (default 4096).
+	BatchChunk int
+	// RequestTimeout bounds each routing request (default 10s).
+	RequestTimeout time.Duration
+	// TopK is how many hot edges /metrics exposes (default 10).
+	TopK int
+	// LoadShards overrides the LiveLoads shard count (default: auto).
+	LoadShards int
+}
+
+func (c *Config) fill() error {
+	if c.Mesh == nil {
+		return errors.New("server: Config.Mesh is required")
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 65536
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = 4
+	}
+	if c.BatchChunk <= 0 {
+		c.BatchChunk = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	return nil
+}
+
+// Server owns the selector, the live edge-load tracker and the request
+// accounting. All methods are safe for concurrent use.
+type Server struct {
+	cfg  Config
+	m    *mesh.Mesh
+	sel  *core.Selector
+	live *metrics.LiveLoads
+	adm  *admitter
+
+	streams  uint64 // single-route stream ids (atomic)
+	draining atomic.Bool
+	started  time.Time
+
+	// chunkHook, when set (tests only, before serving), runs at the
+	// top of every JSON batch chunk with the chunk's start index.
+	chunkHook func(lo int)
+
+	routeC metrics.ServerCounters
+	batchC metrics.ServerCounters
+}
+
+// New builds a Server (and its Selector) from cfg.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	v := core.VariantGeneral
+	if cfg.Mesh.Dim() == 2 && !cfg.General {
+		v = core.Variant2D
+	}
+	sel, err := core.NewSelector(cfg.Mesh, core.Options{
+		Variant: v, Seed: cfg.Seed, DisableChainCache: cfg.DisableChainCache,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return &Server{
+		cfg:     cfg,
+		m:       cfg.Mesh,
+		sel:     sel,
+		live:    metrics.NewLiveLoadsSize(cfg.Mesh.EdgeSpace(), cfg.LoadShards),
+		adm:     newAdmitter(cfg.MaxInFlight, cfg.MaxQueue),
+		started: time.Now(),
+	}, nil
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/route", s.handleRoute)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/mesh", s.handleMesh)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain flips the server into draining mode: /healthz turns 503 so
+// load balancers stop sending traffic, and new routing requests are
+// shed. In-flight requests are unaffected; pair Drain with
+// http.Server.Shutdown, which waits for them.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats merges the per-endpoint request counters into one snapshot.
+func (s *Server) Stats() metrics.ServerStats {
+	r, b := s.routeC.Snapshot(), s.batchC.Snapshot()
+	merged := r
+	merged.Started += b.Started
+	merged.Finished += b.Finished
+	merged.OK += b.OK
+	merged.ClientErrors += b.ClientErrors
+	merged.ServerErrors += b.ServerErrors
+	merged.Shed += b.Shed
+	merged.Timeouts += b.Timeouts
+	merged.Routes += b.Routes
+	merged.Traversals += b.Traversals
+	if b.MaxLatency > merged.MaxLatency {
+		merged.MaxLatency = b.MaxLatency
+	}
+	if n := merged.Finished; n > 0 {
+		// Recombine the per-endpoint averages weighted by request count.
+		merged.AvgLatency = time.Duration(
+			(int64(r.AvgLatency)*r.Finished + int64(b.AvgLatency)*b.Finished) / n)
+	}
+	return merged
+}
+
+// Live exposes the edge-load tracker (read-mostly: Snapshot/Max).
+func (s *Server) Live() *metrics.LiveLoads { return s.live }
+
+// Mesh returns the served topology.
+func (s *Server) Mesh() *mesh.Mesh { return s.m }
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// admitOrShed runs admission control for one routing request. ctx
+// must carry the per-request deadline, so a queued request waits at
+// most until its deadline — never unboundedly. It returns false
+// (having written the response) when the request is shed or the
+// server is draining; on true the caller owns a slot and must call
+// release.
+func (s *Server) admitOrShed(ctx context.Context, w http.ResponseWriter, c *metrics.ServerCounters) bool {
+	if s.draining.Load() {
+		c.Shed()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return false
+	}
+	if err := s.adm.admit(ctx); err != nil {
+		if errors.Is(err, errShed) {
+			c.Shed()
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "overloaded: %d in flight, %d queued", s.cfg.MaxInFlight, s.cfg.MaxQueue)
+		} else {
+			c.Timeout()
+			writeErr(w, http.StatusServiceUnavailable, "canceled while queued: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// routeRequest is the /v1/route body.
+type routeRequest struct {
+	S int `json:"s"`
+	T int `json:"t"`
+}
+
+// routeResponse is the /v1/route reply. Stream is the randomness
+// stream the path was drawn with: replaying (seed, stream, s, t)
+// against the same topology reproduces the path exactly.
+type routeResponse struct {
+	Stream uint64 `json:"stream"`
+	Path   []int  `json:"path"`
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ctx, cancel := contextWithTimeout(r, s.cfg.RequestTimeout)
+	defer cancel()
+	if !s.admitOrShed(ctx, w, &s.routeC) {
+		return
+	}
+	defer s.adm.release()
+	start := s.routeC.Start()
+	code, routes, edges := s.doRoute(w, r)
+	s.routeC.Done(code, start, routes, edges)
+}
+
+func (s *Server) doRoute(w http.ResponseWriter, r *http.Request) (code int, routes, edges int64) {
+	var req routeRequest
+	body := http.MaxBytesReader(w, r.Body, 4096)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
+		return http.StatusBadRequest, 0, 0
+	}
+	size := s.m.Size()
+	if req.S < 0 || req.S >= size || req.T < 0 || req.T >= size {
+		writeErr(w, http.StatusBadRequest, "pair (%d,%d) out of range for %v", req.S, req.T, s.m)
+		return http.StatusBadRequest, 0, 0
+	}
+	stream := atomic.AddUint64(&s.streams, 1) - 1
+	p := s.sel.Path(mesh.NodeID(req.S), mesh.NodeID(req.T), stream)
+	s.live.AddPath(s.m, stream, p)
+	resp := routeResponse{Stream: stream, Path: make([]int, len(p))}
+	for i, n := range p {
+		resp.Path[i] = int(n)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, 1, int64(p.Len())
+}
+
+// batchRequest is the /v1/batch body.
+type batchRequest struct {
+	Pairs [][2]int `json:"pairs"`
+}
+
+// batchResponse is the JSON /v1/batch reply. Path i belongs to pair i
+// and was drawn with stream i: a batch is a pure function of
+// (seed, pairs), so identical batches give identical paths — the
+// reproducibility contract of the oblivious service.
+type batchResponse struct {
+	Paths [][]int `json:"paths"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ctx, cancel := contextWithTimeout(r, s.cfg.RequestTimeout)
+	defer cancel()
+	if !s.admitOrShed(ctx, w, &s.batchC) {
+		return
+	}
+	defer s.adm.release()
+	start := s.batchC.Start()
+	code, routes, edges := s.doBatch(ctx, w, r)
+	if code == http.StatusGatewayTimeout {
+		s.batchC.Timeout()
+	}
+	s.batchC.Done(code, start, routes, edges)
+}
+
+func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Request) (code int, routes, edges int64) {
+	limit := int64(64 + 48*s.cfg.MaxBatch) // JSON pair ≤ ~48 bytes
+	body := http.MaxBytesReader(w, r.Body, limit)
+	var req batchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
+		return http.StatusBadRequest, 0, 0
+	}
+	if len(req.Pairs) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge, "%d pairs exceeds max batch %d", len(req.Pairs), s.cfg.MaxBatch)
+		return http.StatusRequestEntityTooLarge, 0, 0
+	}
+	size := s.m.Size()
+	pairs := make([]mesh.Pair, len(req.Pairs))
+	for i, pr := range req.Pairs {
+		if pr[0] < 0 || pr[0] >= size || pr[1] < 0 || pr[1] >= size {
+			writeErr(w, http.StatusBadRequest, "pair %d (%d,%d) out of range for %v", i, pr[0], pr[1], s.m)
+			return http.StatusBadRequest, 0, 0
+		}
+		pairs[i] = mesh.Pair{S: mesh.NodeID(pr[0]), T: mesh.NodeID(pr[1])}
+	}
+
+	wire := r.URL.Query().Get("format") == "wire" ||
+		strings.Contains(r.Header.Get("Accept"), serial.WireContentType)
+
+	// Fused routing+accounting: every edge crossing lands in the live
+	// tracker while the batch is being selected (the packet index
+	// spreads writers across counter shards).
+	hooks := core.Hooks{Edge: func(pkt int, e mesh.EdgeID) {
+		s.live.Add(uint64(pkt), e)
+	}}
+	paths := make([]mesh.Path, len(pairs))
+
+	if wire {
+		return s.streamBatchWire(ctx, w, pairs, paths, hooks)
+	}
+
+	// Deadline-checked slices: the context is consulted every
+	// BatchChunk pairs, so a request whose deadline passes mid-batch
+	// fails in bounded time instead of routing to completion. Chunking
+	// does not change the paths (stream ids are batch indexes).
+	for lo := 0; lo < len(pairs); lo += s.cfg.BatchChunk {
+		if s.chunkHook != nil {
+			s.chunkHook(lo)
+		}
+		if err := ctx.Err(); err != nil {
+			writeErr(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d pairs", lo, len(pairs))
+			return http.StatusGatewayTimeout, 0, 0
+		}
+		hi := lo + s.cfg.BatchChunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		s.sel.SelectRangeParallelInto(pairs, lo, hi, s.cfg.BatchWorkers, paths, hooks)
+	}
+	resp := batchResponse{Paths: make([][]int, len(paths))}
+	for i, p := range paths {
+		nodes := make([]int, len(p))
+		for j, n := range p {
+			nodes[j] = int(n)
+		}
+		resp.Paths[i] = nodes
+		edges += int64(p.Len())
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, int64(len(paths)), edges
+}
+
+// streamBatchWire routes the batch in chunks and streams each chunk in
+// the compact wire format as soon as it is selected, flushing between
+// chunks. If the deadline passes mid-stream the response ends without
+// the checksum trailer, which the client's decoder rejects — a
+// truncated stream can never be mistaken for a complete one.
+func (s *Server) streamBatchWire(ctx context.Context, w http.ResponseWriter, pairs []mesh.Pair, paths []mesh.Path, hooks core.Hooks) (code int, routes, edges int64) {
+	w.Header().Set("Content-Type", serial.WireContentType)
+	w.WriteHeader(http.StatusOK)
+	enc, err := serial.NewWireEncoder(w, s.m, len(pairs))
+	if err != nil {
+		return http.StatusInternalServerError, 0, 0
+	}
+	flusher, _ := w.(http.Flusher)
+	for lo := 0; lo < len(pairs); lo += s.cfg.BatchChunk {
+		if ctx.Err() != nil {
+			return http.StatusGatewayTimeout, routes, edges // truncated: no trailer
+		}
+		hi := lo + s.cfg.BatchChunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		s.sel.SelectRangeParallelInto(pairs, lo, hi, s.cfg.BatchWorkers, paths, hooks)
+		for _, p := range paths[lo:hi] {
+			if err := enc.Encode(p); err != nil {
+				return http.StatusInternalServerError, routes, edges
+			}
+			routes++
+			edges += int64(p.Len())
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := enc.Close(); err != nil {
+		return http.StatusInternalServerError, routes, edges
+	}
+	return http.StatusOK, routes, edges
+}
+
+// meshResponse describes the served topology and limits, everything a
+// typed client needs to validate pairs and decode the wire format.
+type meshResponse struct {
+	Spec     serial.MeshSpec `json:"mesh"`
+	Seed     uint64          `json:"seed"`
+	Variant  string          `json:"variant"`
+	MaxBatch int             `json:"maxBatch"`
+}
+
+func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	variant := "general"
+	if s.sel.Options().Variant == core.Variant2D {
+		variant = "2d"
+	}
+	writeJSON(w, http.StatusOK, meshResponse{
+		Spec:     serial.Spec(s.m),
+		Seed:     s.cfg.Seed,
+		Variant:  variant,
+		MaxBatch: s.cfg.MaxBatch,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// contextWithTimeout derives the request's working context: the
+// configured per-request deadline on top of whatever cancellation the
+// client connection already carries, so deadlines propagate into the
+// selection loop via context.
+func contextWithTimeout(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), d)
+}
