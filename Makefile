@@ -23,16 +23,19 @@ FUZZ_TARGETS := \
 	internal/serial:FuzzLoadProblem \
 	internal/serial:FuzzLoadRun \
 	internal/serial:FuzzWirePaths \
+	internal/serial:FuzzWireSegPaths \
 	internal/workload:FuzzGenerators
 
 FUZZ_ONLY ?= $(FUZZ_TARGETS)
 
 .PHONY: build test vet race fuzz verify bench bench-json bench-smoke serve-smoke cover
 
-# Committed benchmark baseline for the routing-service PR: headline
+# Committed benchmark baseline for the run-length path PR: headline
 # Path/SelectAll benchmarks plus the loopback ServerBatch benchmark
-# rendered to JSON (ns/op, B/op, allocs/op) via cmd/benchjson.
-BENCH_JSON ?= BENCH_PR4.json
+# rendered to JSON (ns/op, B/op, allocs/op) via cmd/benchjson. Compare
+# against BENCH_PR4.json for the hop-path numbers before the SegPath
+# hot path landed.
+BENCH_JSON ?= BENCH_PR5.json
 
 build:
 	$(GO) build ./...
@@ -70,9 +73,12 @@ bench-json:
 
 # One-iteration pass over every benchmark: catches benchmarks that
 # panic or no longer compile without paying for real measurements (the
-# CI benchmark gate).
+# CI benchmark gate), then asserts the run-length hot path's allocation
+# budget: PathSelect2D/side256 must stay under half the BENCH_PR4.json
+# hop baseline (< 2909 B/op).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^TestBenchGatePathSelect2D$$' -v .
 
 # End-to-end daemon gate: builds the real meshrouted binary, boots it
 # on a random port, routes a batch through the typed client over both

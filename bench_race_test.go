@@ -1,0 +1,7 @@
+//go:build race
+
+package obliviousmesh_test
+
+// raceEnabled reports that this binary was built with -race: the race
+// runtime inflates B/op, so allocation-budget gates skip themselves.
+const raceEnabled = true

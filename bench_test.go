@@ -140,9 +140,13 @@ func BenchmarkFlowLowerBound(b *testing.B) {
 // --- Micro-benchmarks of the core algorithm ---
 
 // BenchmarkPathSelect2D measures one oblivious path selection on 2-D
-// meshes of growing side (the headline operation of the paper).
+// meshes of growing side (the headline operation of the paper). The
+// headline representation is the run-length SegPath (DESIGN.md §11):
+// its size is O(runs), not O(hops), so the bytes/op column stays nearly
+// flat as the side grows. BenchmarkPathSelect2DExpand below prices the
+// legacy node-list materialization for comparison.
 func BenchmarkPathSelect2D(b *testing.B) {
-	for _, side := range []int{16, 64, 256} {
+	for _, side := range []int{16, 64, 256, 1024} {
 		b.Run(fmt.Sprintf("side%d", side), func(b *testing.B) {
 			m := mesh.MustSquare(2, side)
 			sel := core.MustNewSelector(m, core.Options{Variant: core.Variant2D, Seed: 1})
@@ -151,9 +155,55 @@ func BenchmarkPathSelect2D(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sink = sel.Path(s, t, uint64(i))
+				sink = sel.SegPath(s, t, uint64(i))
 			}
 		})
+	}
+}
+
+// BenchmarkPathSelect2DExpand measures the same selection materialized
+// as a node list (SegPath + Expand, byte-identical to the legacy hop
+// engine) — the before/after companion of BenchmarkPathSelect2D.
+func BenchmarkPathSelect2DExpand(b *testing.B) {
+	for _, side := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("side%d", side), func(b *testing.B) {
+			m := mesh.MustSquare(2, side)
+			sel := core.MustNewSelector(m, core.Options{Variant: core.Variant2D, Seed: 1})
+			s := mesh.NodeID(0)
+			t := mesh.NodeID(m.Size() - 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = sel.SegPath(s, t, uint64(i)).Expand(m)
+			}
+		})
+	}
+}
+
+// TestBenchGatePathSelect2D is the CI benchmark gate for the run-length
+// hot path: one side-256 selection must allocate less than half of the
+// BENCH_PR4.json hop-path baseline (5818 B/op), i.e. < 2909 B/op. The
+// gate runs with the regular suite (and explicitly in `make
+// bench-smoke`) so an allocation regression fails fast, not only when
+// someone re-runs `make bench-json`.
+func TestBenchGatePathSelect2D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark gate is not a -short test")
+	}
+	if raceEnabled {
+		t.Skip("race runtime inflates B/op; the gate runs in the non-race suite")
+	}
+	m := mesh.MustSquare(2, 256)
+	sel := core.MustNewSelector(m, core.Options{Variant: core.Variant2D, Seed: 1})
+	s, d := mesh.NodeID(0), mesh.NodeID(m.Size()-1)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = sel.SegPath(s, d, uint64(i))
+		}
+	})
+	if got := r.AllocedBytesPerOp(); got >= 2909 {
+		t.Fatalf("PathSelect2D/side256 allocates %d B/op, want < 2909 (half the 5818 B/op hop baseline in BENCH_PR4.json)", got)
 	}
 }
 

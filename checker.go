@@ -35,3 +35,14 @@ func SelectAllChecked(r *Router, pairs []Pair, ck *Checker) []Path {
 	r.SelectAllParallelIntoHooks(pairs, 0, paths, core.Hooks{Path: ck.PathObserver()})
 	return paths
 }
+
+// SelectAllSegChecked is SelectAllChecked in the run-length
+// representation: the segment-native engine selects, and ck verifies
+// every delivered run set against a re-derived trace (segpath-valid
+// and seg-agreement on top of the standard suite) without expanding
+// it. Expanding the results yields exactly SelectAll's paths.
+func SelectAllSegChecked(r *Router, pairs []Pair, ck *Checker) []SegPath {
+	sps := make([]SegPath, len(pairs))
+	r.SelectAllParallelSegInto(pairs, 0, sps, core.SegHooks{Seg: ck.SegPathObserver()})
+	return sps
+}

@@ -55,6 +55,23 @@ type ServerInfo struct {
 	Seed     uint64          `json:"seed"`
 	Variant  string          `json:"variant"`
 	MaxBatch int             `json:"maxBatch"`
+	// PathFormat is the daemon's JSON path representation ("hops" or
+	// "segments"); empty on daemons predating the field.
+	PathFormat string `json:"pathFormat"`
+	// Formats lists the /v1/batch encodings the daemon speaks. Empty on
+	// daemons predating wire2, which is how the client knows to stay on
+	// the per-hop wire format.
+	Formats []string `json:"formats"`
+}
+
+// supports reports whether the daemon advertised a batch format.
+func (info ServerInfo) supports(format string) bool {
+	for _, f := range info.Formats {
+		if f == format {
+			return true
+		}
+	}
+	return false
 }
 
 // HTTPError is any non-2xx response from the service, carrying the
@@ -144,11 +161,33 @@ func (c *Client) RouteBatch(ctx context.Context, pairs []Pair) ([]Path, error) {
 	return paths, nil
 }
 
-// RouteBatchWire is RouteBatch over the compact binary wire format:
-// one byte per hop instead of JSON integers, with a checksum trailer.
-// The reply is decoded (and validated hop-by-hop) against the
-// server's topology, fetched once via /v1/mesh and cached.
+// RouteBatchWire is RouteBatch over the binary wire formats. When the
+// daemon advertises the run-length wire2 format (/v1/mesh "formats"),
+// the batch travels as OMP2 segments — roughly an order of magnitude
+// fewer bytes — and is expanded locally to the identical hop paths;
+// older daemons get the per-hop OMP1 request. Either way the reply is
+// decoded and validated against the server's topology, fetched once
+// via /v1/mesh and cached.
 func (c *Client) RouteBatchWire(ctx context.Context, pairs []Pair) ([]Path, error) {
+	info, err := c.Info(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if info.supports("wire2") {
+		sps, err := c.RouteBatchSeg(ctx, pairs)
+		if err != nil {
+			return nil, err
+		}
+		m, err := c.Mesh(ctx)
+		if err != nil {
+			return nil, err
+		}
+		paths := make([]Path, len(sps))
+		for i, sp := range sps {
+			paths[i] = sp.Expand(m)
+		}
+		return paths, nil
+	}
 	m, err := c.Mesh(ctx)
 	if err != nil {
 		return nil, err
@@ -174,6 +213,39 @@ func (c *Client) RouteBatchWire(ctx context.Context, pairs []Pair) ([]Path, erro
 		return nil, fmt.Errorf("meshrouted: got %d paths for %d pairs", len(paths), len(pairs))
 	}
 	return paths, nil
+}
+
+// RouteBatchSeg routes pairs over the run-length wire format and
+// returns the paths as segments, never expanding: the cheapest way to
+// move a large batch when the caller can consume runs directly
+// (LiveLoads.AddSegPath, metrics EvaluateSeg, SegPath.Expand on
+// demand). Fails on daemons that do not advertise wire2.
+func (c *Client) RouteBatchSeg(ctx context.Context, pairs []Pair) ([]SegPath, error) {
+	m, err := c.Mesh(ctx)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := marshalPairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	var sps []SegPath
+	err = c.do(ctx, http.MethodPost, "/v1/batch?format=wire2", blob, serial.WireSegContentType,
+		func(body io.Reader) error {
+			ps, err := serial.DecodeWireSeg(body, m, len(pairs))
+			if err != nil {
+				return fmt.Errorf("meshrouted: decode wire2 response: %w", err)
+			}
+			sps = ps
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if len(sps) != len(pairs) {
+		return nil, fmt.Errorf("meshrouted: got %d paths for %d pairs", len(sps), len(pairs))
+	}
+	return sps, nil
 }
 
 // Info fetches /v1/mesh (cached after the first success).

@@ -2,6 +2,7 @@ package obliviousmesh_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -107,6 +108,92 @@ func TestClientRoutesMatchLocalRouter(t *testing.T) {
 	}
 	if !strings.Contains(text, "meshrouted_routes_total") {
 		t.Fatalf("metrics exposition missing route counters:\n%s", text)
+	}
+}
+
+// RouteBatchSeg must deliver the run-length form of exactly the local
+// selection, and RouteBatchWire must fall back to the per-hop OMP1
+// format against a daemon that predates wire2 (no /v1/mesh "formats").
+func TestClientWire2NegotiationAndSegBatch(t *testing.T) {
+	const seed = 23
+	m, err := obliviousmesh.NewMesh(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Mesh: m, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := obliviousmesh.NewRouter(m, obliviousmesh.RouterOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []obliviousmesh.Pair
+	for s := 0; s < m.Size(); s++ {
+		pairs = append(pairs, obliviousmesh.Pair{
+			S: obliviousmesh.NodeID(s),
+			T: obliviousmesh.NodeID((s * 7) % m.Size()),
+		})
+	}
+
+	inner := srv.Handler()
+	var lastFormat atomic.Value
+	legacy := false
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/batch" {
+			lastFormat.Store(r.URL.Query().Get("format"))
+		}
+		if r.URL.Path == "/v1/mesh" && legacy {
+			// Impersonate a pre-wire2 daemon: same topology, no
+			// "formats" advertisement.
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			var mr map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &mr); err != nil {
+				t.Error(err)
+			}
+			delete(mr, "formats")
+			delete(mr, "pathFormat")
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(mr)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	ctx := context.Background()
+
+	client := obliviousmesh.NewClient(ts.URL, obliviousmesh.ClientConfig{HTTPClient: ts.Client()})
+	sps, err := client.RouteBatchSeg(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range pairs {
+		want := local.Path(pr.S, pr.T, uint64(i))
+		if !pathsEq(sps[i].Expand(m), want) {
+			t.Fatalf("pair %d: seg batch path != local selection", i)
+		}
+	}
+	if _, err := client.RouteBatchWire(ctx, pairs); err != nil {
+		t.Fatal(err)
+	}
+	if f := lastFormat.Load(); f != "wire2" {
+		t.Fatalf("modern daemon: RouteBatchWire used format %q, want wire2", f)
+	}
+
+	legacy = true
+	old := obliviousmesh.NewClient(ts.URL, obliviousmesh.ClientConfig{HTTPClient: ts.Client()})
+	wirePaths, err := old.RouteBatchWire(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := lastFormat.Load(); f != "wire" {
+		t.Fatalf("legacy daemon: RouteBatchWire used format %q, want wire", f)
+	}
+	for i, pr := range pairs {
+		if !pathsEq(wirePaths[i], local.Path(pr.S, pr.T, uint64(i))) {
+			t.Fatalf("pair %d: legacy wire path != local selection", i)
+		}
 	}
 }
 

@@ -9,7 +9,8 @@
 //	meshroute [-d 2] [-side 32] [-torus] [-algo H] [-workload permutation]
 //	          [-seed 1] [-simulate] [-delay 0] [-workers 0] [-check]
 //	          [-pair "x1,y1:x2,y2"] [-l 8] [-heatmap] [-save run.json]
-//	          [-nochaincache] [-cpuprofile p.out] [-memprofile m.out] [-trace t.out]
+//	          [-pathfmt hops] [-nochaincache]
+//	          [-cpuprofile p.out] [-memprofile m.out] [-trace t.out]
 //
 // Algorithms: H, H-general, access-tree, dim-order, rand-dim-order,
 // rand-monotone, valiant, offline.
@@ -21,6 +22,14 @@
 // (stretch bound, bitonic chain shape, waypoint membership, random-bit
 // budget — see DESIGN.md §8) and exits non-zero on any violation,
 // printing a replayable witness for each.
+//
+// -pathfmt segments routes through the run-length engine (DESIGN.md
+// §11): paths are selected, evaluated, checked, and heatmapped as
+// (start, dim, run) segments and only expanded to node lists when a
+// hop-level consumer (-save, -simulate) needs them. The report is
+// identical to -pathfmt hops; only the representation — and the
+// allocation bill — changes. Core selectors only (H, H-general,
+// access-tree).
 //
 // -cpuprofile, -memprofile and -trace write pprof/runtime-trace
 // artifacts for the run, so hot-path regressions can be diagnosed
@@ -75,6 +84,7 @@ type config struct {
 	heatmap      bool
 	live         bool
 	check        bool
+	pathFmt      string
 	save         string
 	noChainCache bool
 	cpuProfile   string
@@ -103,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&cfg.heatmap, "heatmap", false, "render the edge-load heatmap (2-D meshes)")
 	fs.BoolVar(&cfg.live, "live", false, "route as streaming traffic with fused live accounting and rolling congestion/stretch reports")
 	fs.BoolVar(&cfg.check, "check", false, "machine-check every selected path against the paper's invariants (DESIGN.md §8)")
+	fs.StringVar(&cfg.pathFmt, "pathfmt", "hops", "path representation: \"hops\" (node lists) or \"segments\" (run-length engine; core selectors only)")
 	fs.StringVar(&cfg.save, "save", "", "write the run (problem+paths+report) as JSON to this file")
 	fs.BoolVar(&cfg.noChainCache, "nochaincache", false, "disable the (s,t)->chain memoization layer (ablation; paths are identical either way)")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -151,6 +162,10 @@ func validate(cfg config) error {
 		return fmt.Errorf("-l must be >= 1 (got %d)", cfg.l)
 	case cfg.workers < 0:
 		return fmt.Errorf("-workers must be >= 0 (got %d)", cfg.workers)
+	case cfg.pathFmt != "hops" && cfg.pathFmt != "segments":
+		return fmt.Errorf(`-pathfmt must be "hops" or "segments" (got %q)`, cfg.pathFmt)
+	case cfg.live && cfg.pathFmt == "segments":
+		return fmt.Errorf("-live streams hop paths through a session; it does not combine with -pathfmt segments")
 	}
 	return nil
 }
@@ -232,10 +247,16 @@ func route(cfg config, out io.Writer) error {
 		if cfg.check {
 			return errors.New("-check applies to algorithm H's oblivious paths, not the offline router")
 		}
+		if cfg.pathFmt == "segments" {
+			return errors.New("-pathfmt segments needs a core selector algorithm (H, H-general, access-tree), not offline")
+		}
 		return runOffline(out, m, cfg.wlName, cfg.seed, cfg.l)
 	case "adaptive", "hot-potato":
 		if cfg.check {
 			return fmt.Errorf("-check applies to path-selecting algorithms, not %s", cfg.algoName)
+		}
+		if cfg.pathFmt == "segments" {
+			return fmt.Errorf("-pathfmt segments needs a core selector algorithm (H, H-general, access-tree), not %s", cfg.algoName)
 		}
 		return runHopByHop(out, m, cfg.algoName, cfg.wlName, cfg.seed, cfg.l)
 	}
@@ -255,9 +276,17 @@ func route(cfg config, out io.Writer) error {
 		}
 		checker = invariant.New(named.Sel)
 	}
+	segments := cfg.pathFmt == "segments"
+	if segments && !isCore {
+		return fmt.Errorf("-pathfmt segments needs a core selector algorithm (H, H-general, access-tree), not %s", cfg.algoName)
+	}
 
 	if cfg.pair != "" {
-		return routePair(out, m, algo, checker, cfg.pair)
+		var segSel *core.Selector
+		if segments {
+			segSel = named.Sel
+		}
+		return routePair(out, m, algo, checker, cfg.pair, segSel)
 	}
 
 	prob, hot, err := cli.BuildWorkload(cfg.wlName, m, cfg.seed, cfg.l, algo)
@@ -268,10 +297,20 @@ func route(cfg config, out io.Writer) error {
 		fmt.Fprintf(out, "adversarial pinned edge: %s\n", m.EdgeString(hot))
 	}
 	var paths []mesh.Path
+	var sps []mesh.SegPath
 	var tracker *metrics.LiveLoads
 	switch {
 	case cfg.live:
 		paths, tracker = routeLive(out, m, algo, prob.Pairs, cfg.workers, checker)
+	case segments:
+		// Run-length engine: select, check and account in segment form;
+		// node lists are only materialized on demand (below).
+		sps = make([]mesh.SegPath, len(prob.Pairs))
+		var h core.SegHooks
+		if checker != nil {
+			h.Seg = checker.SegPathObserver()
+		}
+		named.Sel.SelectAllParallelSegInto(prob.Pairs, cfg.workers, sps, h)
 	case isCore:
 		// Core selectors route in parallel; obliviousness guarantees
 		// the result is identical to the sequential order.
@@ -285,8 +324,26 @@ func route(cfg config, out io.Writer) error {
 		paths = baseline.SelectAll(algo, prob.Pairs)
 	}
 
+	// expand materializes hop paths lazily: in segments mode the report,
+	// checker, and heatmap all work run-by-run, so only -save and
+	// -simulate pay for node lists.
+	expand := func() []mesh.Path {
+		if paths == nil {
+			paths = make([]mesh.Path, len(sps))
+			for i := range sps {
+				paths[i] = sps[i].Expand(m)
+			}
+		}
+		return paths
+	}
+
 	dc := decomp.MustNew(m, cli.DecompMode(m))
-	rep := metrics.Evaluate(dc, prob.Pairs, paths)
+	var rep metrics.Report
+	if sps != nil {
+		rep = metrics.EvaluateSeg(dc, prob.Pairs, sps)
+	} else {
+		rep = metrics.Evaluate(dc, prob.Pairs, paths)
+	}
 	fmt.Fprintf(out, "%v  workload=%s  N=%d  algo=%s  seed=%d\n",
 		m, prob.Name, prob.N(), algo.Name(), cfg.seed)
 	fmt.Fprintf(out, "congestion C      = %d\n", rep.Congestion)
@@ -295,6 +352,15 @@ func route(cfg config, out io.Writer) error {
 	fmt.Fprintf(out, "mean stretch      = %.2f\n", rep.AvgStretch)
 	fmt.Fprintf(out, "lower bound on C* = %d   (C/LB = %.2f)\n",
 		rep.LowerBound, float64(rep.Congestion)/float64(rep.LowerBound))
+	if sps != nil {
+		var runs, hops int
+		for i := range sps {
+			runs += len(sps[i].Segs)
+			hops += sps[i].Len()
+		}
+		fmt.Fprintf(out, "path format       = segments (%d runs over %d hops, %.1f hops/run)\n",
+			runs, hops, float64(hops)/float64(max(runs, 1)))
+	}
 	if tracker != nil {
 		liveC := tracker.Max()
 		status := "MISMATCH vs batch recount"
@@ -310,15 +376,20 @@ func route(cfg config, out io.Writer) error {
 		}
 	}
 	if cfg.heatmap {
-		fmt.Fprint(out, metrics.LoadHeatmap(m, metrics.EdgeLoads(m, paths)))
+		loads := metrics.EdgeLoads(m, paths)
+		if sps != nil {
+			loads = metrics.EdgeLoadsSeg(m, sps)
+		}
+		fmt.Fprint(out, metrics.LoadHeatmap(m, loads))
 	}
 	if cfg.save != "" {
-		if err := saveRun(cfg.save, prob, algo.Name(), cfg.seed, paths, &rep); err != nil {
+		if err := saveRun(cfg.save, prob, algo.Name(), cfg.seed, expand(), &rep); err != nil {
 			return fmt.Errorf("save: %w", err)
 		}
 		fmt.Fprintf(out, "run saved to %s\n", cfg.save)
 	}
 	if cfg.simulate {
+		paths := expand()
 		r := sim.RunOpts(m, paths, sim.Options{
 			Discipline: sim.FurthestToGo,
 			Delays:     sim.UniformDelays(len(paths), cfg.maxDelay, cfg.seed),
@@ -339,13 +410,27 @@ func route(cfg config, out io.Writer) error {
 
 // routePair routes and prints a single source→target path; with a
 // checker attached it also runs the full invariant suite on it (stream
-// 0, the same stream Violation.Replay reproduces).
-func routePair(out io.Writer, m *mesh.Mesh, algo baseline.PathSelector, checker *invariant.Engine, pair string) error {
+// 0, the same stream Violation.Replay reproduces). A non-nil segSel
+// selects and prints the run-length form instead of the node list.
+func routePair(out io.Writer, m *mesh.Mesh, algo baseline.PathSelector, checker *invariant.Engine, pair string, segSel *core.Selector) error {
 	sc, tc, err := cli.ParsePair(pair, m)
 	if err != nil {
 		return err
 	}
 	s, t := m.Node(sc), m.Node(tc)
+	if segSel != nil {
+		sp := segSel.SegPath(s, t, 0)
+		fmt.Fprintf(out, "%s segments %v -> %v (dist %d, len %d, %d runs):\n",
+			algo.Name(), sc, tc, m.Dist(s, t), sp.Len(), len(sp.Segs))
+		for _, sg := range sp.Segs {
+			fmt.Fprintf(out, "  dim %d run %+d\n", sg.Dim, sg.Run)
+		}
+		if checker != nil {
+			checker.CheckSegPath(s, t, 0, sp)
+			return reportChecks(out, m, checker)
+		}
+		return nil
+	}
 	p := algo.Path(s, t, 0)
 	fmt.Fprintf(out, "%s path %v -> %v (dist %d, len %d, stretch %.2f):\n",
 		algo.Name(), sc, tc, m.Dist(s, t), p.Len(), m.Stretch(p))

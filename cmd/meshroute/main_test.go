@@ -47,6 +47,27 @@ func TestRun(t *testing.T) {
 			wantOut: []string{"H path (0,0) -> (7,7)", "invariant checks  = 1 packets checked, 0 violations"},
 		},
 		{
+			name: "segments batch with check",
+			args: []string{"-d", "2", "-side", "8", "-pathfmt", "segments", "-check"},
+			exit: 0,
+			wantOut: []string{
+				"congestion C", "path format       = segments (", "hops/run",
+				"invariant checks", " 0 violations",
+			},
+		},
+		{
+			name:    "segments single pair with check",
+			args:    []string{"-d", "2", "-side", "8", "-pair", "0,0:7,7", "-pathfmt", "segments", "-check"},
+			exit:    0,
+			wantOut: []string{"H segments (0,0) -> (7,7)", "dim ", "invariant checks  = 1 packets checked, 0 violations"},
+		},
+		{
+			name:    "segments heatmap and simulate",
+			args:    []string{"-d", "2", "-side", "8", "-pathfmt", "segments", "-heatmap", "-simulate"},
+			exit:    0,
+			wantOut: []string{"edge-load heatmap", "makespan"},
+		},
+		{
 			name:    "live streaming with check",
 			args:    []string{"-d", "2", "-side", "8", "-live", "-workers", "2", "-check"},
 			exit:    0,
@@ -151,6 +172,36 @@ func TestRun(t *testing.T) {
 			wantErrOut: []string{"-workers must be >= 0"},
 		},
 		{
+			name:       "bad pathfmt",
+			args:       []string{"-side", "8", "-pathfmt", "runs"},
+			exit:       2,
+			wantErrOut: []string{`-pathfmt must be "hops" or "segments" (got "runs")`},
+		},
+		{
+			name:       "segments rejects live",
+			args:       []string{"-side", "8", "-pathfmt", "segments", "-live"},
+			exit:       2,
+			wantErrOut: []string{"-live streams hop paths"},
+		},
+		{
+			name:       "segments rejects plain baselines",
+			args:       []string{"-side", "8", "-algo", "dim-order", "-pathfmt", "segments"},
+			exit:       1,
+			wantErrOut: []string{"-pathfmt segments needs a core selector"},
+		},
+		{
+			name:       "segments rejects offline",
+			args:       []string{"-side", "8", "-algo", "offline", "-pathfmt", "segments"},
+			exit:       1,
+			wantErrOut: []string{"-pathfmt segments"},
+		},
+		{
+			name:       "segments rejects hop-by-hop",
+			args:       []string{"-side", "8", "-algo", "adaptive", "-pathfmt", "segments"},
+			exit:       1,
+			wantErrOut: []string{"-pathfmt segments"},
+		},
+		{
 			name:       "non-numeric side",
 			args:       []string{"-side", "wide"},
 			exit:       2,
@@ -251,6 +302,36 @@ func TestRunCacheAblationIdenticalOutput(t *testing.T) {
 	}
 	if strings.Contains(uncached.String(), "chain cache") {
 		t.Errorf("uncached run should not print chain-cache stats:\n%s", uncached.String())
+	}
+}
+
+// -pathfmt segments must report exactly what -pathfmt hops reports —
+// same congestion, dilation, stretch, and lower bound — differing only
+// by its own "path format" line.
+func TestRunPathFmtIdenticalReport(t *testing.T) {
+	strip := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "path format") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	var hops, segs, errOut bytes.Buffer
+	base := []string{"-d", "2", "-side", "16", "-seed", "7"}
+	if got := run(base, &hops, &errOut); got != 0 {
+		t.Fatalf("hops run: exit %d, stderr: %s", got, errOut.String())
+	}
+	if got := run(append(base, "-pathfmt", "segments"), &segs, &errOut); got != 0 {
+		t.Fatalf("segments run: exit %d, stderr: %s", got, errOut.String())
+	}
+	if hops.String() != strip(segs.String()) {
+		t.Errorf("reports differ between path formats:\nhops:\n%s\nsegments:\n%s",
+			hops.String(), segs.String())
+	}
+	if !strings.Contains(segs.String(), "path format       = segments") {
+		t.Errorf("segments run missing path-format line:\n%s", segs.String())
 	}
 }
 

@@ -9,7 +9,13 @@
 //	meshrouted [-addr :8732] [-d 2] [-side 32] [-torus] [-seed 1]
 //	           [-max-inflight 0] [-max-queue 0] [-max-batch 65536]
 //	           [-workers 4] [-timeout 10s] [-drain-timeout 30s]
-//	           [-nochaincache]
+//	           [-pathfmt hops] [-nochaincache]
+//
+// -pathfmt selects the JSON representation of /v1/batch replies:
+// "hops" (node-id arrays, the default) or "segments" (flat run-length
+// records [start, dim0, run0, ...], typically ~8x smaller). The binary
+// wire formats are negotiated per request (?format=wire or wire2)
+// regardless of this flag.
 //
 // The daemon prints "listening on http://<host:port>" once the socket
 // is bound (use -addr :0 to pick a free port and read it from that
@@ -58,6 +64,7 @@ type config struct {
 	workers      int
 	timeout      time.Duration
 	drainTimeout time.Duration
+	pathFmt      string
 	noChainCache bool
 }
 
@@ -81,6 +88,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.workers, "workers", 0, "path-selection workers per batch request (0 = default)")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "per-request deadline (0 = default)")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	fs.StringVar(&cfg.pathFmt, "pathfmt", "hops", "JSON path representation for /v1/batch: \"hops\" (node-id arrays) or \"segments\" (run-length records)")
 	fs.BoolVar(&cfg.noChainCache, "nochaincache", false, "disable the (s,t)->chain memoization layer")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -121,6 +129,8 @@ func validate(cfg config) error {
 		return fmt.Errorf("-timeout must be >= 0 (got %v)", cfg.timeout)
 	case cfg.drainTimeout <= 0:
 		return fmt.Errorf("-drain-timeout must be > 0 (got %v)", cfg.drainTimeout)
+	case cfg.pathFmt != "hops" && cfg.pathFmt != "segments":
+		return fmt.Errorf(`-pathfmt must be "hops" or "segments" (got %q)`, cfg.pathFmt)
 	}
 	return nil
 }
@@ -142,6 +152,7 @@ func serve(ctx context.Context, cfg config, stdout io.Writer) error {
 		MaxBatch:          cfg.maxBatch,
 		BatchWorkers:      cfg.workers,
 		RequestTimeout:    cfg.timeout,
+		PathFormat:        cfg.pathFmt,
 	})
 	if err != nil {
 		return err

@@ -66,6 +66,63 @@ func TestSelectAllObserved(t *testing.T) {
 	}
 }
 
+// The run-length facade helpers must be indistinguishable from their
+// hop counterparts: same paths after expansion, same live loads, same
+// report, and a clean checker pass.
+func TestSegFacadeMatchesHop(t *testing.T) {
+	m, r := newRouter(t, 2, 16)
+	prob := obliviousmesh.RandomPermutation(m, 5)
+
+	liveHop := obliviousmesh.NewLiveLoads(m, 0)
+	liveSeg := obliviousmesh.NewLiveLoads(m, 0)
+	paths := obliviousmesh.SelectAllTracked(r, prob.Pairs, liveHop)
+	sps := obliviousmesh.SelectAllSegTracked(r, prob.Pairs, liveSeg)
+
+	for i, sp := range sps {
+		p := sp.Expand(m)
+		if len(p) != len(paths[i]) {
+			t.Fatalf("packet %d: seg expansion %d nodes, hop path %d", i, len(p), len(paths[i]))
+		}
+		for j := range p {
+			if p[j] != paths[i][j] {
+				t.Fatalf("packet %d: expansion differs at %d", i, j)
+			}
+		}
+	}
+	hop, seg := liveHop.Snapshot(), liveSeg.Snapshot()
+	for e := range hop {
+		if hop[e] != seg[e] {
+			t.Fatalf("edge %d: hop load %d, seg load %d", e, hop[e], seg[e])
+		}
+	}
+
+	hopRep, err := obliviousmesh.Evaluate(m, prob.Pairs, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segRep, err := obliviousmesh.EvaluateSeg(m, prob.Pairs, sps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hopRep != segRep {
+		t.Fatalf("EvaluateSeg %+v != Evaluate %+v", segRep, hopRep)
+	}
+
+	ck := obliviousmesh.NewChecker(r)
+	checked := obliviousmesh.SelectAllSegChecked(r, prob.Pairs, ck)
+	if err := ck.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Checked() != uint64(len(prob.Pairs)) {
+		t.Fatalf("checker saw %d of %d packets", ck.Checked(), len(prob.Pairs))
+	}
+	for i := range checked {
+		if checked[i].Start != sps[i].Start || len(checked[i].Segs) != len(sps[i].Segs) {
+			t.Fatalf("checked selection differs from tracked selection at %d", i)
+		}
+	}
+}
+
 // Issued vs Packets under concurrent Route: Packets must never read
 // ahead of Issued, and from inside the per-route observer — which runs
 // before the route is counted complete — the route's own stream must

@@ -23,7 +23,8 @@ type Trace struct {
 	Segments  []mesh.Path // Segments[i] connects Waypoints[i] to Waypoints[i+1]
 	Perm      []int       // dimension correction order
 	Stats     Stats
-	Path      mesh.Path // final (cycle-removed unless KeepCycles) path
+	Path      mesh.Path    // final (cycle-removed unless KeepCycles) path
+	Seg       mesh.SegPath // run-length form of Path; what SegPath(s,t,stream) returns
 }
 
 // Explain selects the path for (s, t, stream) and returns the full
@@ -53,6 +54,9 @@ func (sel *Selector) PathStats(s, t mesh.NodeID, stream uint64) (mesh.Path, Stat
 type scratch struct {
 	rng    bitrand.Source
 	raw    mesh.Path
+	segs   []mesh.Seg // run-length construction buffer
+	segs2  []mesh.Seg // recompression buffer for the cycle fallback
+	runc   []int32    // flattened R×d run-start coordinates (cycle detection)
 	wp     []mesh.NodeID
 	c      mesh.Coord
 	perm   []int
@@ -105,10 +109,68 @@ func (sel *Selector) constructInto(s, t mesh.NodeID, stream uint64, keepSegments
 		return Trace{
 			S: s, T: t,
 			Path:      mesh.Path{s},
+			Seg:       mesh.SegPath{Start: s},
 			Waypoints: []mesh.NodeID{s},
 			Stats:     Stats{ChainLen: 1},
 		}
 	}
+	chain, br, waypoints, perm := sel.prepare(s, t, stream, sc)
+
+	tr := Trace{
+		S: s, T: t,
+		Bridge:    br,
+		Waypoints: waypoints,
+		Perm:      perm,
+	}
+	var raw mesh.Path
+	if keepSegments {
+		// Cold path (Explain): materialize per-waypoint hop segments
+		// for the trace alongside the full raw walk.
+		raw = append(sc.raw[:0], s)
+		for i := 1; i < len(waypoints); i++ {
+			seg := sel.m.StaircasePath(waypoints[i-1], waypoints[i], perm)
+			tr.Segments = append(tr.Segments, seg)
+			raw = append(raw, seg[1:]...)
+		}
+		tr.Chain = chain
+	} else {
+		// Hot path: emit the dim-by-dim runs directly, then expand them
+		// into the raw walk with pure stride arithmetic — no per-hop
+		// Step call. The node sequence is identical by construction.
+		segs := sc.segs[:0]
+		for i := 1; i < len(waypoints); i++ {
+			segs = sel.m.AppendStaircaseSegs(segs, waypoints[i-1], waypoints[i], perm)
+		}
+		sc.segs = segs
+		raw = mesh.SegPath{Start: s, Segs: segs}.AppendExpand(sel.m, sc.raw[:0])
+	}
+	sc.raw = raw // keep the grown capacity for the next packet
+	tr.Stats = Stats{
+		RandomBits:   sc.rng.BitsUsed(),
+		BridgeHeight: sel.dc.HeightOf(br.Level),
+		BridgeType:   br.Type,
+		ChainLen:     len(chain),
+		RawLen:       raw.Len(),
+	}
+	var path mesh.Path
+	if sel.opt.KeepCycles {
+		path = append(make(mesh.Path, 0, len(raw)), raw...)
+	} else {
+		path = raw.RemoveCyclesReuse(sc.last)
+	}
+	tr.Stats.Len = path.Len()
+	tr.Path = path
+	if keepSegments {
+		tr.Seg = path.Compress(sel.m)
+	}
+	return tr
+}
+
+// prepare runs the shared prelude of both path representations:
+// reseed the packet's randomness, fetch the (possibly interned) chain,
+// draw the dimension order and the random waypoints. The returned
+// waypoints and perm alias scratch memory.
+func (sel *Selector) prepare(s, t mesh.NodeID, stream uint64, sc *scratch) ([]mesh.Box, decomp.Bridge, []mesh.NodeID, []int) {
 	rng := &sc.rng
 	rng.ReseedSplit(sel.opt.Seed, stream^(uint64(s)<<24)^uint64(t))
 	chain, br, capBits := sel.chainFor(s, t)
@@ -124,43 +186,7 @@ func (sel *Selector) constructInto(s, t mesh.NodeID, stream uint64, keepSegments
 	}
 
 	waypoints := sel.drawWaypoints(chain, capBits, s, t, rng, sc)
-
-	tr := Trace{
-		S: s, T: t,
-		Bridge:    br,
-		Waypoints: waypoints,
-		Perm:      perm,
-	}
-	raw := append(sc.raw[:0], s)
-	for i := 1; i < len(waypoints); i++ {
-		if keepSegments {
-			seg := sel.m.StaircasePath(waypoints[i-1], waypoints[i], perm)
-			tr.Segments = append(tr.Segments, seg)
-			raw = append(raw, seg[1:]...)
-		} else {
-			raw = sel.m.AppendStaircase(raw, waypoints[i-1], waypoints[i], perm)
-		}
-	}
-	sc.raw = raw // keep the grown capacity for the next packet
-	if keepSegments {
-		tr.Chain = chain
-	}
-	tr.Stats = Stats{
-		RandomBits:   rng.BitsUsed(),
-		BridgeHeight: sel.dc.HeightOf(br.Level),
-		BridgeType:   br.Type,
-		ChainLen:     len(chain),
-		RawLen:       raw.Len(),
-	}
-	var path mesh.Path
-	if sel.opt.KeepCycles {
-		path = append(make(mesh.Path, 0, len(raw)), raw...)
-	} else {
-		path = raw.RemoveCyclesReuse(sc.last)
-	}
-	tr.Stats.Len = path.Len()
-	tr.Path = path
-	return tr
+	return chain, br, waypoints, perm
 }
 
 // String renders the trace for human inspection.

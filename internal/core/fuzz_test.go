@@ -45,5 +45,20 @@ func FuzzSelectorPath(f *testing.F) {
 		if st.Len != p.Len() {
 			t.Fatalf("selector %d: stats.Len %d != path len %d", i, st.Len, p.Len())
 		}
+		// The segment-native selector must agree with the hop selector
+		// on every fuzzed packet: same stats, expansion byte-identical.
+		sp, sst := sel.SegPathStats(s, d, stream)
+		if sst != st {
+			t.Fatalf("selector %d: seg stats %+v != hop stats %+v", i, sst, st)
+		}
+		ep := sp.Expand(m)
+		if len(ep) != len(p) {
+			t.Fatalf("selector %d: seg expansion len %d != hop len %d", i, len(ep), len(p))
+		}
+		for k := range p {
+			if ep[k] != p[k] {
+				t.Fatalf("selector %d: seg expansion differs at %d", i, k)
+			}
+		}
 	})
 }

@@ -51,6 +51,19 @@ func (sel *Selector) SelectRangeParallelInto(pairs []mesh.Pair, lo, hi, workers 
 	if lo < 0 || hi > len(pairs) || lo > hi {
 		panic("core: SelectRangeParallelInto: range out of bounds")
 	}
+	if len(paths) < hi {
+		panic("core: SelectRangeParallelInto: paths slice too short")
+	}
+	return runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
+		return sel.selectRange(pairs, paths, wlo, whi, h)
+	})
+}
+
+// runRangeParallel splits [lo, hi) into contiguous per-worker chunks
+// and merges the per-worker aggregates — the scheduling shared by the
+// hop and segment batch engines. Contiguous index ranges keep
+// per-worker memory access local and avoid per-packet channel traffic.
+func runRangeParallel(lo, hi, workers int, body func(wlo, whi int) Aggregate) Aggregate {
 	n := hi - lo
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -61,15 +74,10 @@ func (sel *Selector) SelectRangeParallelInto(pairs []mesh.Pair, lo, hi, workers 
 	if workers > n {
 		workers = n
 	}
-	if len(paths) < hi {
-		panic("core: SelectRangeParallelInto: paths slice too short")
-	}
 	if workers <= 1 {
-		return sel.selectRange(pairs, paths, lo, hi, h)
+		return body(lo, hi)
 	}
 
-	// Contiguous index ranges keep per-worker memory access local and
-	// avoid per-packet channel traffic.
 	var wg sync.WaitGroup
 	aggs := make([]Aggregate, workers)
 	chunk := (n + workers - 1) / workers
@@ -85,7 +93,7 @@ func (sel *Selector) SelectRangeParallelInto(pairs []mesh.Pair, lo, hi, workers 
 		wg.Add(1)
 		go func(w, wlo, whi int) {
 			defer wg.Done()
-			aggs[w] = sel.selectRange(pairs, paths, wlo, whi, h)
+			aggs[w] = body(wlo, whi)
 		}(w, wlo, whi)
 	}
 	wg.Wait()

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// SegPath selects the run-length path for packet (s, t, stream). The
+// result is exactly Path(s, t, stream).Compress — same randomness, same
+// cycle removal — but in the common (cycle-free) case it is produced
+// straight from Algorithm H's dim-by-dim construction without ever
+// materializing the hop sequence, which is what takes
+// BenchmarkPathSelect2D from O(path length) to O(d · chain length)
+// bytes per op.
+func (sel *Selector) SegPath(s, t mesh.NodeID, stream uint64) mesh.SegPath {
+	sp, _ := sel.SegPathStats(s, t, stream)
+	return sp
+}
+
+// SegPathStats is SegPath plus exact per-packet accounting. The stats
+// are identical to PathStats' for the same packet.
+func (sel *Selector) SegPathStats(s, t mesh.NodeID, stream uint64) (mesh.SegPath, Stats) {
+	sc := sel.getScratch()
+	sp, st := sel.constructSegInto(s, t, stream, sc)
+	sel.putScratch(sc)
+	return sp, st
+}
+
+// constructSegInto is the segment-native construction: the shared
+// prepare prelude (so randomness consumption matches the hop path bit
+// for bit), runs emitted directly per dimension, and a run-level
+// revisit check in place of the hop-level cycle excision. Only when a
+// revisit is possible does it fall back to expand → RemoveCycles →
+// Compress, so outputs agree with Compress(constructInto(...).Path) in
+// every case.
+func (sel *Selector) constructSegInto(s, t mesh.NodeID, stream uint64, sc *scratch) (mesh.SegPath, Stats) {
+	if s == t {
+		return mesh.SegPath{Start: s}, Stats{ChainLen: 1}
+	}
+	chain, br, waypoints, perm := sel.prepare(s, t, stream, sc)
+
+	segs := sc.segs[:0]
+	for i := 1; i < len(waypoints); i++ {
+		segs = sel.m.AppendStaircaseSegs(segs, waypoints[i-1], waypoints[i], perm)
+	}
+	sc.segs = segs
+
+	st := Stats{
+		RandomBits:   sc.rng.BitsUsed(),
+		BridgeHeight: sel.dc.HeightOf(br.Level),
+		BridgeType:   br.Type,
+		ChainLen:     len(chain),
+	}
+	sp := mesh.SegPath{Start: s, Segs: segs}
+	st.RawLen = sp.Len()
+
+	var out mesh.SegPath
+	if sel.opt.KeepCycles || !sel.segsRevisit(s, segs, sc) {
+		out = mesh.SegPath{Start: s, Segs: append(make([]mesh.Seg, 0, len(segs)), segs...)}
+	} else {
+		sc.raw = sp.AppendExpand(sel.m, sc.raw[:0])
+		out, sc.segs2 = sel.m.CompressCycles(sc.raw, sc.last, sc.segs2)
+	}
+	st.Len = out.Len()
+	return out, st
+}
+
+// segsRevisit conservatively reports whether the walk described by the
+// runs could visit a node twice. A false answer is definitive (the
+// walk is simple, so cycle removal is the identity and the runs are
+// final); a true answer only sends the packet down the exact hop-level
+// excision, so over-approximation costs time, never correctness. The
+// pairwise check is O(R²·d) over R runs — R is O(d · chain length),
+// tiny next to the path length the hop representation walks.
+func (sel *Selector) segsRevisit(start mesh.NodeID, segs []mesh.Seg, sc *scratch) bool {
+	m := sel.m
+	R := len(segs)
+	// A single run revisits only by lapping a wrapped ring.
+	for _, sg := range segs {
+		k := int(sg.Run)
+		if k < 0 {
+			k = -k
+		}
+		if k >= m.Side(int(sg.Dim)) {
+			return true // wrap lap (non-wrap runs are bounded by the side)
+		}
+	}
+	if R <= 1 {
+		return false
+	}
+	d := m.Dim()
+	need := R * d
+	if cap(sc.runc) < need {
+		sc.runc = make([]int32, need)
+	}
+	rc := sc.runc[:need]
+	m.CoordInto(start, sc.c)
+	for i, sg := range segs {
+		for k := 0; k < d; k++ {
+			rc[i*d+k] = int32(sc.c[k])
+		}
+		dim := int(sg.Dim)
+		s := m.Side(dim)
+		nci := sc.c[dim] + int(sg.Run)
+		if m.WrapDim(dim) {
+			nci = ((nci % s) + s) % s
+		}
+		sc.c[dim] = nci
+	}
+	for i := 0; i < R; i++ {
+		di := int(segs[i].Dim)
+		ci := int(rc[i*d+di])
+		ri := int(segs[i].Run)
+		si := m.Side(di)
+		wi := m.WrapDim(di)
+		for j := i + 1; j < R; j++ {
+			dj := int(segs[j].Dim)
+			if j == i+1 {
+				if di == dj {
+					// Adjacent same-dimension runs only arise with
+					// opposite signs (same signs merge at append): an
+					// immediate backtrack, hence a revisit.
+					return true
+				}
+				// Adjacent different-dimension runs share exactly the
+				// junction node, which is one visit, not two.
+				continue
+			}
+			// Non-adjacent runs: any shared node is a revisit. Run i
+			// fixes every coordinate but di at rc[i], run j every but
+			// dj at rc[j].
+			if di == dj {
+				eq := true
+				for k := 0; k < d && eq; k++ {
+					if k != di && rc[i*d+k] != rc[j*d+k] {
+						eq = false
+					}
+				}
+				if eq && arcsOverlap(ci, ri, int(rc[j*d+dj]), int(segs[j].Run), si, wi) {
+					return true
+				}
+				continue
+			}
+			eq := true
+			for k := 0; k < d && eq; k++ {
+				if k != di && k != dj && rc[i*d+k] != rc[j*d+k] {
+					eq = false
+				}
+			}
+			if !eq {
+				continue
+			}
+			// Unique candidate: coordinate di fixed by run j, dj by run
+			// i; a revisit needs both to land inside the other's arc.
+			if inArc(int(rc[j*d+di]), ci, ri, si, wi) &&
+				inArc(int(rc[i*d+dj]), int(rc[j*d+dj]), int(segs[j].Run), m.Side(dj), m.WrapDim(dj)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inArc reports whether coordinate x lies on the arc of |run| steps
+// from ci (sign of run is the direction) on a ring of side s (wrap) or
+// an open segment. Callers guarantee |run| < s on wrapped dimensions.
+func inArc(x, ci, run, s int, wrap bool) bool {
+	if !wrap {
+		if run >= 0 {
+			return x >= ci && x <= ci+run
+		}
+		return x >= ci+run && x <= ci
+	}
+	if run >= 0 {
+		return ((x-ci)%s+s)%s <= run
+	}
+	return ((ci-x)%s+s)%s <= -run
+}
+
+// arcsOverlap reports whether two arcs on the same dimension share a
+// coordinate. Two connected arcs intersect iff an endpoint of one lies
+// on the other.
+func arcsOverlap(c1, r1, c2, r2, s int, wrap bool) bool {
+	e1, e2 := c1+r1, c2+r2
+	if wrap {
+		e1 = ((e1 % s) + s) % s
+		e2 = ((e2 % s) + s) % s
+	}
+	return inArc(c2, c1, r1, s, wrap) || inArc(e2, c1, r1, s, wrap) ||
+		inArc(c1, c2, r2, s, wrap) || inArc(e1, c2, r2, s, wrap)
+}
+
+// SegObserver receives each whole selected run-length path (with its
+// per-packet stats) immediately after construction — the segment
+// counterpart of PathObserver. The SegPath is caller-owned and safe to
+// retain; with the parallel engine the observer is invoked
+// concurrently from all workers and must be safe for concurrent use.
+type SegObserver func(packet int, pr mesh.Pair, sp mesh.SegPath, st Stats)
+
+// SegHooks bundles the optional observers of the segment batch
+// engines. The zero value disables both; nil fields cost nothing.
+type SegHooks struct {
+	Edge Observer
+	Seg  SegObserver
+}
+
+// SelectAllSeg selects the run-length path for every pair of a routing
+// problem; the i-th packet uses stream i. Expanding each result yields
+// exactly SelectAll's paths, and the aggregate matches too.
+func (sel *Selector) SelectAllSeg(pairs []mesh.Pair) ([]mesh.SegPath, Aggregate) {
+	sps := make([]mesh.SegPath, len(pairs))
+	agg := sel.SelectAllSegInto(pairs, sps, SegHooks{})
+	return sps, agg
+}
+
+// SelectAllSegInto is SelectAllSeg into a caller-provided slice
+// (len(sps) ≥ len(pairs)), with optional fused observers: h.Edge
+// receives every edge via the run walker (no expansion) and h.Seg each
+// finished SegPath with its stats.
+func (sel *Selector) SelectAllSegInto(pairs []mesh.Pair, sps []mesh.SegPath, h SegHooks) Aggregate {
+	if len(sps) < len(pairs) {
+		panic(fmt.Sprintf("core: SelectAllSegInto: seg slice too short (%d < %d)", len(sps), len(pairs)))
+	}
+	return sel.selectSegRange(pairs, sps, 0, len(pairs), h)
+}
+
+// selectSegRange routes pairs[lo:hi] into sps[lo:hi] with one scratch —
+// the per-worker body of the serial and parallel segment engines.
+func (sel *Selector) selectSegRange(pairs []mesh.Pair, sps []mesh.SegPath, lo, hi int, h SegHooks) Aggregate {
+	sc := sel.getScratch()
+	defer sel.putScratch(sc)
+	var agg Aggregate
+	for i := lo; i < hi; i++ {
+		sp, st := sel.constructSegInto(pairs[i].S, pairs[i].T, uint64(i), sc)
+		sps[i] = sp
+		agg.Add(st)
+		if h.Edge != nil {
+			sel.m.SegPathEdges(sp, func(e mesh.EdgeID) { h.Edge(i, e) })
+		}
+		if h.Seg != nil {
+			h.Seg(i, pairs[i], sp, st)
+		}
+	}
+	return agg
+}
+
+// SelectAllParallelSegInto is SelectAllSegInto across `workers`
+// goroutines with the worker-count semantics of SelectAllParallelInto;
+// hooks are invoked concurrently from all workers and must be safe for
+// concurrent use.
+func (sel *Selector) SelectAllParallelSegInto(pairs []mesh.Pair, workers int, sps []mesh.SegPath, h SegHooks) Aggregate {
+	return sel.SelectRangeParallelSegInto(pairs, 0, len(pairs), workers, sps, h)
+}
+
+// SelectRangeParallelSegInto routes pairs[lo:hi] into sps[lo:hi]
+// across `workers` goroutines. Packet i keeps randomness stream i (the
+// global index), so deadline-checked slices compose into exactly the
+// paths of one whole-batch call — the property the routing service's
+// chunked wire streaming relies on.
+func (sel *Selector) SelectRangeParallelSegInto(pairs []mesh.Pair, lo, hi, workers int, sps []mesh.SegPath, h SegHooks) Aggregate {
+	if lo < 0 || hi > len(pairs) || lo > hi {
+		panic("core: SelectRangeParallelSegInto: range out of bounds")
+	}
+	if len(sps) < hi {
+		panic("core: SelectRangeParallelSegInto: seg slice too short")
+	}
+	return runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
+		return sel.selectSegRange(pairs, sps, wlo, whi, h)
+	})
+}

@@ -132,6 +132,10 @@ func (m *Mesh) Wrap() bool { return m.wrap }
 // at least 3).
 func (m *Mesh) wrapDim(i int) bool { return m.wrap && m.dims[i] > 2 }
 
+// WrapDim reports whether dimension i actually wraps: torus topology
+// and side at least 3 (a side-2 ring would duplicate the open edge).
+func (m *Mesh) WrapDim(i int) bool { return m.wrapDim(i) }
+
 // MustNew is New but panics on error; for tests and fixed-size tools.
 func MustNew(dims ...int) *Mesh {
 	m, err := New(dims...)
@@ -189,6 +193,10 @@ func (m *Mesh) Dim() int { return len(m.dims) }
 
 // Side returns the side length in dimension i.
 func (m *Mesh) Side(i int) int { return m.dims[i] }
+
+// Stride returns the linearization stride of dimension i: adjacent
+// nodes along i differ by Stride(i) in NodeID (Stride(0) == 1).
+func (m *Mesh) Stride(i int) int { return m.strides[i] }
 
 // Sides returns a copy of all side lengths.
 func (m *Mesh) Sides() []int { return append([]int(nil), m.dims...) }

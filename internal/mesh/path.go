@@ -44,14 +44,25 @@ func (m *Mesh) Validate(p Path, src, dst NodeID) error {
 }
 
 // PathEdges calls fn with the EdgeID of every edge of p, in order.
+// The walk is run-aware: each hop is decoded from its id delta with
+// the previous hop's dimension tried first, so the long axis-aligned
+// runs that Algorithm H produces cost one comparison and one division
+// per hop instead of EdgeBetween's per-dimension div/mod scan.
 func (m *Mesh) PathEdges(p Path, fn func(e EdgeID)) {
+	hint := 0
 	for i := 1; i < len(p); i++ {
-		e, ok := m.EdgeBetween(p[i-1], p[i])
+		a, b := p[i-1], p[i]
+		dim, dir, ok := m.hopDecode(a, b, hint)
 		if !ok {
 			panic(fmt.Sprintf("mesh: invalid path step %v -> %v",
-				m.CoordOf(p[i-1]), m.CoordOf(p[i])))
+				m.CoordOf(a), m.CoordOf(b)))
 		}
-		fn(e)
+		hint = dim
+		owner := a // +dim and wrap edges are owned by the node stepped from
+		if dir < 0 {
+			owner = b // -dim steps arrive at the owning node
+		}
+		fn(EdgeID(dim*m.size + int(owner)))
 	}
 }
 

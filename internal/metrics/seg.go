@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"sync/atomic"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+// This file is the segment-native side of the metrics package: every
+// measure of §2 computed directly on run-length paths. A run of k hops
+// along one dimension covers k consecutive edge IDs (stride apart in
+// the node part), so tallying it is a tight add-and-step loop — no
+// per-hop EdgeBetween, no expansion to a hop path.
+
+// AddRun records every edge of one axis-aligned run of |run| steps
+// from start along dim (sign of run is the direction) under one tag,
+// and returns the node the run ends at so consecutive runs chain.
+// Safe for concurrent use; panics when the run leaves the mesh.
+func (l *LiveLoads) AddRun(m *mesh.Mesh, tag uint64, start mesh.NodeID, dim, run int) mesh.NodeID {
+	if run == 0 {
+		return start
+	}
+	counts := l.shards[tag&l.mask].counts
+	s := m.Side(dim)
+	st := m.Stride(dim)
+	wrap := m.WrapDim(dim)
+	base := dim * m.Size()
+	u := int(start)
+	ci := (u / st) % s
+	steps, dir := run, 1
+	if steps < 0 {
+		steps, dir = -steps, -1
+	}
+	for k := 0; k < steps; k++ {
+		switch {
+		case dir > 0 && ci < s-1:
+			atomic.AddInt64(&counts[base+u], 1)
+			u += st
+			ci++
+		case dir > 0 && wrap:
+			atomic.AddInt64(&counts[base+u], 1)
+			u -= (s - 1) * st
+			ci = 0
+		case dir < 0 && ci > 0:
+			u -= st
+			ci--
+			atomic.AddInt64(&counts[base+u], 1)
+		case dir < 0 && wrap:
+			u += (s - 1) * st
+			ci = s - 1
+			atomic.AddInt64(&counts[base+u], 1)
+		default:
+			panic("metrics: run leaves the mesh")
+		}
+	}
+	return mesh.NodeID(u)
+}
+
+// AddSegPath records every edge of one run-length path under one tag —
+// the fused accounting step of a segment-native live router, the
+// counterpart of AddPath without the per-hop decode.
+func (l *LiveLoads) AddSegPath(m *mesh.Mesh, tag uint64, sp mesh.SegPath) {
+	if sp.Start < 0 {
+		return
+	}
+	u := sp.Start
+	for _, sg := range sp.Segs {
+		u = l.AddRun(m, tag, u, int(sg.Dim), int(sg.Run))
+	}
+}
+
+// EdgeLoadsSeg is EdgeLoads for run-length paths: per-edge traversal
+// counts indexed by mesh.EdgeID, tallied run by run.
+func EdgeLoadsSeg(m *mesh.Mesh, sps []mesh.SegPath) []int64 {
+	loads := make([]int64, m.EdgeSpace())
+	AccumulateEdgeLoadsSeg(m, sps, loads)
+	return loads
+}
+
+// AccumulateEdgeLoadsSeg adds the edge traversals of run-length paths
+// into an existing load vector (length ≥ EdgeSpace).
+func AccumulateEdgeLoadsSeg(m *mesh.Mesh, sps []mesh.SegPath, loads []int64) {
+	for _, sp := range sps {
+		m.SegPathEdges(sp, func(e mesh.EdgeID) {
+			loads[e]++
+		})
+	}
+}
+
+// CongestionSeg returns C = max edge load of a run-length path set.
+func CongestionSeg(m *mesh.Mesh, sps []mesh.SegPath) int {
+	return int(MaxLoad(EdgeLoadsSeg(m, sps)))
+}
+
+// DilationSeg returns D = max path length, summed from the runs.
+func DilationSeg(sps []mesh.SegPath) int {
+	max := 0
+	for _, sp := range sps {
+		if l := sp.Len(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// StretchStatsSeg returns the maximum and mean stretch over a
+// run-length path set. Endpoints come from the representation itself
+// (Start and the arithmetic Dest), so no expansion happens.
+func StretchStatsSeg(m *mesh.Mesh, sps []mesh.SegPath) (max, mean float64) {
+	if len(sps) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, sp := range sps {
+		s := m.StretchSeg(sp, sp.Start, sp.Dest(m))
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	return max, sum / float64(len(sps))
+}
+
+// EvaluateSeg computes the full §2 report for a run-length path set
+// against its problem — the expansion-free counterpart of Evaluate,
+// equal to Evaluate on the Compress'd path set.
+func EvaluateSeg(dc *decomp.Decomposition, pairs []mesh.Pair, sps []mesh.SegPath) Report {
+	m := dc.Mesh()
+	maxS, avgS := StretchStatsSeg(m, sps)
+	return Report{
+		Congestion: CongestionSeg(m, sps),
+		Dilation:   DilationSeg(sps),
+		MaxStretch: maxS,
+		AvgStretch: avgS,
+		LowerBound: CongestionLowerBound(dc, pairs),
+	}
+}

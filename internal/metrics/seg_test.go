@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+)
+
+// routedSegs builds a random-walk path set (cycles, backtracks and
+// wrap-arounds included) in both representations for agreement tests.
+// Selector-level seg/hop agreement lives in the core package; here the
+// walks only need to cover the edge-walk code paths.
+func routedSegs(t *testing.T, m *mesh.Mesh, seed int64) ([]mesh.Pair, []mesh.Path, []mesh.SegPath) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pairs []mesh.Pair
+	var paths []mesh.Path
+	var sps []mesh.SegPath
+	for i := 0; i < 64; i++ {
+		cur := mesh.NodeID(rng.Intn(m.Size()))
+		p := mesh.Path{cur}
+		var nb []mesh.NodeID
+		for k := rng.Intn(3 * m.MaxSide()); k > 0; k-- {
+			nb = m.Neighbors(cur, nb[:0])
+			cur = nb[rng.Intn(len(nb))]
+			p = append(p, cur)
+		}
+		pairs = append(pairs, mesh.Pair{S: p.Source(), T: p.Dest()})
+		paths = append(paths, p)
+		sps = append(sps, p.Compress(m))
+	}
+	return pairs, paths, sps
+}
+
+func TestEdgeLoadsSegMatchesHop(t *testing.T) {
+	for _, m := range []*mesh.Mesh{mesh.MustSquare(2, 16), mesh.MustSquareTorus(2, 16)} {
+		_, paths, sps := routedSegs(t, m, 3)
+		hop := EdgeLoads(m, paths)
+		seg := EdgeLoadsSeg(m, sps)
+		if len(hop) != len(seg) {
+			t.Fatalf("%v: load vector lengths differ", m)
+		}
+		for e := range hop {
+			if hop[e] != seg[e] {
+				t.Fatalf("%v: edge %d: hop %d != seg %d", m, e, hop[e], seg[e])
+			}
+		}
+		if CongestionSeg(m, sps) != Congestion(m, paths) {
+			t.Fatalf("%v: congestion differs", m)
+		}
+		if DilationSeg(sps) != Dilation(paths) {
+			t.Fatalf("%v: dilation differs", m)
+		}
+	}
+}
+
+func TestStretchStatsSegMatchesHop(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	_, paths, sps := routedSegs(t, m, 5)
+	hMax, hMean := StretchStats(m, paths)
+	sMax, sMean := StretchStatsSeg(m, sps)
+	if hMax != sMax || hMean != sMean {
+		t.Fatalf("stretch (%v,%v) != (%v,%v)", sMax, sMean, hMax, hMean)
+	}
+}
+
+func TestEvaluateSegMatchesEvaluate(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	dc, err := decomp.New(m, decomp.Mode2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, paths, sps := routedSegs(t, m, 7)
+	hop := Evaluate(dc, pairs, paths)
+	seg := EvaluateSeg(dc, pairs, sps)
+	if hop != seg {
+		t.Fatalf("EvaluateSeg %+v != Evaluate %+v", seg, hop)
+	}
+}
+
+func TestAddSegPathMatchesAddPath(t *testing.T) {
+	for _, m := range []*mesh.Mesh{mesh.MustSquare(2, 8), mesh.MustSquareTorus(2, 8)} {
+		_, paths, sps := routedSegs(t, m, 11)
+		lh := NewLiveLoads(m, 4)
+		ls := NewLiveLoads(m, 4)
+		for i, p := range paths {
+			lh.AddPath(m, uint64(i), p)
+		}
+		for i, sp := range sps {
+			ls.AddSegPath(m, uint64(i), sp)
+		}
+		hop, seg := lh.Snapshot(), ls.Snapshot()
+		for e := range hop {
+			if hop[e] != seg[e] {
+				t.Fatalf("%v: edge %d: hop %d != seg %d", m, e, hop[e], seg[e])
+			}
+		}
+		if lh.Total() != ls.Total() {
+			t.Fatalf("%v: totals differ: %d vs %d", m, lh.Total(), ls.Total())
+		}
+	}
+}
+
+func TestAddRunChainsAndCounts(t *testing.T) {
+	m := mesh.MustSquareTorus(2, 5)
+	l := NewLiveLoads(m, 2)
+	start := m.Node(mesh.Coord{4, 2})
+	end := l.AddRun(m, 1, start, 0, 3) // wraps 4 -> 0 -> 1 -> 2
+	if want := m.Node(mesh.Coord{2, 2}); end != want {
+		t.Fatalf("AddRun end = %d, want %d", end, want)
+	}
+	if got := l.Total(); got != 3 {
+		t.Fatalf("total = %d, want 3", got)
+	}
+	// The same edges RunEdges reports must carry the load.
+	m.RunEdges(start, 0, 3, func(e mesh.EdgeID) {
+		if l.Snapshot()[e] != 1 {
+			t.Fatalf("edge %d load = %d", e, l.Snapshot()[e])
+		}
+	})
+	if end := l.AddRun(m, 1, start, 1, 0); end != start {
+		t.Fatalf("empty run moved to %d", end)
+	}
+}
+
+// TestAddSegPathConcurrent exercises the sharded counters from many
+// goroutines (meaningful under -race).
+func TestAddSegPathConcurrent(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	_, _, sps := routedSegs(t, m, 13)
+	l := NewLiveLoads(m, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, sp := range sps {
+				l.AddSegPath(m, uint64(w*len(sps)+i), sp)
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(0)
+	for _, sp := range sps {
+		want += int64(sp.Len())
+	}
+	if got := l.Total(); got != 4*want {
+		t.Fatalf("total = %d, want %d", got, 4*want)
+	}
+}

@@ -19,8 +19,11 @@
 //	POST /v1/route    {"s":0,"t":17}            → {"stream":n,"path":[...]}
 //	POST /v1/batch    {"pairs":[[s,t],...]}     → {"paths":[[...],...]}
 //	                  ?format=wire (or Accept: application/x-obliviousmesh-paths)
-//	                  streams the compact binary path encoding instead
-//	GET  /v1/mesh     topology + seed + limits, for typed clients
+//	                  streams the compact per-hop encoding (OMP1);
+//	                  ?format=wire2 (or Accept: application/x-obliviousmesh-segpaths)
+//	                  streams the run-length encoding (OMP2) — same
+//	                  paths, ~an order of magnitude fewer bytes
+//	GET  /v1/mesh     topology + seed + limits + formats, for typed clients
 //	GET  /healthz     200 ok / 503 draining
 //	GET  /metrics     text exposition of live counters
 package server
@@ -52,6 +55,12 @@ type Config struct {
 	General bool // force the §4 construction on 2-D meshes
 	// DisableChainCache turns off the (s,t)→chain memoization.
 	DisableChainCache bool
+	// PathFormat selects the JSON representation of selected paths:
+	// "hops" (the default) answers /v1/batch with node-id arrays,
+	// "segments" with flat run-length records [start, dim0, run0, ...].
+	// The binary wire formats are unaffected — they are chosen per
+	// request.
+	PathFormat string
 
 	// MaxInFlight is the number of routing requests allowed to execute
 	// concurrently (default 2×GOMAXPROCS).
@@ -82,6 +91,13 @@ type Config struct {
 func (c *Config) fill() error {
 	if c.Mesh == nil {
 		return errors.New("server: Config.Mesh is required")
+	}
+	switch c.PathFormat {
+	case "":
+		c.PathFormat = "hops"
+	case "hops", "segments":
+	default:
+		return fmt.Errorf(`server: Config.PathFormat must be "hops" or "segments" (got %q)`, c.PathFormat)
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
@@ -353,8 +369,30 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 		pairs[i] = mesh.Pair{S: mesh.NodeID(pr[0]), T: mesh.NodeID(pr[1])}
 	}
 
-	wire := r.URL.Query().Get("format") == "wire" ||
-		strings.Contains(r.Header.Get("Accept"), serial.WireContentType)
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "":
+		accept := r.Header.Get("Accept")
+		switch {
+		case strings.Contains(accept, serial.WireSegContentType):
+			format = "wire2"
+		case strings.Contains(accept, serial.WireContentType):
+			format = "wire"
+		default:
+			format = "json"
+		}
+	case "json", "wire", "wire2":
+	default:
+		writeErr(w, http.StatusBadRequest, `unknown format %q (want "json", "wire" or "wire2")`, format)
+		return http.StatusBadRequest, 0, 0
+	}
+
+	if format == "wire2" {
+		return s.streamBatchSegWire(ctx, w, pairs)
+	}
+	if format == "json" && s.cfg.PathFormat == "segments" {
+		return s.jsonBatchSeg(ctx, w, pairs)
+	}
 
 	// Fused routing+accounting: every edge crossing lands in the live
 	// tracker while the batch is being selected (the packet index
@@ -364,7 +402,7 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 	}}
 	paths := make([]mesh.Path, len(pairs))
 
-	if wire {
+	if format == "wire" {
 		return s.streamBatchWire(ctx, w, pairs, paths, hooks)
 	}
 
@@ -438,13 +476,109 @@ func (s *Server) streamBatchWire(ctx context.Context, w http.ResponseWriter, pai
 	return http.StatusOK, routes, edges
 }
 
+// segLiveHooks is the accounting hook of the segment engines: every
+// routed path lands in the live tracker run by run (the packet index
+// spreads writers across counter shards), the segment counterpart of
+// the per-edge hook of the hop engines.
+func (s *Server) segLiveHooks() core.SegHooks {
+	return core.SegHooks{Seg: func(pkt int, _ mesh.Pair, sp mesh.SegPath, _ core.Stats) {
+		s.live.AddSegPath(s.m, uint64(pkt), sp)
+	}}
+}
+
+// segBatchResponse is the JSON /v1/batch reply of a PathFormat
+// "segments" server: entry i is the flat run-length record
+// [start, dim0, run0, dim1, run1, ...] of pair i's path.
+type segBatchResponse struct {
+	SegPaths [][]int `json:"segpaths"`
+}
+
+// jsonBatchSeg routes the batch with the segment-native engine and
+// answers with flat run-length records — the deadline-checked chunking
+// of the hop JSON path, minus the per-hop expansion.
+func (s *Server) jsonBatchSeg(ctx context.Context, w http.ResponseWriter, pairs []mesh.Pair) (code int, routes, edges int64) {
+	sps := make([]mesh.SegPath, len(pairs))
+	hooks := s.segLiveHooks()
+	for lo := 0; lo < len(pairs); lo += s.cfg.BatchChunk {
+		if s.chunkHook != nil {
+			s.chunkHook(lo)
+		}
+		if err := ctx.Err(); err != nil {
+			writeErr(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d pairs", lo, len(pairs))
+			return http.StatusGatewayTimeout, 0, 0
+		}
+		hi := lo + s.cfg.BatchChunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		s.sel.SelectRangeParallelSegInto(pairs, lo, hi, s.cfg.BatchWorkers, sps, hooks)
+	}
+	resp := segBatchResponse{SegPaths: make([][]int, len(sps))}
+	for i, sp := range sps {
+		rec := make([]int, 0, 1+2*len(sp.Segs))
+		rec = append(rec, int(sp.Start))
+		for _, sg := range sp.Segs {
+			rec = append(rec, int(sg.Dim), int(sg.Run))
+		}
+		resp.SegPaths[i] = rec
+		edges += int64(sp.Len())
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, int64(len(sps)), edges
+}
+
+// streamBatchSegWire routes the batch with the segment-native engine
+// and streams each chunk in the run-length wire format as soon as it
+// is selected — streamBatchWire without ever materializing hop paths.
+// A mid-stream deadline again truncates before the checksum trailer.
+func (s *Server) streamBatchSegWire(ctx context.Context, w http.ResponseWriter, pairs []mesh.Pair) (code int, routes, edges int64) {
+	w.Header().Set("Content-Type", serial.WireSegContentType)
+	w.WriteHeader(http.StatusOK)
+	enc, err := serial.NewWireSegEncoder(w, s.m, len(pairs))
+	if err != nil {
+		return http.StatusInternalServerError, 0, 0
+	}
+	flusher, _ := w.(http.Flusher)
+	sps := make([]mesh.SegPath, len(pairs))
+	hooks := s.segLiveHooks()
+	for lo := 0; lo < len(pairs); lo += s.cfg.BatchChunk {
+		if ctx.Err() != nil {
+			return http.StatusGatewayTimeout, routes, edges // truncated: no trailer
+		}
+		hi := lo + s.cfg.BatchChunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		s.sel.SelectRangeParallelSegInto(pairs, lo, hi, s.cfg.BatchWorkers, sps, hooks)
+		for _, sp := range sps[lo:hi] {
+			if err := enc.Encode(sp); err != nil {
+				return http.StatusInternalServerError, routes, edges
+			}
+			routes++
+			edges += int64(sp.Len())
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := enc.Close(); err != nil {
+		return http.StatusInternalServerError, routes, edges
+	}
+	return http.StatusOK, routes, edges
+}
+
 // meshResponse describes the served topology and limits, everything a
-// typed client needs to validate pairs and decode the wire format.
+// typed client needs to validate pairs and decode the wire formats.
 type meshResponse struct {
 	Spec     serial.MeshSpec `json:"mesh"`
 	Seed     uint64          `json:"seed"`
 	Variant  string          `json:"variant"`
 	MaxBatch int             `json:"maxBatch"`
+	// PathFormat is the configured JSON path representation.
+	PathFormat string `json:"pathFormat"`
+	// Formats lists the /v1/batch encodings this daemon speaks; clients
+	// use it to negotiate wire2 (absent on older daemons).
+	Formats []string `json:"formats"`
 }
 
 func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
@@ -457,10 +591,12 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		variant = "2d"
 	}
 	writeJSON(w, http.StatusOK, meshResponse{
-		Spec:     serial.Spec(s.m),
-		Seed:     s.cfg.Seed,
-		Variant:  variant,
-		MaxBatch: s.cfg.MaxBatch,
+		Spec:       serial.Spec(s.m),
+		Seed:       s.cfg.Seed,
+		Variant:    variant,
+		MaxBatch:   s.cfg.MaxBatch,
+		PathFormat: s.cfg.PathFormat,
+		Formats:    []string{"json", "wire", "wire2"},
 	})
 }
 

@@ -26,6 +26,13 @@ type (
 	Box = mesh.Box
 	// Path is a walk through the mesh.
 	Path = mesh.Path
+	// SegPath is the run-length representation of a walk: a start node
+	// plus axis-aligned (dimension, signed run) segments. Convert with
+	// Path.Compress and SegPath.Expand; Router.SegPath selects it
+	// natively.
+	SegPath = mesh.SegPath
+	// Seg is one axis-aligned run of a SegPath.
+	Seg = mesh.Seg
 	// Pair is one packet request (source, destination).
 	Pair = mesh.Pair
 	// Problem is a named routing problem Π.
@@ -159,6 +166,38 @@ func SelectAllObserved(r *Router, pairs []Pair, observe EdgeObserver) []Path {
 	paths := make([]Path, len(pairs))
 	r.SelectAllInto(pairs, paths, observe)
 	return paths
+}
+
+// SelectAllSegTracked is SelectAllTracked in the run-length
+// representation: the segment-native engine routes the problem across
+// all CPUs, accounting every run into live in bulk (AddRun's
+// contiguous-stride walk) instead of edge by edge. Expanding the
+// results yields exactly SelectAllTracked's paths, and live holds the
+// identical per-edge loads.
+func SelectAllSegTracked(r *Router, pairs []Pair, live *LiveLoads) []SegPath {
+	m := r.Mesh()
+	sps := make([]SegPath, len(pairs))
+	r.SelectAllParallelSegInto(pairs, 0, sps, core.SegHooks{
+		Seg: func(pkt int, _ Pair, sp SegPath, _ RouterStats) {
+			live.AddSegPath(m, uint64(pkt), sp)
+		},
+	})
+	return sps
+}
+
+// EvaluateSeg computes the §2 report of a run-length path set — equal
+// to Evaluate on the expanded paths, computed run by run without
+// expansion.
+func EvaluateSeg(m *Mesh, pairs []Pair, sps []SegPath) (Report, error) {
+	mode := decomp.ModeGeneral
+	if m.Dim() == 2 {
+		mode = decomp.Mode2D
+	}
+	dc, err := decomp.New(m, mode)
+	if err != nil {
+		return Report{}, err
+	}
+	return metrics.EvaluateSeg(dc, pairs, sps), nil
 }
 
 // Baselines returns the oblivious comparison algorithms of the paper's
