@@ -30,12 +30,12 @@ FUZZ_ONLY ?= $(FUZZ_TARGETS)
 
 .PHONY: build test vet race fuzz verify bench bench-json bench-smoke serve-smoke cover
 
-# Committed benchmark baseline for the run-length path PR: headline
-# Path/SelectAll benchmarks plus the loopback ServerBatch benchmark
-# rendered to JSON (ns/op, B/op, allocs/op) via cmd/benchjson. Compare
-# against BENCH_PR4.json for the hop-path numbers before the SegPath
-# hot path landed.
-BENCH_JSON ?= BENCH_PR5.json
+# Committed benchmark baseline for the compiled routing table PR:
+# headline Path/SelectAll/SelectAllSeg benchmarks plus the loopback
+# ServerBatch benchmark rendered to JSON (ns/op, B/op, allocs/op) via
+# cmd/benchjson. Compare against BENCH_PR5.json for the numbers before
+# the routetab backend and the dense cycle excision landed.
+BENCH_JSON ?= BENCH_PR6.json
 
 build:
 	$(GO) build ./...
@@ -74,11 +74,14 @@ bench-json:
 # One-iteration pass over every benchmark: catches benchmarks that
 # panic or no longer compile without paying for real measurements (the
 # CI benchmark gate), then asserts the run-length hot path's allocation
-# budget: PathSelect2D/side256 must stay under half the BENCH_PR4.json
-# hop baseline (< 2909 B/op).
+# budget — PathSelect2D/side256 must stay under half the BENCH_PR4.json
+# hop baseline (< 2909 B/op) — and the routing-table dispatch budget:
+# warm table-mode SelectAllSeg on side 256 must beat the warm chain
+# cache by >= 2x.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^TestBenchGatePathSelect2D$$' -v .
+	$(GO) test -run '^TestBenchGateSelectAllSegTable$$' -v ./internal/core
 
 # End-to-end daemon gate: builds the real meshrouted binary, boots it
 # on a random port, routes a batch through the typed client over both

@@ -9,7 +9,7 @@
 //	meshroute [-d 2] [-side 32] [-torus] [-algo H] [-workload permutation]
 //	          [-seed 1] [-simulate] [-delay 0] [-workers 0] [-check]
 //	          [-pair "x1,y1:x2,y2"] [-l 8] [-heatmap] [-save run.json]
-//	          [-pathfmt hops] [-nochaincache]
+//	          [-pathfmt hops] [-nochaincache] [-chainsource table]
 //	          [-cpuprofile p.out] [-memprofile m.out] [-trace t.out]
 //
 // Algorithms: H, H-general, access-tree, dim-order, rand-dim-order,
@@ -36,6 +36,10 @@
 // (`go tool pprof`, `go tool trace`) without editing code.
 // -nochaincache disables the (s, t) → bitonic-chain memoization layer
 // (ablation; cached and uncached runs select byte-identical paths).
+// -chainsource picks the chain backend explicitly: "cache" (the sharded
+// LRU), "table" (the compiled routing table of DESIGN.md §12 — fastest
+// warm dispatch, fixed memory footprint), or "none" (recompute per
+// packet). All three select byte-identical paths.
 package main
 
 import (
@@ -87,6 +91,7 @@ type config struct {
 	pathFmt      string
 	save         string
 	noChainCache bool
+	chainSource  string
 	cpuProfile   string
 	memProfile   string
 	traceFile    string
@@ -116,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.pathFmt, "pathfmt", "hops", "path representation: \"hops\" (node lists) or \"segments\" (run-length engine; core selectors only)")
 	fs.StringVar(&cfg.save, "save", "", "write the run (problem+paths+report) as JSON to this file")
 	fs.BoolVar(&cfg.noChainCache, "nochaincache", false, "disable the (s,t)->chain memoization layer (ablation; paths are identical either way)")
+	fs.StringVar(&cfg.chainSource, "chainsource", "", `chain backend for core selectors: "cache" (sharded LRU), "table" (compiled routing table), or "none" (recompute per packet); empty follows -nochaincache`)
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile at the end of the run to this file (go tool pprof)")
 	fs.StringVar(&cfg.traceFile, "trace", "", "write a runtime execution trace of the run to this file (go tool trace)")
@@ -166,6 +172,12 @@ func validate(cfg config) error {
 		return fmt.Errorf(`-pathfmt must be "hops" or "segments" (got %q)`, cfg.pathFmt)
 	case cfg.live && cfg.pathFmt == "segments":
 		return fmt.Errorf("-live streams hop paths through a session; it does not combine with -pathfmt segments")
+	}
+	if _, err := core.ParseChainSource(cfg.chainSource); err != nil {
+		return fmt.Errorf("-chainsource: %w", err)
+	}
+	if cfg.chainSource == "cache" && cfg.noChainCache {
+		return errors.New(`-chainsource cache conflicts with -nochaincache`)
 	}
 	return nil
 }
@@ -261,7 +273,14 @@ func route(cfg config, out io.Writer) error {
 		return runHopByHop(out, m, cfg.algoName, cfg.wlName, cfg.seed, cfg.l)
 	}
 
-	algo, err := cli.BuildAlgorithmCache(cfg.algoName, m, cfg.seed, cfg.noChainCache)
+	src, err := core.ParseChainSource(cfg.chainSource)
+	if err != nil {
+		return err
+	}
+	if src == core.ChainSourceDefault && cfg.noChainCache {
+		src = core.ChainSourceNone
+	}
+	algo, err := cli.BuildAlgorithmSource(cfg.algoName, m, cfg.seed, src)
 	if err != nil {
 		return err
 	}
@@ -373,6 +392,9 @@ func route(cfg config, out io.Writer) error {
 	if isCore {
 		if cs, ok := named.Sel.ChainCacheStats(); ok {
 			fmt.Fprintf(out, "chain cache       = %s\n", cs)
+		}
+		if ts, ok := named.Sel.RouteTableStats(); ok {
+			fmt.Fprintf(out, "route table       = %s\n", ts)
 		}
 	}
 	if cfg.heatmap {

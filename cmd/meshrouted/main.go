@@ -9,7 +9,7 @@
 //	meshrouted [-addr :8732] [-d 2] [-side 32] [-torus] [-seed 1]
 //	           [-max-inflight 0] [-max-queue 0] [-max-batch 65536]
 //	           [-workers 4] [-timeout 10s] [-drain-timeout 30s]
-//	           [-pathfmt hops] [-nochaincache]
+//	           [-pathfmt hops] [-nochaincache] [-chainsource table]
 //
 // -pathfmt selects the JSON representation of /v1/batch replies:
 // "hops" (node-id arrays, the default) or "segments" (flat run-length
@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"obliviousmesh/internal/cli"
+	"obliviousmesh/internal/core"
 	"obliviousmesh/internal/server"
 )
 
@@ -66,6 +67,7 @@ type config struct {
 	drainTimeout time.Duration
 	pathFmt      string
 	noChainCache bool
+	chainSource  string
 }
 
 // run is the testable body of the daemon: parse flags, bind, serve
@@ -90,6 +92,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	fs.StringVar(&cfg.pathFmt, "pathfmt", "hops", "JSON path representation for /v1/batch: \"hops\" (node-id arrays) or \"segments\" (run-length records)")
 	fs.BoolVar(&cfg.noChainCache, "nochaincache", false, "disable the (s,t)->chain memoization layer")
+	fs.StringVar(&cfg.chainSource, "chainsource", "", `chain backend: "cache" (sharded LRU), "table" (compiled routing table), or "none" (recompute per packet); empty follows -nochaincache`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -132,6 +135,9 @@ func validate(cfg config) error {
 	case cfg.pathFmt != "hops" && cfg.pathFmt != "segments":
 		return fmt.Errorf(`-pathfmt must be "hops" or "segments" (got %q)`, cfg.pathFmt)
 	}
+	if _, err := core.ParseChainSource(cfg.chainSource); err != nil {
+		return fmt.Errorf("-chainsource: %w", err)
+	}
 	return nil
 }
 
@@ -147,6 +153,7 @@ func serve(ctx context.Context, cfg config, stdout io.Writer) error {
 		Mesh:              m,
 		Seed:              cfg.seed,
 		DisableChainCache: cfg.noChainCache,
+		ChainSource:       cfg.chainSource,
 		MaxInFlight:       cfg.maxInFlight,
 		MaxQueue:          cfg.maxQueue,
 		MaxBatch:          cfg.maxBatch,

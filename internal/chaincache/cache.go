@@ -83,11 +83,13 @@ type Cache struct {
 // stays resident with room to spare.
 const DefaultCapacity = 1 << 15
 
-// New builds a cache holding at most capacity entries (≤ 0 means
+// New builds a cache holding at least capacity entries (≤ 0 means
 // DefaultCapacity) across `shards` shards (≤ 0 picks a default sized
 // like metrics.LiveLoads: a power of two ≥ 1, capped at 16). Capacity
-// is split evenly across shards, each shard holding at least one
-// entry.
+// is split evenly across shards, rounded up so the requested bound is
+// never silently shrunk: the effective total — what Capacity() reports
+// — is the smallest equal per-shard split ≥ capacity, which is at most
+// capacity+shards−1.
 func New(capacity, shards int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
@@ -99,10 +101,7 @@ func New(capacity, shards int) *Cache {
 	for n < shards {
 		n <<= 1
 	}
-	perShard := capacity / n
-	if perShard < 1 {
-		perShard = 1
-	}
+	perShard := (capacity + n - 1) / n
 	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1)}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[Key]*node, perShard)
@@ -148,6 +147,9 @@ func (c *Cache) Get(k Key) *Entry {
 // concurrent misses on one key may compute twice; the first insert
 // wins and every caller receives the winning entry, preserving the
 // interning guarantee. compute must return an immutable entry.
+// Counters keep Get-semantics even under such races: only the caller
+// whose entry is inserted records the miss, losers are reclassified as
+// hits (they returned an already-interned entry).
 func (c *Cache) GetOrCompute(k Key, compute func() *Entry) *Entry {
 	sh := &c.shards[hash(k)&c.mask]
 	sh.mu.Lock()
@@ -166,7 +168,13 @@ func (c *Cache) GetOrCompute(k Key, compute func() *Entry) *Entry {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if n, ok := sh.entries[k]; ok {
-		// A concurrent computer inserted first; intern theirs.
+		// A concurrent computer inserted first; intern theirs. This
+		// lookup resolved from the cache after all, so reclassify the
+		// provisional miss as a hit — otherwise hits+misses drifts from
+		// Get-semantics under contention (every lost race would count a
+		// miss that never inserted).
+		sh.misses--
+		sh.hits++
 		sh.touch(n)
 		return n.ent
 	}

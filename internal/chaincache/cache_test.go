@@ -152,6 +152,96 @@ func TestConcurrentIntern(t *testing.T) {
 	}
 }
 
+// TestCapacityRequestedBound pins the New contract over awkward
+// capacity/shard combinations: the effective bound never undercuts the
+// request and overshoots by at most shards−1 (the even-split rounding),
+// and Capacity() reports the real enforced bound, not the request.
+func TestCapacityRequestedBound(t *testing.T) {
+	cases := []struct {
+		capacity, shards int
+	}{
+		{100, 16}, // pre-fix: 6/shard → total 96 < 100
+		{10, 16},  // 1/shard → total 16 (≤ 10+15)
+		{1, 16},
+		{33, 32},
+		{1000, 7}, // shards round up to 8
+		{5, 3},    // shards round up to 4
+		{7, 1},
+		{129, 2},
+		{DefaultCapacity - 1, 16},
+		{0, 4}, // 0 → DefaultCapacity, divides exactly
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("cap%d_shards%d", tc.capacity, tc.shards), func(t *testing.T) {
+			c := New(tc.capacity, tc.shards)
+			want := tc.capacity
+			if want <= 0 {
+				want = DefaultCapacity
+			}
+			got := c.Capacity()
+			if got < want {
+				t.Fatalf("Capacity() = %d undercuts requested %d", got, want)
+			}
+			if max := want + c.Shards() - 1; got > max {
+				t.Fatalf("Capacity() = %d exceeds requested %d + shards-1 = %d", got, want, max)
+			}
+			// The reported bound is the enforced bound: overflow the
+			// cache and check residency lands exactly on Capacity().
+			for i := 0; i < 2*got+7; i++ {
+				k := Key{S: mesh.NodeID(i), T: mesh.NodeID(3 * i)}
+				c.GetOrCompute(k, func() *Entry { return entryFor(k) })
+			}
+			if c.Len() > got {
+				t.Fatalf("Len %d exceeds reported capacity %d", c.Len(), got)
+			}
+		})
+	}
+}
+
+// TestLostComputeRaceStats drives the GetOrCompute lost-compute race
+// deterministically: W callers all miss and compute the same key (the
+// barrier inside compute guarantees every caller registers its
+// provisional miss before any insert), one insert wins, and the W−1
+// losers intern the winner's entry. Counters must keep Get-semantics:
+// exactly one miss (the inserted compute) and W−1 hits. Pre-fix the
+// losers' misses stood, reporting W misses / 0 hits.
+func TestLostComputeRaceStats(t *testing.T) {
+	const workers = 8
+	c := New(16, 1)
+	k := Key{S: 2, T: 5}
+	var barrier, done sync.WaitGroup
+	barrier.Add(workers)
+	done.Add(workers)
+	got := make([]*Entry, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer done.Done()
+			got[w] = c.GetOrCompute(k, func() *Entry {
+				barrier.Done()
+				barrier.Wait() // all workers are mid-compute: all missed
+				return entryFor(k)
+			})
+		}()
+	}
+	done.Wait()
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Fatal("interning broken under compute race")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != workers-1 {
+		t.Fatalf("stats = %d misses / %d hits, want 1 miss / %d hits", st.Misses, st.Hits, workers-1)
+	}
+	if st.Lookups() != workers {
+		t.Fatalf("lookups = %d, want %d", st.Lookups(), workers)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
 func TestStatsString(t *testing.T) {
 	c := New(8, 1)
 	k := Key{S: 1, T: 2}

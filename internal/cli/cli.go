@@ -54,6 +54,19 @@ func BuildAlgorithm(name string, m *mesh.Mesh, seed uint64) (baseline.PathSelect
 // core selectors (the meshroute -nochaincache ablation). Baselines
 // have no chain cache and ignore the toggle.
 func BuildAlgorithmCache(name string, m *mesh.Mesh, seed uint64, disableChainCache bool) (baseline.PathSelector, error) {
+	src := core.ChainSourceDefault
+	if disableChainCache {
+		src = core.ChainSourceNone
+	}
+	return BuildAlgorithmSource(name, m, seed, src)
+}
+
+// BuildAlgorithmSource is BuildAlgorithm with an explicit chain source
+// for the core selectors (the -chainsource flag of meshroute and
+// meshrouted): the sharded LRU, the compiled routing table, or
+// per-packet recomputation. Baselines have no chain state and ignore
+// the choice.
+func BuildAlgorithmSource(name string, m *mesh.Mesh, seed uint64, src core.ChainSource) (baseline.PathSelector, error) {
 	switch name {
 	case "H":
 		v := core.VariantGeneral
@@ -61,14 +74,14 @@ func BuildAlgorithmCache(name string, m *mesh.Mesh, seed uint64, disableChainCac
 			v = core.Variant2D
 		}
 		sel, err := core.NewSelector(m, core.Options{Variant: v, Seed: seed,
-			DisableChainCache: disableChainCache})
+			ChainSource: src})
 		if err != nil {
 			return nil, err
 		}
 		return baseline.Named{Label: "H", Sel: sel}, nil
 	case "H-general":
 		sel, err := core.NewSelector(m, core.Options{Variant: core.VariantGeneral, Seed: seed,
-			DisableChainCache: disableChainCache})
+			ChainSource: src})
 		if err != nil {
 			return nil, err
 		}

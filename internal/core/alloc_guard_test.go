@@ -19,6 +19,7 @@ import (
 const (
 	maxPathAllocs      = 3.0 // Selector.Path, warm cache, per call
 	maxSelectAllPerPkt = 3.0 // SelectAllInto, warm cache, per packet
+	maxSegTablePerPkt  = 1.0 // SelectAllSegInto, table source, per packet
 )
 
 func TestPathAllocsWarm(t *testing.T) {
@@ -59,5 +60,32 @@ func TestSelectAllIntoAllocsWarm(t *testing.T) {
 	if perPkt > maxSelectAllPerPkt {
 		t.Errorf("SelectAllInto allocates %.2f/packet warm (%.0f/batch over %d packets), budget %.1f",
 			perPkt, avg, len(prob.Pairs), maxSelectAllPerPkt)
+	}
+}
+
+// TestSelectAllSegTableAllocsWarm pins table-mode warm dispatch at
+// ≤ 1 allocation per packet: the caller-owned Segs copy of each
+// SegPath. Chains assemble into the scratch buffer, so unlike cache
+// mode there is no LRU bookkeeping and no miss-path recompute left to
+// allocate.
+func TestSelectAllSegTableAllocsWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	m := mesh.MustSquare(2, 32)
+	sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1, ChainSource: ChainSourceTable})
+	prob := workload.RandomPermutation(m, 3)
+	sps := make([]mesh.SegPath, len(prob.Pairs))
+	// Warm pass grows the scratch buffers (chain, segs, reservoirs).
+	for i := 0; i < 3; i++ {
+		sel.SelectAllSegInto(prob.Pairs, sps, SegHooks{})
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		sel.SelectAllSegInto(prob.Pairs, sps, SegHooks{})
+	})
+	perPkt := avg / float64(len(prob.Pairs))
+	if perPkt > maxSegTablePerPkt {
+		t.Errorf("table-mode SelectAllSegInto allocates %.2f/packet warm (%.0f/batch over %d packets), budget %.1f",
+			perPkt, avg, len(prob.Pairs), maxSegTablePerPkt)
 	}
 }

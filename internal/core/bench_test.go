@@ -47,6 +47,92 @@ func BenchmarkSelectAll(b *testing.B) {
 	}
 }
 
+// BenchmarkSelectAllSeg is the PR-6 headline: the segment-native batch
+// engine across the three chain backends — the compiled routing table,
+// the warm sharded LRU, and per-packet recomputation — on full random
+// permutations. All three select byte-identical paths
+// (TestRouteTableGoldenEquality); this prices the dispatch. The side-256
+// table row is the figure the table backend is judged on: it must beat
+// the warm cache by ≥ 2x (TestBenchGateSelectAllSegTable enforces it).
+func BenchmarkSelectAllSeg(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		side int
+	}{
+		{"2d-side64", 64},
+		{"2d-side256", 256},
+	} {
+		m := mesh.MustSquare(2, c.side)
+		prob := workload.RandomPermutation(m, 3)
+		for _, src := range []struct {
+			name string
+			cs   ChainSource
+		}{
+			{"table", ChainSourceTable},
+			{"cached", ChainSourceCache},
+			{"uncached", ChainSourceNone},
+		} {
+			b.Run(c.name+"/"+src.name, func(b *testing.B) {
+				sel := MustNewSelector(m, Options{
+					Variant: Variant2D, Seed: 1, ChainSource: src.cs,
+				})
+				sps := make([]mesh.SegPath, len(prob.Pairs))
+				sel.SelectAllSegInto(prob.Pairs, sps, SegHooks{}) // warm cache + scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sel.SelectAllSegInto(prob.Pairs, sps, SegHooks{})
+				}
+				sink = sps
+			})
+		}
+	}
+}
+
+// TestBenchGateSelectAllSegTable is the CI benchmark gate for the
+// compiled routing table: on the side-256 headline permutation the
+// warm table backend must route at least 2x as fast per packet as the
+// warm chain cache. The gate runs with the regular suite (and
+// explicitly in `make bench-smoke`) so a dispatch regression fails
+// fast, not only when someone re-runs `make bench-json`.
+func TestBenchGateSelectAllSegTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark gate is not a -short test")
+	}
+	if raceEnabled {
+		t.Skip("race runtime distorts ns/op; the gate runs in the non-race suite")
+	}
+	m := mesh.MustSquare(2, 256)
+	prob := workload.RandomPermutation(m, 3)
+	// Scheduler noise only ever adds time, so each mode takes the best
+	// of two measurements — the ratio of minima tracks the true ratio
+	// far more tightly than any single run.
+	measure := func(cs ChainSource) float64 {
+		sel := MustNewSelector(m, Options{Variant: Variant2D, Seed: 1, ChainSource: cs})
+		sps := make([]mesh.SegPath, len(prob.Pairs))
+		sel.SelectAllSegInto(prob.Pairs, sps, SegHooks{}) // warm
+		best := 0.0
+		for rep := 0; rep < 2; rep++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sel.SelectAllSegInto(prob.Pairs, sps, SegHooks{})
+				}
+			})
+			if ns := float64(r.NsPerOp()); best == 0 || ns < best {
+				best = ns
+			}
+		}
+		sink = sps
+		return best
+	}
+	table, cache := measure(ChainSourceTable), measure(ChainSourceCache)
+	if table*2 > cache {
+		t.Fatalf("table-mode SelectAllSeg side-256: %.0f ns/op vs cache %.0f ns/op (%.2fx), want >= 2x",
+			table, cache, cache/table)
+	}
+	t.Logf("table %.0f ns/op, cache %.0f ns/op: %.2fx", table, cache, cache/table)
+}
+
 // BenchmarkSelectAllParallel measures the parallel fused engine with
 // the warm shared cache (workers contend on the sharded LRU).
 func BenchmarkSelectAllParallel(b *testing.B) {

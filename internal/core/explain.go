@@ -56,12 +56,13 @@ type scratch struct {
 	raw    mesh.Path
 	segs   []mesh.Seg // run-length construction buffer
 	segs2  []mesh.Seg // recompression buffer for the cycle fallback
-	runc   []int32    // flattened R×d run-start coordinates (cycle detection)
+	chain  []mesh.Box // table-mode chain assembly buffer
 	wp     []mesh.NodeID
 	c      mesh.Coord
 	perm   []int
 	r1, r2 *bitrand.Reservoir
 	last   map[mesh.NodeID]int
+	cyc    mesh.CycleBuf // dense cycle-excision state (segment engine)
 }
 
 // newScratch builds a scratch for one worker on sel's mesh.
@@ -92,6 +93,12 @@ func (sel *Selector) construct(s, t mesh.NodeID, stream uint64, keepSegments boo
 	tr := sel.constructInto(s, t, stream, keepSegments, sc)
 	tr.Waypoints = append([]mesh.NodeID(nil), tr.Waypoints...)
 	tr.Perm = append([]int(nil), tr.Perm...)
+	if sel.table != nil && tr.Chain != nil {
+		// Table-mode chains assemble into scratch memory; detach before
+		// the scratch returns to the pool (cache-mode chains are
+		// interned entries and already stable).
+		tr.Chain = append([]mesh.Box(nil), tr.Chain...)
+	}
 	sel.putScratch(sc)
 	return tr
 }
@@ -173,7 +180,7 @@ func (sel *Selector) constructInto(s, t mesh.NodeID, stream uint64, keepSegments
 func (sel *Selector) prepare(s, t mesh.NodeID, stream uint64, sc *scratch) ([]mesh.Box, decomp.Bridge, []mesh.NodeID, []int) {
 	rng := &sc.rng
 	rng.ReseedSplit(sel.opt.Seed, stream^(uint64(s)<<24)^uint64(t))
-	chain, br, capBits := sel.chainFor(s, t)
+	chain, br, capBits := sel.chainFor(s, t, sc)
 
 	d := sel.m.Dim()
 	perm := sc.perm[:d]

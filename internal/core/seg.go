@@ -29,11 +29,10 @@ func (sel *Selector) SegPathStats(s, t mesh.NodeID, stream uint64) (mesh.SegPath
 
 // constructSegInto is the segment-native construction: the shared
 // prepare prelude (so randomness consumption matches the hop path bit
-// for bit), runs emitted directly per dimension, and a run-level
-// revisit check in place of the hop-level cycle excision. Only when a
-// revisit is possible does it fall back to expand → RemoveCycles →
-// Compress, so outputs agree with Compress(constructInto(...).Path) in
-// every case.
+// for bit), runs emitted directly per dimension, and the dense
+// run-level cycle excision (mesh.CompressCyclesSeg) in place of the
+// hop-level map walk, so outputs agree with
+// Compress(constructInto(...).Path) in every case.
 func (sel *Selector) constructSegInto(s, t mesh.NodeID, stream uint64, sc *scratch) (mesh.SegPath, Stats) {
 	if s == t {
 		return mesh.SegPath{Start: s}, Stats{ChainLen: 1}
@@ -56,139 +55,13 @@ func (sel *Selector) constructSegInto(s, t mesh.NodeID, stream uint64, sc *scrat
 	st.RawLen = sp.Len()
 
 	var out mesh.SegPath
-	if sel.opt.KeepCycles || !sel.segsRevisit(s, segs, sc) {
+	if sel.opt.KeepCycles {
 		out = mesh.SegPath{Start: s, Segs: append(make([]mesh.Seg, 0, len(segs)), segs...)}
 	} else {
-		sc.raw = sp.AppendExpand(sel.m, sc.raw[:0])
-		out, sc.segs2 = sel.m.CompressCycles(sc.raw, sc.last, sc.segs2)
+		out, sc.segs2 = sel.m.CompressCyclesSeg(s, segs, &sc.cyc, sc.segs2)
 	}
 	st.Len = out.Len()
 	return out, st
-}
-
-// segsRevisit conservatively reports whether the walk described by the
-// runs could visit a node twice. A false answer is definitive (the
-// walk is simple, so cycle removal is the identity and the runs are
-// final); a true answer only sends the packet down the exact hop-level
-// excision, so over-approximation costs time, never correctness. The
-// pairwise check is O(R²·d) over R runs — R is O(d · chain length),
-// tiny next to the path length the hop representation walks.
-func (sel *Selector) segsRevisit(start mesh.NodeID, segs []mesh.Seg, sc *scratch) bool {
-	m := sel.m
-	R := len(segs)
-	// A single run revisits only by lapping a wrapped ring.
-	for _, sg := range segs {
-		k := int(sg.Run)
-		if k < 0 {
-			k = -k
-		}
-		if k >= m.Side(int(sg.Dim)) {
-			return true // wrap lap (non-wrap runs are bounded by the side)
-		}
-	}
-	if R <= 1 {
-		return false
-	}
-	d := m.Dim()
-	need := R * d
-	if cap(sc.runc) < need {
-		sc.runc = make([]int32, need)
-	}
-	rc := sc.runc[:need]
-	m.CoordInto(start, sc.c)
-	for i, sg := range segs {
-		for k := 0; k < d; k++ {
-			rc[i*d+k] = int32(sc.c[k])
-		}
-		dim := int(sg.Dim)
-		s := m.Side(dim)
-		nci := sc.c[dim] + int(sg.Run)
-		if m.WrapDim(dim) {
-			nci = ((nci % s) + s) % s
-		}
-		sc.c[dim] = nci
-	}
-	for i := 0; i < R; i++ {
-		di := int(segs[i].Dim)
-		ci := int(rc[i*d+di])
-		ri := int(segs[i].Run)
-		si := m.Side(di)
-		wi := m.WrapDim(di)
-		for j := i + 1; j < R; j++ {
-			dj := int(segs[j].Dim)
-			if j == i+1 {
-				if di == dj {
-					// Adjacent same-dimension runs only arise with
-					// opposite signs (same signs merge at append): an
-					// immediate backtrack, hence a revisit.
-					return true
-				}
-				// Adjacent different-dimension runs share exactly the
-				// junction node, which is one visit, not two.
-				continue
-			}
-			// Non-adjacent runs: any shared node is a revisit. Run i
-			// fixes every coordinate but di at rc[i], run j every but
-			// dj at rc[j].
-			if di == dj {
-				eq := true
-				for k := 0; k < d && eq; k++ {
-					if k != di && rc[i*d+k] != rc[j*d+k] {
-						eq = false
-					}
-				}
-				if eq && arcsOverlap(ci, ri, int(rc[j*d+dj]), int(segs[j].Run), si, wi) {
-					return true
-				}
-				continue
-			}
-			eq := true
-			for k := 0; k < d && eq; k++ {
-				if k != di && k != dj && rc[i*d+k] != rc[j*d+k] {
-					eq = false
-				}
-			}
-			if !eq {
-				continue
-			}
-			// Unique candidate: coordinate di fixed by run j, dj by run
-			// i; a revisit needs both to land inside the other's arc.
-			if inArc(int(rc[j*d+di]), ci, ri, si, wi) &&
-				inArc(int(rc[i*d+dj]), int(rc[j*d+dj]), int(segs[j].Run), m.Side(dj), m.WrapDim(dj)) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// inArc reports whether coordinate x lies on the arc of |run| steps
-// from ci (sign of run is the direction) on a ring of side s (wrap) or
-// an open segment. Callers guarantee |run| < s on wrapped dimensions.
-func inArc(x, ci, run, s int, wrap bool) bool {
-	if !wrap {
-		if run >= 0 {
-			return x >= ci && x <= ci+run
-		}
-		return x >= ci+run && x <= ci
-	}
-	if run >= 0 {
-		return ((x-ci)%s+s)%s <= run
-	}
-	return ((ci-x)%s+s)%s <= -run
-}
-
-// arcsOverlap reports whether two arcs on the same dimension share a
-// coordinate. Two connected arcs intersect iff an endpoint of one lies
-// on the other.
-func arcsOverlap(c1, r1, c2, r2, s int, wrap bool) bool {
-	e1, e2 := c1+r1, c2+r2
-	if wrap {
-		e1 = ((e1 % s) + s) % s
-		e2 = ((e2 % s) + s) % s
-	}
-	return inArc(c2, c1, r1, s, wrap) || inArc(e2, c1, r1, s, wrap) ||
-		inArc(c1, c2, r2, s, wrap) || inArc(e1, c2, r2, s, wrap)
 }
 
 // SegObserver receives each whole selected run-length path (with its

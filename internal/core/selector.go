@@ -26,7 +26,59 @@ import (
 	"obliviousmesh/internal/decomp"
 	"obliviousmesh/internal/mesh"
 	"obliviousmesh/internal/metrics"
+	"obliviousmesh/internal/routetab"
 )
+
+// ChainSource selects how the selector resolves the per-pair bitonic
+// chain — the structural, randomness-free part of algorithm H.
+type ChainSource int
+
+const (
+	// ChainSourceDefault keeps the historical behavior: the sharded
+	// chain cache unless DisableChainCache is set.
+	ChainSourceDefault ChainSource = iota
+	// ChainSourceCache memoizes chains in the sharded LRU
+	// (internal/chaincache): bounded memory, per-lookup hashing and
+	// locking, recomputation on miss.
+	ChainSourceCache
+	// ChainSourceTable compiles the full per-level decomposition into
+	// flat arrays at construction (internal/routetab): every warm
+	// dispatch is lock-free index arithmetic, at the cost of an
+	// up-front build and a footprint proportional to the submesh count.
+	ChainSourceTable
+	// ChainSourceNone recomputes the chain for every packet (ablation).
+	ChainSourceNone
+)
+
+func (cs ChainSource) String() string {
+	switch cs {
+	case ChainSourceDefault:
+		return "default"
+	case ChainSourceCache:
+		return "cache"
+	case ChainSourceTable:
+		return "table"
+	case ChainSourceNone:
+		return "none"
+	}
+	return fmt.Sprintf("ChainSource(%d)", int(cs))
+}
+
+// ParseChainSource parses a -chainsource flag value. The empty string
+// and "default" mean ChainSourceDefault.
+func ParseChainSource(s string) (ChainSource, error) {
+	switch s {
+	case "", "default":
+		return ChainSourceDefault, nil
+	case "cache":
+		return ChainSourceCache, nil
+	case "table":
+		return ChainSourceTable, nil
+	case "none":
+		return ChainSourceNone, nil
+	}
+	return 0, fmt.Errorf("unknown chain source %q (want cache, table or none)", s)
+}
 
 // Variant selects between the paper's two constructions.
 type Variant int
@@ -94,13 +146,24 @@ type Options struct {
 	// bridge and reservoir size per (s, t) — the structural part of
 	// algorithm H, which is a pure function of the endpoints — and
 	// recomputes only the random waypoint draws per packet. Cached and
-	// uncached selection return bit-identical paths.
+	// uncached selection return bit-identical paths. Equivalent to
+	// ChainSource: ChainSourceNone; combining it with an explicit
+	// ChainSourceCache is rejected by NewSelector.
 	DisableChainCache bool
 
 	// ChainCacheSize bounds the resident interned chains (0 means
 	// chaincache.DefaultCapacity). Least-recently-used chains are
-	// evicted beyond the bound.
+	// evicted beyond the bound. Only meaningful under ChainSourceCache.
 	ChainCacheSize int
+
+	// ChainSource picks the chain backend: the sharded LRU cache
+	// (default), the compiled routing table of internal/routetab, or
+	// per-packet recomputation. All three select byte-identical paths —
+	// they are evaluation strategies for the same pure function, and
+	// the golden-equality suite pins that. Table mode trades an
+	// up-front compile and a measurable footprint (RouteTableStats) for
+	// lock-free, allocation-free warm dispatch.
+	ChainSource ChainSource
 }
 
 // Stats reports per-packet accounting for one path selection.
@@ -120,7 +183,8 @@ type Selector struct {
 	m     *mesh.Mesh
 	dc    *decomp.Decomposition
 	opt   Options
-	cache *chaincache.Cache // interned chains; nil when disabled
+	cache *chaincache.Cache // interned chains; nil unless ChainSourceCache
+	table *routetab.Table   // compiled chains; nil unless ChainSourceTable
 	pool  sync.Pool         // *scratch
 }
 
@@ -134,9 +198,31 @@ func NewSelector(m *mesh.Mesh, opt Options) (*Selector, error) {
 	if err != nil {
 		return nil, err
 	}
+	src := opt.ChainSource
+	switch src {
+	case ChainSourceDefault:
+		src = ChainSourceCache
+		if opt.DisableChainCache {
+			src = ChainSourceNone
+		}
+	case ChainSourceCache:
+		if opt.DisableChainCache {
+			return nil, fmt.Errorf("core: ChainSource cache conflicts with DisableChainCache")
+		}
+	case ChainSourceTable, ChainSourceNone:
+	default:
+		return nil, fmt.Errorf("core: unknown chain source %v", opt.ChainSource)
+	}
 	sel := &Selector{m: m, dc: dc, opt: opt}
-	if !opt.DisableChainCache {
+	switch src {
+	case ChainSourceCache:
 		sel.cache = chaincache.New(opt.ChainCacheSize, 0)
+	case ChainSourceTable:
+		sel.table = routetab.Build(dc, routetab.Config{
+			DCA:          !opt.DisableBridges && opt.Variant == Variant2D,
+			BridgeFactor: opt.BridgeFactor,
+			Type1Only:    opt.DisableBridges,
+		})
 	}
 	sel.pool.New = func() interface{} { return sel.newScratch() }
 	return sel, nil
@@ -161,19 +247,35 @@ func (sel *Selector) Decomposition() *decomp.Decomposition { return sel.dc }
 func (sel *Selector) Options() Options { return sel.opt }
 
 // Chain returns the bitonic chain of submeshes the algorithm would use
-// for (s, t), and the bridge. Exposed for tests and diagnostics; served
-// from the chain cache when enabled, so the returned boxes must be
-// treated as read-only.
+// for (s, t), and the bridge. Exposed for tests and diagnostics; the
+// boxes may be served from the chain cache or the compiled table, so
+// they must be treated as read-only.
 func (sel *Selector) Chain(s, t mesh.NodeID) ([]mesh.Box, decomp.Bridge) {
-	chain, br, _ := sel.chainFor(s, t)
+	sc := sel.getScratch()
+	chain, br, _ := sel.chainFor(s, t, sc)
+	if sel.table != nil {
+		// Table chains assemble into scratch memory; detach before the
+		// scratch returns to the pool (the boxes themselves are
+		// interned and immutable).
+		chain = append([]mesh.Box(nil), chain...)
+	}
+	sel.putScratch(sc)
 	return chain, br
 }
 
-// chainFor returns the (possibly interned) chain for (s, t) plus the
-// precomputed §5.3 reservoir size. The chain is a pure function of the
-// endpoints under a fixed selector configuration, which is what makes
-// interning sound: a hit returns exactly the boxes a recompute would.
-func (sel *Selector) chainFor(s, t mesh.NodeID) ([]mesh.Box, decomp.Bridge, int) {
+// chainFor returns the chain for (s, t) plus the precomputed §5.3
+// reservoir size, resolved through the configured chain source. The
+// chain is a pure function of the endpoints under a fixed selector
+// configuration, which is what makes both interning and compilation
+// sound: every source returns exactly the boxes a recompute would.
+// Table-mode chains assemble into sc's chain buffer and are only valid
+// until sc's next use.
+func (sel *Selector) chainFor(s, t mesh.NodeID, sc *scratch) ([]mesh.Box, decomp.Bridge, int) {
+	if sel.table != nil {
+		chain, br, capBits := sel.table.Chain(s, t, sc.chain)
+		sc.chain = chain
+		return chain, br, capBits
+	}
 	if sel.cache == nil {
 		chain, br := sel.computeChain(s, t)
 		return chain, br, chainCapBits(chain)
@@ -222,6 +324,15 @@ func (sel *Selector) ChainCacheStats() (metrics.CacheStats, bool) {
 		return metrics.CacheStats{}, false
 	}
 	return sel.cache.Stats(), true
+}
+
+// RouteTableStats returns the compiled routing table's size figures;
+// ok is false unless the selector runs with ChainSourceTable.
+func (sel *Selector) RouteTableStats() (metrics.TableStats, bool) {
+	if sel.table == nil {
+		return metrics.TableStats{}, false
+	}
+	return sel.table.Stats(), true
 }
 
 // type1Chain is the access-tree chain (ablation): climb type-1

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/workload"
+)
+
+func segPathsEqual(a, b []mesh.SegPath) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || len(a[i].Segs) != len(b[i].Segs) {
+			return false
+		}
+		for j := range a[i].Segs {
+			if a[i].Segs[j] != b[i].Segs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tableTrio builds the same configuration under all three chain
+// sources.
+func tableTrio(m *mesh.Mesh, opt Options) (tab, cache, none *Selector) {
+	optT := opt
+	optT.ChainSource = ChainSourceTable
+	optC := opt
+	optC.ChainSource = ChainSourceCache
+	optN := opt
+	optN.ChainSource = ChainSourceNone
+	return MustNewSelector(m, optT), MustNewSelector(m, optC), MustNewSelector(m, optN)
+}
+
+// TestRouteTableGoldenEquality: the compiled table, the LRU cache and
+// per-packet recomputation must select byte-identical paths and
+// identical aggregates for identical (seed, stream, s, t), across
+// every variant, on cold and warm passes — the three sources are
+// evaluation strategies of one pure function.
+func TestRouteTableGoldenEquality(t *testing.T) {
+	for _, c := range cacheEquivCases() {
+		for _, seed := range []uint64{1, 42, 7777} {
+			c, seed := c, seed
+			t.Run(fmt.Sprintf("%s/seed%d", c.name, seed), func(t *testing.T) {
+				opt := c.opt
+				opt.Seed = seed
+				selT, selC, selN := tableTrio(c.m, opt)
+				if _, ok := selT.RouteTableStats(); !ok {
+					t.Fatal("table source reports no table")
+				}
+				if _, ok := selC.RouteTableStats(); ok {
+					t.Fatal("cache source reports a table")
+				}
+				if _, ok := selT.ChainCacheStats(); ok {
+					t.Fatal("table source reports a cache")
+				}
+
+				prob := workload.RandomPermutation(c.m, seed+3)
+				wantP, wantAgg := selN.SelectAll(prob.Pairs)
+				wantS, wantSAgg := selN.SelectAllSeg(prob.Pairs)
+				for _, label := range []string{"cold", "warm"} {
+					for _, sel := range []*Selector{selT, selC} {
+						src := sel.Options().ChainSource
+						gotP, agg := sel.SelectAll(prob.Pairs)
+						if !pathsEqual(gotP, wantP) {
+							t.Fatalf("%s %v paths differ from uncached", label, src)
+						}
+						if agg != wantAgg {
+							t.Fatalf("%s %v aggregate %+v != %+v", label, src, agg, wantAgg)
+						}
+						gotS, sagg := sel.SelectAllSeg(prob.Pairs)
+						if !segPathsEqual(gotS, wantS) {
+							t.Fatalf("%s %v seg paths differ from uncached", label, src)
+						}
+						if sagg != wantSAgg {
+							t.Fatalf("%s %v seg aggregate %+v != %+v", label, src, sagg, wantSAgg)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRouteTableEngineEquality: table-mode output must be identical
+// across the serial, parallel and chunked Seg engines for several
+// worker counts, and match the cache-mode golden output — the table is
+// shared read-only state, so worker interleaving must not matter.
+func TestRouteTableEngineEquality(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	opt := Options{Variant: Variant2D, Seed: 11}
+	selT, selC, _ := tableTrio(m, opt)
+	prob := workload.RandomPermutation(m, 21)
+	want, wantAgg := selC.SelectAllSeg(prob.Pairs)
+
+	for _, workers := range []int{1, 3, 8} {
+		sps := make([]mesh.SegPath, len(prob.Pairs))
+		agg := selT.SelectAllParallelSegInto(prob.Pairs, workers, sps, SegHooks{})
+		if !segPathsEqual(sps, want) {
+			t.Fatalf("workers=%d: parallel table seg paths differ", workers)
+		}
+		if agg != wantAgg {
+			t.Fatalf("workers=%d: aggregate %+v != %+v", workers, agg, wantAgg)
+		}
+
+		// Chunked ranges, the batch server's dispatch shape.
+		chunked := make([]mesh.SegPath, len(prob.Pairs))
+		var chunkAgg Aggregate
+		const chunk = 37
+		for lo := 0; lo < len(prob.Pairs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(prob.Pairs) {
+				hi = len(prob.Pairs)
+			}
+			chunkAgg.Merge(selT.SelectRangeParallelSegInto(prob.Pairs, lo, hi, workers, chunked, SegHooks{}))
+		}
+		if !segPathsEqual(chunked, want) {
+			t.Fatalf("workers=%d: chunked table seg paths differ", workers)
+		}
+		if chunkAgg != wantAgg {
+			t.Fatalf("workers=%d: chunked aggregate %+v != %+v", workers, chunkAgg, wantAgg)
+		}
+	}
+
+	// Hop-path parallel engine against the serial cache-mode paths.
+	wantP, _ := selC.SelectAll(prob.Pairs)
+	gotP, _ := selT.SelectAllParallel(prob.Pairs, 6)
+	if !pathsEqual(gotP, wantP) {
+		t.Fatal("parallel table hop paths differ")
+	}
+}
+
+// TestRouteTableCacheSizeEquality: the table must match caches of any
+// capacity — including ones small enough to thrash — and the uncached
+// construction on the same problem.
+func TestRouteTableCacheSizeEquality(t *testing.T) {
+	m := mesh.MustSquare(2, 16)
+	prob := workload.RandomPermutation(m, 31)
+	base := Options{Variant: Variant2D, Seed: 5}
+	optT := base
+	optT.ChainSource = ChainSourceTable
+	selT := MustNewSelector(m, optT)
+	want, wantAgg := selT.SelectAllSeg(prob.Pairs)
+	for _, size := range []int{8, 64, 1 << 14} {
+		optC := base
+		optC.ChainSource = ChainSourceCache
+		optC.ChainCacheSize = size
+		selC := MustNewSelector(m, optC)
+		for pass := 0; pass < 2; pass++ {
+			got, agg := selC.SelectAllSeg(prob.Pairs)
+			if !segPathsEqual(got, want) {
+				t.Fatalf("cache size %d pass %d: seg paths differ from table", size, pass)
+			}
+			if agg != wantAgg {
+				t.Fatalf("cache size %d pass %d: aggregate differs", size, pass)
+			}
+		}
+	}
+}
+
+// TestRouteTableChainIdentity: Chain and Explain must expose identical
+// structure under every source, and table-mode traces must stay valid
+// after the scratch they were assembled in is reused.
+func TestRouteTableChainIdentity(t *testing.T) {
+	for _, c := range cacheEquivCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			selT, selC, selN := tableTrio(c.m, c.opt)
+			n := mesh.NodeID(c.m.Size() - 1)
+			for _, pr := range []mesh.Pair{{S: 0, T: n}, {S: n / 3, T: n / 2}, {S: n, T: 1}} {
+				chT, brT := selT.Chain(pr.S, pr.T)
+				for _, ref := range []*Selector{selC, selN} {
+					chR, brR := ref.Chain(pr.S, pr.T)
+					if len(chT) != len(chR) {
+						t.Fatalf("pair %v: table chain len %d != %d", pr, len(chT), len(chR))
+					}
+					for i := range chT {
+						if !chT[i].Equal(chR[i]) {
+							t.Fatalf("pair %v: chain[%d] %v != %v", pr, i, chT[i], chR[i])
+						}
+					}
+					if !brT.Box.Equal(brR.Box) || brT.Level != brR.Level || brT.Type != brR.Type {
+						t.Fatalf("pair %v: bridge %+v != %+v", pr, brT, brR)
+					}
+				}
+			}
+			// Retained traces must not be clobbered by later selections
+			// reusing the same pooled scratch.
+			tr1 := selT.Explain(0, n, 0)
+			chain1 := append([]mesh.Box(nil), tr1.Chain...)
+			selT.Explain(n/2, 1, 7)
+			tr2 := selN.Explain(0, n, 0)
+			if len(tr1.Chain) != len(tr2.Chain) {
+				t.Fatalf("trace chain len %d != uncached %d", len(tr1.Chain), len(tr2.Chain))
+			}
+			for i := range tr1.Chain {
+				if !tr1.Chain[i].Equal(chain1[i]) {
+					t.Fatalf("trace chain[%d] mutated after scratch reuse", i)
+				}
+				if !tr1.Chain[i].Equal(tr2.Chain[i]) {
+					t.Fatalf("trace chain[%d] %v != uncached %v", i, tr1.Chain[i], tr2.Chain[i])
+				}
+			}
+		})
+	}
+}
+
+// TestChainSourceValidation pins the Options surface: the explicit
+// cache source conflicts with DisableChainCache, unknown sources are
+// rejected, and ParseChainSource round-trips the flag spellings.
+func TestChainSourceValidation(t *testing.T) {
+	m := mesh.MustSquare(2, 8)
+	if _, err := NewSelector(m, Options{Variant: Variant2D, ChainSource: ChainSourceCache, DisableChainCache: true}); err == nil {
+		t.Fatal("ChainSourceCache + DisableChainCache accepted")
+	}
+	if _, err := NewSelector(m, Options{Variant: Variant2D, ChainSource: ChainSource(99)}); err == nil {
+		t.Fatal("unknown chain source accepted")
+	}
+	// Default + DisableChainCache must behave as none.
+	sel := MustNewSelector(m, Options{Variant: Variant2D, DisableChainCache: true})
+	if _, ok := sel.ChainCacheStats(); ok {
+		t.Fatal("DisableChainCache left the cache on")
+	}
+	if _, ok := sel.RouteTableStats(); ok {
+		t.Fatal("DisableChainCache built a table")
+	}
+	// Table + DisableChainCache is allowed: the table is not the cache.
+	selT := MustNewSelector(m, Options{Variant: Variant2D, ChainSource: ChainSourceTable, DisableChainCache: true})
+	if _, ok := selT.RouteTableStats(); !ok {
+		t.Fatal("table source with DisableChainCache built no table")
+	}
+	for _, s := range []string{"", "default", "cache", "table", "none"} {
+		cs, err := ParseChainSource(s)
+		if err != nil {
+			t.Fatalf("ParseChainSource(%q): %v", s, err)
+		}
+		if s != "" && cs.String() != s {
+			t.Fatalf("ParseChainSource(%q).String() = %q", s, cs)
+		}
+	}
+	if _, err := ParseChainSource("lru"); err == nil {
+		t.Fatal("ParseChainSource accepted an unknown spelling")
+	}
+}

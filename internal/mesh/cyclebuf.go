@@ -1,0 +1,183 @@
+package mesh
+
+import "fmt"
+
+// CycleBuf holds the reusable state of CompressCyclesSeg: a dense
+// last-visit table indexed by node id plus a per-run position index.
+// The table is never cleared between calls — pass 1 stamps every node
+// of the current walk with its last position, and pass 2 only ever
+// reads stamps of nodes on that walk, so entries left behind by earlier
+// packets are unreachable garbage, not state. That makes the per-packet
+// cost two linear passes of stride arithmetic with no hashing and no
+// per-hop buffering, which is what lets the segment engines afford
+// exact cycle excision even when (as on large meshes) most packets
+// genuinely revisit a node.
+//
+// One CycleBuf serves one goroutine at a time (the core engines keep
+// one per scratch). The table is sized to the mesh on first use and
+// costs 4 bytes per node.
+type CycleBuf struct {
+	last   []int32 // last position of each node in the current walk
+	prefix []int32 // position of each run's first hop (R+1 entries)
+}
+
+// CompressCyclesSeg excises cycles from the walk that starts at start
+// and follows segs, and returns the surviving hops in canonical run
+// form. The result equals
+//
+//	SegPath{Start: start, Segs: segs}.Expand(m).RemoveCycles().Compress(m)
+//
+// for every walk of length ≥ 1 — the same last-occurrence excision as
+// CompressCycles — but works from the runs: each hop's dimension and
+// direction come from its run (no per-hop decode), the last-visit
+// table is cb's dense array rather than a map, and the walk is never
+// materialized — a jump to a node's last occurrence lands on the node
+// the cursor already holds, so pass 2 re-walks the surviving hops by
+// stride arithmetic alone. buf is a reusable append buffer, returned
+// grown for the next call; the result's Segs are an exact-size copy
+// that never aliases buf. Panics when a run steps off the mesh.
+func (m *Mesh) CompressCyclesSeg(start NodeID, segs []Seg, cb *CycleBuf, buf []Seg) (SegPath, []Seg) {
+	if len(cb.last) != m.size {
+		cb.last = make([]int32, m.size)
+	}
+	last := cb.last
+	if cap(cb.prefix) < len(segs)+1 {
+		cb.prefix = make([]int32, len(segs)+1)
+	}
+	prefix := cb.prefix[:len(segs)+1]
+
+	// Pass 1: walk the runs, stamping every node with its position —
+	// later visits overwrite earlier ones, so after the pass each walk
+	// node holds its last occurrence. prefix[r] is the position of run
+	// r's first node, so pass 2 can locate any position's run. Runs on
+	// non-wrapping dimensions are strictly monotone, so their validity
+	// is one endpoint check and the hop loop is pure stride stepping.
+	last[start] = 0
+	u := int(start)
+	pos := int32(0)
+	for ri, sg := range segs {
+		prefix[ri] = pos
+		dim := int(sg.Dim)
+		s := m.dims[dim]
+		st := m.strides[dim]
+		ci := (u / st) % s
+		n, step := int(sg.Run), st
+		if n < 0 {
+			n, step = -n, -st
+		}
+		if !m.wrapDim(dim) {
+			if end := ci + int(sg.Run); end < 0 || end > s-1 {
+				panic(fmt.Sprintf("mesh: segment run of %d along dim %d leaves side %d",
+					sg.Run, dim, s))
+			}
+			for k := 0; k < n; k++ {
+				u += step
+				pos++
+				last[u] = pos
+			}
+			continue
+		}
+		dir := 1
+		if sg.Run < 0 {
+			dir = -1
+		}
+		for k := 0; k < n; k++ {
+			switch {
+			case dir > 0 && ci < s-1:
+				u += st
+				ci++
+			case dir > 0:
+				u -= (s - 1) * st
+				ci = 0
+			case ci > 0:
+				u -= st
+				ci--
+			default:
+				u += (s - 1) * st
+				ci = s - 1
+			}
+			pos++
+			last[u] = pos
+		}
+	}
+	prefix[len(segs)] = pos
+	total := int(pos)
+
+	// Pass 2: walk the positions, jumping each node to its last
+	// occurrence (excising the cycle in between) and re-compressing the
+	// surviving hops into maximal runs. The cursor u survives every
+	// jump — position last[u] holds u itself — so only the per-run
+	// geometry needs refreshing. Hops between consecutive jumps form
+	// one contiguous stretch of the current run and are emitted as a
+	// single merged increment.
+	out := buf[:0]
+	i := int(last[start])
+	u = int(start)
+	r := 0
+	for i < total {
+		for int(prefix[r+1]) <= i {
+			r++
+		}
+		sg := segs[r]
+		dim := int(sg.Dim)
+		s := m.dims[dim]
+		st := m.strides[dim]
+		next := int(prefix[r+1])
+		runDir := int32(1)
+		step := st
+		if sg.Run < 0 {
+			runDir, step = -1, -st
+		}
+		if !m.wrapDim(dim) {
+			for i < next {
+				stretch := int32(0)
+				for i < next {
+					u += step
+					stretch++
+					i++
+					if j := int(last[u]); j > i {
+						i = j
+						break
+					}
+				}
+				if n := len(out); n > 0 && out[n-1].Dim == sg.Dim && (out[n-1].Run > 0) == (runDir > 0) {
+					out[n-1].Run += stretch * runDir
+				} else {
+					out = append(out, Seg{Dim: sg.Dim, Run: stretch * runDir})
+				}
+			}
+			continue
+		}
+		ci := (u / st) % s
+		for i < next {
+			switch {
+			case runDir > 0 && ci < s-1:
+				u += st
+				ci++
+			case runDir > 0:
+				u -= (s - 1) * st
+				ci = 0
+			case ci > 0:
+				u -= st
+				ci--
+			default:
+				u += (s - 1) * st
+				ci = s - 1
+			}
+			if n := len(out); n > 0 && out[n-1].Dim == sg.Dim && (out[n-1].Run > 0) == (runDir > 0) {
+				out[n-1].Run += runDir
+			} else {
+				out = append(out, Seg{Dim: sg.Dim, Run: runDir})
+			}
+			i++
+			if j := int(last[u]); j > i {
+				i = j // u is unchanged, so ci stays valid if we remain in this run
+			}
+		}
+	}
+	sp := SegPath{Start: start}
+	if len(out) > 0 {
+		sp.Segs = append(make([]Seg, 0, len(out)), out...)
+	}
+	return sp, out
+}

@@ -313,6 +313,41 @@ func TestCompressCyclesMatchesRemoveCycles(t *testing.T) {
 	}
 }
 
+// TestCompressCyclesSegMatchesReference pins the dense run-level
+// excision to the same two-step reference, reusing one CycleBuf across
+// meshes and trials (each call must stamp over whatever the previous
+// walk — possibly on another mesh — left behind).
+func TestCompressCyclesSegMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var cb CycleBuf
+	var buf []Seg
+	for _, m := range segMeshes() {
+		for trial := 0; trial < 100; trial++ {
+			p := randomWalk(m, rng, rng.Intn(4*m.MaxSide()))
+			want := p.RemoveCycles().Compress(m)
+			in := p.Compress(m)
+			var got SegPath
+			got, buf = m.CompressCyclesSeg(in.Start, in.Segs, &cb, buf)
+			if got.Start != want.Start || len(got.Segs) != len(want.Segs) {
+				t.Fatalf("%v: walk %v: got %+v, want %+v", m, p, got, want)
+			}
+			for i := range want.Segs {
+				if got.Segs[i] != want.Segs[i] {
+					t.Fatalf("%v: walk %v: seg %d: got %+v, want %+v", m, p, i, got.Segs[i], want.Segs[i])
+				}
+			}
+			if len(got.Segs) > 0 && &got.Segs[0] == &buf[0] {
+				t.Fatalf("%v: result aliases the reuse buffer", m)
+			}
+		}
+	}
+	// Zero-length walk: no segments in, no segments out.
+	m := MustNew(4, 4)
+	if sp, _ := m.CompressCyclesSeg(5, nil, &cb, buf); sp.Start != 5 || len(sp.Segs) != 0 {
+		t.Errorf("zero-length walk = %+v", sp)
+	}
+}
+
 func TestSegPathClone(t *testing.T) {
 	sp := SegPath{Start: 3, Segs: []Seg{{Dim: 0, Run: 2}}}
 	cl := sp.Clone()

@@ -11,8 +11,8 @@ import "fmt"
 // fraction of packets whose structural routing state was served from
 // that budget rather than recomputed.
 type CacheStats struct {
-	Hits      int64 // lookups answered from the cache
-	Misses    int64 // lookups that had to compute (includes insert races)
+	Hits      int64 // lookups answered from the cache (incl. lost compute races)
+	Misses    int64 // lookups whose computed entry was inserted
 	Evictions int64 // entries displaced by the LRU bound
 	Entries   int   // entries currently resident
 	Capacity  int   // maximum resident entries across all shards

@@ -16,7 +16,18 @@ import (
 // AddRun records every edge of one axis-aligned run of |run| steps
 // from start along dim (sign of run is the direction) under one tag,
 // and returns the node the run ends at so consecutive runs chain.
-// Safe for concurrent use; panics when the run leaves the mesh.
+// Safe for concurrent use.
+//
+// AddRun accepts exactly the canonical runs the selector emits and
+// panics on anything else, matching AddPath's reject-don't-guess
+// stance: a run that walks past an open-mesh boundary (which includes
+// any nonzero run on a side-1 or side-2 dimension — those never wrap,
+// see mesh.WrapDim) panics "run leaves the mesh", and a run of
+// |run| ≥ side on a wrapping dimension panics "run laps the ring".
+// Lap runs are non-canonical — SegWalkEnd normalizes them modulo the
+// side and AppendStaircaseSegs never emits more than ⌊side/2⌋ steps —
+// so silently walking one would book ring edges more times than the
+// represented walk traverses them.
 func (l *LiveLoads) AddRun(m *mesh.Mesh, tag uint64, start mesh.NodeID, dim, run int) mesh.NodeID {
 	if run == 0 {
 		return start
@@ -31,6 +42,9 @@ func (l *LiveLoads) AddRun(m *mesh.Mesh, tag uint64, start mesh.NodeID, dim, run
 	steps, dir := run, 1
 	if steps < 0 {
 		steps, dir = -steps, -1
+	}
+	if wrap && steps >= s {
+		panic("metrics: run laps the ring")
 	}
 	for k := 0; k < steps; k++ {
 		switch {

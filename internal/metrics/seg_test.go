@@ -126,6 +126,86 @@ func TestAddRunChainsAndCounts(t *testing.T) {
 	}
 }
 
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want %q", want)
+		}
+		if msg, ok := r.(string); !ok || msg != want {
+			t.Fatalf("panic = %v, want %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// TestAddRunDegenerateDims pins the AddRun contract on the inputs no
+// canonical SegPath contains. A nonzero run on a side-1 dimension has
+// no edge to book — even on a torus the dimension does not wrap
+// (mesh.WrapDim) — so it must panic as leaving the mesh, not spin on a
+// self-edge.
+func TestAddRunDegenerateDims(t *testing.T) {
+	torus, err := mesh.NewTorus(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*mesh.Mesh{
+		mesh.MustNew(1, 6),
+		torus,
+	} {
+		l := NewLiveLoads(m, 1)
+		start := m.Node(mesh.Coord{0, 3})
+		for _, run := range []int{1, -1, 5} {
+			mustPanic(t, "metrics: run leaves the mesh", func() {
+				l.AddRun(m, 0, start, 0, run)
+			})
+		}
+		if got := l.Total(); got != 0 {
+			t.Fatalf("%v: degenerate runs booked %d edges, want 0", m, got)
+		}
+		// The healthy dimension of the same mesh still works.
+		if end := l.AddRun(m, 0, start, 1, 2); end != m.Node(mesh.Coord{0, 5}) {
+			t.Fatalf("%v: side-6 run ended at %d", m, end)
+		}
+	}
+}
+
+// TestAddRunFullWrapPanics pins the |run| ≥ side contract on wrapping
+// dimensions: a lap is non-canonical (SegWalkEnd normalizes it away)
+// and pre-fix AddRun silently walked it, multi-counting every ring
+// edge. side−1 steps — the longest canonical wrapped run — must still
+// count each ring edge exactly once.
+func TestAddRunFullWrapPanics(t *testing.T) {
+	m := mesh.MustSquareTorus(2, 5)
+	l := NewLiveLoads(m, 2)
+	start := m.Node(mesh.Coord{2, 1})
+	for _, run := range []int{5, -5, 6, 12} {
+		mustPanic(t, "metrics: run laps the ring", func() {
+			l.AddRun(m, 0, start, 0, run)
+		})
+	}
+	if got := l.Total(); got != 0 {
+		t.Fatalf("lap runs booked %d edges, want 0", got)
+	}
+	if end := l.AddRun(m, 0, start, 0, 4); end != m.Node(mesh.Coord{1, 1}) {
+		t.Fatalf("side-1-step run ended at %d", end)
+	}
+	snap := l.Snapshot()
+	booked := 0
+	for _, v := range snap {
+		if v > 1 {
+			t.Fatalf("ring edge booked %d times, want ≤ 1", v)
+		}
+		if v == 1 {
+			booked++
+		}
+	}
+	if booked != 4 {
+		t.Fatalf("booked %d distinct edges, want 4", booked)
+	}
+}
+
 // TestAddSegPathConcurrent exercises the sharded counters from many
 // goroutines (meaningful under -race).
 func TestAddSegPathConcurrent(t *testing.T) {

@@ -1,0 +1,429 @@
+// Package routetab compiles the hierarchical decomposition into flat
+// routing tables. The bitonic chain a packet (s, t) routes through —
+// climb boxes, bridge, §5.3 reservoir size — is a pure function of the
+// mesh, the decomposition and the bridge rule, so instead of memoizing
+// chains pair by pair in a locked LRU (internal/chaincache) the whole
+// per-level structure can be compiled once at selector construction:
+//
+//   - every regular submesh of every (level, family) is materialized
+//     exactly once in one interned box pool, its coordinates backed by
+//     a single flat array, its ⌈log₂ MaxSide⌉ precomputed;
+//   - every coordinate value x is mapped, per (level, family), to the
+//     dense index of the 1-D interval containing it (the translation
+//     is diagonal and the mesh square, so one table serves all
+//     dimensions);
+//   - every node's coordinate vector is predecoded.
+//
+// Because the boxes of one (level, family) partition the mesh — on the
+// torus the translated families tile each ring exactly, on the open
+// mesh the clipped intervals tile [0, side) — "does the box of s
+// contain t" collapses to "do s and t share the cell index", and the
+// bridge search of §3.2/§4.1 becomes a table compare per level instead
+// of box construction plus containment tests. Warm dispatch is then
+// index arithmetic and pool loads: no hashing, no locks, no LRU
+// bookkeeping, no allocation (chains assemble into a caller buffer).
+//
+// A Table is immutable after Build. That is the zero-mutable-state
+// story the ROADMAP's meshgate cluster needs: tables can be shared
+// read-only across any number of goroutines, serialized or rebuilt
+// bit-identically on any backend from (mesh, options), and never drift
+// the way a cache's resident set does. The price is footprint — the
+// pool holds every submesh of every level, O(n) boxes summed over
+// levels plus O(n·d) predecoded coordinates — which Stats exposes so
+// the size-vs-speed tradeoff against the LRU stays measurable.
+package routetab
+
+import (
+	"unsafe"
+
+	"obliviousmesh/internal/decomp"
+	"obliviousmesh/internal/mesh"
+	"obliviousmesh/internal/metrics"
+)
+
+// Config selects the bridge rule compiled into the table. It mirrors
+// the selector options that shape chains (core.Options is the caller;
+// the randomness options do not matter here — waypoint draws stay
+// per-packet).
+type Config struct {
+	// DCA compiles the 2-D rule of §3.2: the bridge is the deepest
+	// regular submesh containing both endpoints. Otherwise the §4.1
+	// sized-bridge rule applies.
+	DCA bool
+	// BridgeFactor scales the §4.1 bridge size rule 2(d+1)·dist
+	// (≤ 0 means the paper's factor 1). Ignored under DCA/Type1Only.
+	BridgeFactor float64
+	// Type1Only compiles the access-tree ablation: the bridge is the
+	// lowest type-1 submesh of s containing t (DisableBridges).
+	Type1Only bool
+}
+
+// famTab is the compiled form of one (level, family): the per-
+// coordinate 1-D cell index, the family's slot in the interned pool,
+// and the discarded cells of the 2-D corner rule.
+type famTab struct {
+	j         int     // family index (1 = type-1)
+	numCells  int     // distinct 1-D intervals per dimension
+	cell      []int32 // per coordinate x ∈ [0, side): dense interval id
+	cellBase  int     // pool index of this family's flat cell 0
+	discarded []bool  // per flat cell; nil when nothing is discarded
+}
+
+// Table is a compiled routing table; build with Build, then read-only.
+type Table struct {
+	m       *mesh.Mesh
+	cfg     Config
+	d, k    int
+	side    int
+	wrapDim bool // square mesh: every dimension wraps or none does
+
+	coords  []int32    // n×d predecoded node coordinates
+	levels  [][]famTab // [level][family-1]
+	boxes   []mesh.Box // interned pool over all (level, family) cells
+	capBits []uint8    // per pool box: ⌈log₂ MaxSide⌉
+	backing []int      // flat Lo/Hi storage the pool boxes point into
+	bytes   int64      // resident footprint of all flat arrays
+}
+
+// Build compiles dc under cfg. The decomposition has already validated
+// the mesh (square, power-of-two side on tori), so Build cannot fail;
+// cost is one pass over all submeshes of all levels.
+func Build(dc *decomp.Decomposition, cfg Config) *Table {
+	m := dc.Mesh()
+	d := m.Dim()
+	t := &Table{
+		m: m, cfg: cfg,
+		d: d, k: dc.K(), side: m.Side(0),
+		wrapDim: m.WrapDim(0),
+	}
+
+	// Predecode every node's coordinates.
+	n := m.Size()
+	t.coords = make([]int32, n*d)
+	c := make(mesh.Coord, d)
+	for u := 0; u < n; u++ {
+		m.CoordInto(mesh.NodeID(u), c)
+		for i, v := range c {
+			t.coords[u*d+i] = int32(v)
+		}
+	}
+
+	// Compile every (level, family) and intern its boxes.
+	t.levels = make([][]famTab, dc.Levels())
+	for level := 0; level <= t.k; level++ {
+		nt := dc.NumTypes(level)
+		t.levels[level] = make([]famTab, nt)
+		for j := 1; j <= nt; j++ {
+			t.levels[level][j-1] = t.buildFamily(dc, level, j)
+		}
+	}
+
+	t.bytes = int64(len(t.coords))*4 +
+		int64(len(t.boxes))*int64(unsafe.Sizeof(mesh.Box{})) +
+		int64(len(t.capBits)) +
+		int64(len(t.backing))*int64(unsafe.Sizeof(int(0)))
+	for _, fams := range t.levels {
+		for fi := range fams {
+			t.bytes += int64(len(fams[fi].cell))*4 + int64(len(fams[fi].discarded))
+		}
+	}
+	return t
+}
+
+// buildFamily compiles one (level, family): the 1-D interval table and
+// the family's interned boxes, appended to the global pool. The
+// interval arithmetic replicates decomp.TypeContaining exactly (the
+// equivalence is pinned by the exhaustive golden tests).
+func (t *Table) buildFamily(dc *decomp.Decomposition, level, j int) famTab {
+	ml := dc.SideAt(level)
+	shift := ((j - 1) * dc.Lambda(level)) % ml
+	wrap := t.m.Wrap()
+
+	f := famTab{j: j, cell: make([]int32, t.side), cellBase: len(t.boxes)}
+	// 1-D pass: assign dense interval ids by anchor and record each
+	// interval's clipped bounds for the cartesian box build below.
+	idOf := make(map[int]int32)
+	var lo1, hi1 []int // per id, final (clipped) interval
+	var clip1 []int    // per id, number of clipped ends (open mesh)
+	for x := 0; x < t.side; x++ {
+		var a, b, clips int
+		if j == 1 {
+			a = (x / ml) * ml
+			b = a + ml - 1
+			if !wrap && b > t.side-1 {
+				b = t.side - 1
+				clips++
+			}
+		} else if wrap {
+			a = x - ((x-shift)%ml+ml)%ml
+			if a < 0 {
+				a += t.side
+			}
+			b = a + ml - 1 // extended interval; may reach past side-1
+		} else {
+			a = x - ((x-shift)%ml+ml)%ml
+			b = a + ml - 1
+			if a < 0 {
+				a = 0
+				clips++
+			}
+			if b > t.side-1 {
+				b = t.side - 1
+				clips++
+			}
+		}
+		id, ok := idOf[a]
+		if !ok {
+			id = int32(len(lo1))
+			idOf[a] = id
+			lo1, hi1, clip1 = append(lo1, a), append(hi1, b), append(clip1, clips)
+		}
+		f.cell[x] = id
+	}
+	f.numCells = len(lo1)
+
+	// Cartesian pass: intern one box per flat cell. Discarded corners
+	// (Mode2D, translated family, ≥ 2 clipped ends) keep their slot so
+	// flat-cell indexing stays dense, but hold no box.
+	cells := 1
+	for i := 0; i < t.d; i++ {
+		cells *= f.numCells
+	}
+	ids := make([]int, t.d)
+	for flat := 0; flat < cells; flat++ {
+		rem := flat
+		clips := 0
+		for i := 0; i < t.d; i++ {
+			ids[i] = rem % f.numCells
+			rem /= f.numCells
+			clips += clip1[ids[i]]
+		}
+		if dc.Mode() == decomp.Mode2D && j > 1 && clips >= 2 {
+			if f.discarded == nil {
+				f.discarded = make([]bool, cells)
+			}
+			f.discarded[flat] = true
+			t.boxes = append(t.boxes, mesh.Box{})
+			t.capBits = append(t.capBits, 0)
+			continue
+		}
+		base := len(t.backing)
+		for i := 0; i < t.d; i++ {
+			t.backing = append(t.backing, lo1[ids[i]])
+		}
+		for i := 0; i < t.d; i++ {
+			t.backing = append(t.backing, hi1[ids[i]])
+		}
+		box := mesh.Box{
+			Lo: t.backing[base : base+t.d : base+t.d],
+			Hi: t.backing[base+t.d : base+2*t.d : base+2*t.d],
+		}
+		t.boxes = append(t.boxes, box)
+		t.capBits = append(t.capBits, uint8(ceilLog2(box.MaxSide())))
+	}
+	return f
+}
+
+// flatCell returns the pool-relative flat cell index of the node with
+// coordinates c (a coords row) in family f.
+func (f *famTab) flatCell(c []int32) int {
+	flat, stride := 0, 1
+	for _, x := range c {
+		flat += int(f.cell[x]) * stride
+		stride *= f.numCells
+	}
+	return flat
+}
+
+// sameCell reports whether two nodes share f's submesh — the partition
+// property makes this equivalent to box containment — returning the
+// shared flat cell index on a match.
+func (f *famTab) sameCell(sc, tc []int32) (int, bool) {
+	flat, stride := 0, 1
+	for i := range sc {
+		a := f.cell[sc[i]]
+		if a != f.cell[tc[i]] {
+			return 0, false
+		}
+		flat += int(a) * stride
+		stride *= f.numCells
+	}
+	return flat, true
+}
+
+// coordRow returns node u's predecoded coordinates.
+func (t *Table) coordRow(u mesh.NodeID) []int32 {
+	return t.coords[int(u)*t.d : (int(u)+1)*t.d]
+}
+
+// dist returns the wrap-aware L1 distance between two coordinate rows
+// (the same value as mesh.Dist on the node ids).
+func (t *Table) dist(sc, tc []int32) int {
+	total := 0
+	for i := range sc {
+		diff := int(sc[i] - tc[i])
+		if diff < 0 {
+			diff = -diff
+		}
+		if t.wrapDim && t.side-diff < diff {
+			diff = t.side - diff
+		}
+		total += diff
+	}
+	return total
+}
+
+// Chain assembles the bitonic chain for (s, t) into buf (reused,
+// truncated first) and returns it with the bridge and the chain's
+// ⌈log₂ max side⌉ reservoir size — the same triple, box for box, that
+// the uncached construction computes. The returned boxes alias the
+// table's interned pool and buf's backing array: treat them as
+// read-only and do not retain buf across calls.
+func (t *Table) Chain(s, tt mesh.NodeID, buf []mesh.Box) ([]mesh.Box, decomp.Bridge, int) {
+	sc, tc := t.coordRow(s), t.coordRow(tt)
+	var br decomp.Bridge
+	var brRef int // pool index of the bridge box
+	h := 0        // climb height: type-1 boxes at heights 0..h-1 (DCA) or 0..h (§4.1)
+	climbTop := -1
+
+	switch {
+	case t.cfg.Type1Only:
+		// Access-tree ablation: lowest type-1 common ancestor.
+		for ; h <= t.k; h++ {
+			f := &t.levels[t.k-h][0]
+			if flat, ok := f.sameCell(sc, tc); ok {
+				br = decomp.Bridge{Level: t.k - h, Type: 1}
+				brRef = f.cellBase + flat
+				break
+			}
+		}
+		climbTop = h - 1
+	case t.cfg.DCA:
+		// §3.2: deepest regular submesh containing both endpoints; scan
+		// from the leaves upward, families in order, first match wins.
+	dca:
+		for level := t.k; level >= 0; level-- {
+			fams := t.levels[level]
+			for fi := range fams {
+				f := &fams[fi]
+				flat, ok := f.sameCell(sc, tc)
+				if !ok {
+					continue
+				}
+				if f.discarded != nil && f.discarded[flat] {
+					continue
+				}
+				br = decomp.Bridge{Level: level, Type: f.j}
+				brRef = f.cellBase + flat
+				h = t.k - level
+				break dca
+			}
+		}
+		climbTop = h - 1
+	default:
+		// §4.1: bridge of side ≥ factor·2(d+1)·dist at height ĥ+1,
+		// moving up a level whenever no family of the height contains
+		// both endpoints (mesh-boundary fallback of Lemma 4.1).
+		dist := t.dist(sc, tc)
+		if dist == 0 {
+			f := &t.levels[t.k][0]
+			br = decomp.Bridge{Level: t.k, Type: 1}
+			brRef = f.cellBase + f.flatCell(sc)
+			buf = append(buf[:0], t.boxes[brRef])
+			br.Box = t.boxes[brRef]
+			return buf, br, int(t.capBits[brRef])
+		}
+		factor := t.cfg.BridgeFactor
+		if factor <= 0 {
+			factor = 1
+		}
+		target := int(factor * float64(2*(t.d+1)*dist))
+		if target < 1 {
+			target = 1
+		}
+		height := ceilLog2(target) + 1
+		if height > t.k {
+			height = t.k
+		}
+	sized:
+		for bh := height; bh <= t.k; bh++ {
+			fams := t.levels[t.k-bh]
+			for fi := range fams {
+				f := &fams[fi]
+				flat, ok := f.sameCell(sc, tc)
+				if !ok {
+					continue
+				}
+				if f.discarded != nil && f.discarded[flat] {
+					continue
+				}
+				br = decomp.Bridge{Level: t.k - bh, Type: f.j}
+				brRef = f.cellBase + flat
+				break sized
+			}
+		}
+		h = ceilLog2(dist)
+		if bh := t.k - br.Level; h >= bh {
+			h = bh - 1
+		}
+		climbTop = h
+	}
+
+	br.Box = t.boxes[brRef]
+	capBits := int(t.capBits[brRef])
+	if climbTop < 0 {
+		// Bridge at height 0: the chain is the leaf box alone.
+		buf = append(buf[:0], br.Box)
+		return buf, br, capBits
+	}
+	buf = buf[:0]
+	buf, capBits = t.appendType1(buf, sc, 0, climbTop, capBits)
+	buf = append(buf, br.Box)
+	buf, capBits = t.appendType1(buf, tc, climbTop, 0, capBits)
+	return buf, br, capBits
+}
+
+// appendType1 appends the type-1 boxes of the coordinate row c at
+// heights hFrom..hTo inclusive (either direction), folding the boxes'
+// reservoir sizes into capBits.
+func (t *Table) appendType1(buf []mesh.Box, c []int32, hFrom, hTo, capBits int) ([]mesh.Box, int) {
+	step := 1
+	if hTo < hFrom {
+		step = -1
+	}
+	for h := hFrom; ; h += step {
+		f := &t.levels[t.k-h][0]
+		ref := f.cellBase + f.flatCell(c)
+		buf = append(buf, t.boxes[ref])
+		if cb := int(t.capBits[ref]); cb > capBits {
+			capBits = cb
+		}
+		if h == hTo {
+			return buf, capBits
+		}
+	}
+}
+
+// Stats reports the table's compiled size: interned boxes and resident
+// bytes across all flat arrays.
+func (t *Table) Stats() metrics.TableStats {
+	fams := 0
+	for _, l := range t.levels {
+		fams += len(l)
+	}
+	return metrics.TableStats{
+		Levels:   len(t.levels),
+		Families: fams,
+		Boxes:    int64(len(t.boxes)),
+		Bytes:    t.bytes,
+	}
+}
+
+// ceilLog2 returns ⌈log₂ v⌉ for v ≥ 1.
+func ceilLog2(v int) int {
+	b := 0
+	for s := 1; s < v; s <<= 1 {
+		b++
+	}
+	return b
+}

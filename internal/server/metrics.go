@@ -69,6 +69,16 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "meshrouted_chain_cache_capacity %d\n", cs.Capacity)
 		fmt.Fprintf(w, "meshrouted_chain_cache_hit_rate %.6f\n", cs.HitRate())
 	}
+
+	// Compiled routing table (chain source "table"): no hit/miss
+	// dynamics, only the size of the precompiled state — the figure the
+	// size-vs-speed tradeoff against the LRU is judged on.
+	if ts, ok := s.sel.RouteTableStats(); ok {
+		fmt.Fprintf(w, "meshrouted_route_table_levels %d\n", ts.Levels)
+		fmt.Fprintf(w, "meshrouted_route_table_families %d\n", ts.Families)
+		fmt.Fprintf(w, "meshrouted_route_table_boxes %d\n", ts.Boxes)
+		fmt.Fprintf(w, "meshrouted_route_table_bytes %d\n", ts.Bytes)
+	}
 }
 
 func boolGauge(b bool) int {

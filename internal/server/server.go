@@ -55,6 +55,11 @@ type Config struct {
 	General bool // force the §4 construction on 2-D meshes
 	// DisableChainCache turns off the (s,t)→chain memoization.
 	DisableChainCache bool
+	// ChainSource picks the selector's chain backend: "" or "default"
+	// (cache unless DisableChainCache), "cache", "table" (compiled
+	// routing table: lock-free warm dispatch, footprint on /metrics) or
+	// "none". Every backend serves byte-identical paths.
+	ChainSource string
 	// PathFormat selects the JSON representation of selected paths:
 	// "hops" (the default) answers /v1/batch with node-id arrays,
 	// "segments" with flat run-length records [start, dim0, run0, ...].
@@ -98,6 +103,9 @@ func (c *Config) fill() error {
 	case "hops", "segments":
 	default:
 		return fmt.Errorf(`server: Config.PathFormat must be "hops" or "segments" (got %q)`, c.PathFormat)
+	}
+	if _, err := core.ParseChainSource(c.ChainSource); err != nil {
+		return fmt.Errorf("server: Config.ChainSource: %w", err)
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
@@ -153,8 +161,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Mesh.Dim() == 2 && !cfg.General {
 		v = core.Variant2D
 	}
+	src, _ := core.ParseChainSource(cfg.ChainSource) // validated by fill
 	sel, err := core.NewSelector(cfg.Mesh, core.Options{
 		Variant: v, Seed: cfg.Seed, DisableChainCache: cfg.DisableChainCache,
+		ChainSource: src,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)

@@ -388,9 +388,52 @@ func TestMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestChainSourceTable runs a daemon on the compiled routing table:
+// served paths must match a cache-backed replica byte for byte (the
+// replayability contract holds across backends), and /metrics must
+// expose the table footprint instead of chain-cache dynamics.
+func TestChainSourceTable(t *testing.T) {
+	_, tts := newTestServer(t, Config{Seed: 5, ChainSource: "table"})
+	_, cts := newTestServer(t, Config{Seed: 5})
+
+	req := batchRequest{Pairs: [][2]int{{0, 63}, {63, 0}, {7, 42}, {11, 11}}}
+	_, tbody := postJSON(t, tts.URL+"/v1/batch", req)
+	_, cbody := postJSON(t, cts.URL+"/v1/batch", req)
+	if !bytes.Equal(tbody, cbody) {
+		t.Fatalf("table-backed batch differs from cache-backed:\n%s\nvs\n%s", tbody, cbody)
+	}
+
+	mresp, err := http.Get(tts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"meshrouted_route_table_levels ",
+		"meshrouted_route_table_families ",
+		"meshrouted_route_table_boxes ",
+		"meshrouted_route_table_bytes ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table metrics missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "meshrouted_chain_cache_") {
+		t.Errorf("table-backed server exposes chain-cache metrics:\n%s", text)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("nil mesh accepted")
+	}
+	if _, err := New(Config{Mesh: mesh.MustSquare(2, 8), ChainSource: "lru"}); err == nil {
+		t.Fatal("bad ChainSource accepted")
+	}
+	if _, err := New(Config{Mesh: mesh.MustSquare(2, 8), ChainSource: "cache", DisableChainCache: true}); err == nil {
+		t.Fatal("ChainSource cache + DisableChainCache accepted")
 	}
 	srv, err := New(Config{Mesh: mesh.MustSquare(2, 8)})
 	if err != nil {

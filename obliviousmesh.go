@@ -60,6 +60,28 @@ type (
 	// CacheStats is a snapshot of the router's chain-cache counters
 	// (hits, misses, evictions, residency); see Router.ChainCacheStats.
 	CacheStats = metrics.CacheStats
+	// TableStats is a snapshot of the router's compiled routing-table
+	// size (levels, interned boxes, resident bytes); see
+	// Router.RouteTableStats.
+	TableStats = metrics.TableStats
+	// ChainSource selects the router's chain backend: the sharded LRU
+	// cache, the compiled routing table, or per-packet recomputation.
+	ChainSource = core.ChainSource
+)
+
+// Chain-source values for RouterOptions.ChainSource. All three backends
+// select byte-identical paths; they trade memory for dispatch cost.
+const (
+	// ChainSourceDefault is the cache unless DisableChainCache is set.
+	ChainSourceDefault = core.ChainSourceDefault
+	// ChainSourceCache memoizes chains in the sharded LRU.
+	ChainSourceCache = core.ChainSourceCache
+	// ChainSourceTable compiles the full decomposition up front: warm
+	// dispatch with no hashing, locks or allocation, at a memory
+	// footprint reported by Router.RouteTableStats.
+	ChainSourceTable = core.ChainSourceTable
+	// ChainSourceNone recomputes every chain (ablation).
+	ChainSourceNone = core.ChainSourceNone
 )
 
 // RouterOptions configure NewRouter.
@@ -77,6 +99,13 @@ type RouterOptions struct {
 	// not its randomness. Inspect effectiveness with
 	// Router.ChainCacheStats.
 	DisableChainCache bool
+	// ChainSource overrides the chain backend: ChainSourceTable
+	// compiles the whole decomposition into flat arrays at construction
+	// (fastest warm dispatch, measurable footprint via
+	// Router.RouteTableStats), ChainSourceCache is the LRU,
+	// ChainSourceNone recomputes per packet. The default follows
+	// DisableChainCache. Every backend selects byte-identical paths.
+	ChainSource ChainSource
 }
 
 // NewMesh constructs a d-dimensional mesh with equal side lengths.
@@ -100,6 +129,7 @@ func NewRouter(m *Mesh, opt RouterOptions) (*Router, error) {
 	return core.NewSelector(m, core.Options{
 		Variant: v, Seed: opt.Seed,
 		DisableChainCache: opt.DisableChainCache,
+		ChainSource:       opt.ChainSource,
 	})
 }
 
