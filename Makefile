@@ -14,6 +14,7 @@ FUZZTIME ?= 5s
 # pkg:target pairs; `go test -fuzz` accepts one target per invocation.
 FUZZ_TARGETS := \
 	internal/core:FuzzSelectorPath \
+	internal/core:FuzzKSampleSelect \
 	internal/decomp:FuzzTypeContaining \
 	internal/decomp:FuzzBridge \
 	internal/mesh:FuzzStaircasePath \
@@ -30,12 +31,12 @@ FUZZ_ONLY ?= $(FUZZ_TARGETS)
 
 .PHONY: build test vet race fuzz verify bench bench-json bench-smoke serve-smoke cover
 
-# Committed benchmark baseline for the compiled routing table PR:
-# headline Path/SelectAll/SelectAllSeg benchmarks plus the loopback
+# Committed benchmark baseline for the k-sample selection PR: headline
+# Path/SelectAll/SelectAllSeg/KSample benchmarks plus the loopback
 # ServerBatch benchmark rendered to JSON (ns/op, B/op, allocs/op) via
-# cmd/benchjson. Compare against BENCH_PR5.json for the numbers before
-# the routetab backend and the dense cycle excision landed.
-BENCH_JSON ?= BENCH_PR6.json
+# cmd/benchjson. Compare against BENCH_PR6.json for the numbers before
+# semi-oblivious best-of-k selection landed.
+BENCH_JSON ?= BENCH_PR7.json
 
 build:
 	$(GO) build ./...
@@ -68,7 +69,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkPath|BenchmarkSelectAll|BenchmarkServer' -benchmem \
+	$(GO) test -run '^$$' -bench 'BenchmarkPath|BenchmarkSelectAll|BenchmarkKSample|BenchmarkServer' -benchmem \
 		. ./internal/core ./internal/server | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # One-iteration pass over every benchmark: catches benchmarks that
@@ -77,11 +78,13 @@ bench-json:
 # budget — PathSelect2D/side256 must stay under half the BENCH_PR4.json
 # hop baseline (< 2909 B/op) — and the routing-table dispatch budget:
 # warm table-mode SelectAllSeg on side 256 must beat the warm chain
-# cache by >= 2x.
+# cache by >= 2x — and the k-sample budget: best-of-4 selection must
+# cost <= 4.5x the k=1 baseline.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^TestBenchGatePathSelect2D$$' -v .
 	$(GO) test -run '^TestBenchGateSelectAllSegTable$$' -v ./internal/core
+	$(GO) test -run '^TestBenchGateKSample$$' -v ./internal/core
 
 # End-to-end daemon gate: builds the real meshrouted binary, boots it
 # on a random port, routes a batch through the typed client over both

@@ -10,7 +10,7 @@
 //	          [-seed 1] [-simulate] [-delay 0] [-workers 0] [-check]
 //	          [-pair "x1,y1:x2,y2"] [-l 8] [-heatmap] [-save run.json]
 //	          [-pathfmt hops] [-nochaincache] [-chainsource table]
-//	          [-cpuprofile p.out] [-memprofile m.out] [-trace t.out]
+//	          [-ksample 1] [-cpuprofile p.out] [-memprofile m.out] [-trace t.out]
 //
 // Algorithms: H, H-general, access-tree, dim-order, rand-dim-order,
 // rand-monotone, valiant, offline.
@@ -30,6 +30,13 @@
 // identical to -pathfmt hops; only the representation — and the
 // allocation bill — changes. Core selectors only (H, H-general,
 // access-tree).
+//
+// -ksample k > 1 (with -live, core selectors only) routes
+// semi-obliviously: each packet draws k independent algorithm-H
+// candidates and commits the one least loaded under a per-epoch
+// snapshot of the live tracker. The run stays reproducible for any
+// -workers value; a milestone k-sample summary reports how often a
+// re-draw beat the pure-H path.
 //
 // -cpuprofile, -memprofile and -trace write pprof/runtime-trace
 // artifacts for the run, so hot-path regressions can be diagnosed
@@ -92,6 +99,7 @@ type config struct {
 	save         string
 	noChainCache bool
 	chainSource  string
+	ksample      int
 	cpuProfile   string
 	memProfile   string
 	traceFile    string
@@ -122,6 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.save, "save", "", "write the run (problem+paths+report) as JSON to this file")
 	fs.BoolVar(&cfg.noChainCache, "nochaincache", false, "disable the (s,t)->chain memoization layer (ablation; paths are identical either way)")
 	fs.StringVar(&cfg.chainSource, "chainsource", "", `chain backend for core selectors: "cache" (sharded LRU), "table" (compiled routing table), or "none" (recompute per packet); empty follows -nochaincache`)
+	fs.IntVar(&cfg.ksample, "ksample", 1, "semi-oblivious candidates per packet in -live mode: draw k algorithm-H paths, commit the least live-loaded (1 = pure algorithm H)")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile at the end of the run to this file (go tool pprof)")
 	fs.StringVar(&cfg.traceFile, "trace", "", "write a runtime execution trace of the run to this file (go tool trace)")
@@ -172,6 +181,12 @@ func validate(cfg config) error {
 		return fmt.Errorf(`-pathfmt must be "hops" or "segments" (got %q)`, cfg.pathFmt)
 	case cfg.live && cfg.pathFmt == "segments":
 		return fmt.Errorf("-live streams hop paths through a session; it does not combine with -pathfmt segments")
+	case cfg.ksample < 1:
+		return fmt.Errorf("-ksample must be >= 1 (got %d)", cfg.ksample)
+	case cfg.ksample > 1 && !cfg.live:
+		return fmt.Errorf("-ksample %d scores candidates against live loads; it requires -live", cfg.ksample)
+	case cfg.ksample > 1 && cfg.pair != "":
+		return fmt.Errorf("-ksample needs a workload to build congestion; it does not combine with -pair")
 	}
 	if _, err := core.ParseChainSource(cfg.chainSource); err != nil {
 		return fmt.Errorf("-chainsource: %w", err)
@@ -299,6 +314,9 @@ func route(cfg config, out io.Writer) error {
 	if segments && !isCore {
 		return fmt.Errorf("-pathfmt segments needs a core selector algorithm (H, H-general, access-tree), not %s", cfg.algoName)
 	}
+	if cfg.ksample > 1 && !isCore {
+		return fmt.Errorf("-ksample needs a core selector algorithm (H, H-general, access-tree), not %s", cfg.algoName)
+	}
 
 	if cfg.pair != "" {
 		var segSel *core.Selector
@@ -319,6 +337,16 @@ func route(cfg config, out io.Writer) error {
 	var sps []mesh.SegPath
 	var tracker *metrics.LiveLoads
 	switch {
+	case cfg.ksample > 1:
+		// Semi-oblivious streaming: the k-sample engine needs a selector
+		// built with the candidate count (validated > 0 by NewSelector).
+		opt := named.Sel.Options()
+		opt.KSample = cfg.ksample
+		kSel, kerr := core.NewSelector(m, opt)
+		if kerr != nil {
+			return kerr
+		}
+		paths, tracker = routeLiveK(out, m, kSel, prob.Pairs, cfg.workers, checker)
 	case cfg.live:
 		paths, tracker = routeLive(out, m, algo, prob.Pairs, cfg.workers, checker)
 	case segments:
@@ -579,6 +607,77 @@ func routeLive(out io.Writer, m *mesh.Mesh, algo baseline.PathSelector, pairs []
 	wg.Wait()
 	if len(pairs)%milestone != 0 {
 		report(int(sess.Packets()), sess.Report())
+	}
+	return paths, tracker
+}
+
+// routeLiveK routes the problem semi-obliviously (-ksample k > 1):
+// packets stream in epochs of len(pairs)/8; each epoch freezes a
+// snapshot of the live tracker, draws k algorithm-H candidates per
+// packet with the parallel k-sample engine, commits the least-loaded
+// candidate of each, and books the committed paths so the next epoch
+// scores against the updated congestion. Selection within an epoch is
+// a pure function of (mesh, seed, k, snapshot), so the whole run is
+// reproducible for any -workers value. With a checker attached every
+// committed path is invariant-checked under its candidate's stream
+// (core.KSampleStream), the stream a replay must use.
+func routeLiveK(out io.Writer, m *mesh.Mesh, sel *core.Selector, pairs []mesh.Pair, workers int, checker *invariant.Engine) ([]mesh.Path, *metrics.LiveLoads) {
+	tracker := metrics.NewLiveLoads(m, 0)
+	sps := make([]mesh.SegPath, len(pairs))
+	epoch := len(pairs) / 8
+	if epoch == 0 {
+		epoch = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	hooks := core.KSegHooks{
+		Seg: func(pkt int, _ mesh.Pair, sp mesh.SegPath, _ core.Stats) {
+			tracker.AddSegPath(m, uint64(pkt), sp)
+		},
+	}
+	if checker != nil {
+		hooks.Cand = func(pkt int, pr mesh.Pair, sp mesh.SegPath, _ core.Stats, committed int, _ []int64) {
+			checker.CheckSegPath(pr.S, pr.T, core.KSampleStream(uint64(pkt), committed), sp)
+		}
+	}
+
+	snap := make([]int64, m.EdgeSpace())
+	var ks core.KStats
+	var totalLen, totalDist, maxLen int64
+	for lo := 0; lo < len(pairs); lo += epoch {
+		hi := lo + epoch
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		tracker.SnapshotInto(snap)
+		_, eks := sel.SelectRangeParallelKSegInto(pairs, snap, lo, hi, workers, sps, hooks)
+		ks.Merge(eks)
+		for i := lo; i < hi; i++ {
+			l := int64(sps[i].Len())
+			totalLen += l
+			totalDist += int64(m.Dist(pairs[i].S, pairs[i].T))
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		stretch := 0.0
+		if totalDist > 0 {
+			stretch = float64(totalLen) / float64(totalDist)
+		}
+		fmt.Fprintf(out, "live: %6d/%d packets  C=%-5d stretch=%.2f  max-len=%d\n",
+			hi, len(pairs), tracker.Max(), stretch, maxLen)
+	}
+	k := sel.Options().KSample
+	fmt.Fprintf(out, "ksample: k=%d  candidates=%d  redraw-wins=%d (%.1f%%)  avoided-score=%d\n",
+		k, ks.Candidates, ks.RedrawWins,
+		100*float64(ks.RedrawWins)/float64(max(len(pairs), 1)),
+		ks.FirstScoreSum-ks.CommitScoreSum)
+
+	paths := make([]mesh.Path, len(sps))
+	for i := range sps {
+		paths[i] = sps[i].Expand(m)
 	}
 	return paths, tracker
 }

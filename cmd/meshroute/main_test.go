@@ -74,6 +74,24 @@ func TestRun(t *testing.T) {
 			wantOut: []string{"live:", "live congestion", "matches batch recount", " 0 violations"},
 		},
 		{
+			name:    "ksample live with check",
+			args:    []string{"-d", "2", "-side", "8", "-live", "-ksample", "4", "-check"},
+			exit:    0,
+			wantOut: []string{"ksample: k=4", "redraw-wins", "live congestion", " 0 violations"},
+		},
+		{
+			name:    "ksample live on explicit table backend",
+			args:    []string{"-d", "2", "-side", "8", "-live", "-ksample", "2", "-chainsource", "table", "-check"},
+			exit:    0,
+			wantOut: []string{"ksample: k=2", " 0 violations"},
+		},
+		{
+			name:    "ksample live on uncached backend",
+			args:    []string{"-d", "2", "-side", "8", "-live", "-ksample", "2", "-chainsource", "none", "-check"},
+			exit:    0,
+			wantOut: []string{"ksample: k=2", " 0 violations"},
+		},
+		{
 			name:    "simulate",
 			args:    []string{"-d", "2", "-side", "8", "-simulate", "-delay", "2"},
 			exit:    0,
@@ -242,6 +260,36 @@ func TestRun(t *testing.T) {
 			args:       []string{"-side", "8", "-algo", "adaptive", "-check"},
 			exit:       1,
 			wantErrOut: []string{"-check"},
+		},
+		{
+			name:       "zero ksample",
+			args:       []string{"-side", "8", "-ksample", "0"},
+			exit:       2,
+			wantErrOut: []string{"-ksample must be >= 1"},
+		},
+		{
+			name:       "negative ksample",
+			args:       []string{"-side", "8", "-ksample", "-3"},
+			exit:       2,
+			wantErrOut: []string{"-ksample must be >= 1"},
+		},
+		{
+			name:       "ksample requires live",
+			args:       []string{"-side", "8", "-ksample", "4"},
+			exit:       2,
+			wantErrOut: []string{"requires -live"},
+		},
+		{
+			name:       "ksample rejects single pair",
+			args:       []string{"-side", "8", "-live", "-ksample", "4", "-pair", "0,0:7,7"},
+			exit:       2,
+			wantErrOut: []string{"-ksample", "does not combine with -pair"},
+		},
+		{
+			name:       "ksample rejects non-core algorithms",
+			args:       []string{"-side", "8", "-live", "-ksample", "4", "-algo", "valiant"},
+			exit:       1,
+			wantErrOut: []string{"-ksample needs a core selector"},
 		},
 	}
 	for _, tc := range cases {

@@ -10,6 +10,14 @@
 //	           [-max-inflight 0] [-max-queue 0] [-max-batch 65536]
 //	           [-workers 4] [-timeout 10s] [-drain-timeout 30s]
 //	           [-pathfmt hops] [-nochaincache] [-chainsource table]
+//	           [-ksample 1]
+//
+// -ksample k > 1 switches the daemon to semi-oblivious selection: each
+// packet draws k independent algorithm-H candidate paths and commits
+// the one least loaded under a snapshot of the live edge-load tracker
+// (snapshots refresh per batch chunk). /metrics grows a
+// meshrouted_ksample_* section, and /v1/mesh reports the configured k.
+// k = 1 (the default) serves pure algorithm H.
 //
 // -pathfmt selects the JSON representation of /v1/batch replies:
 // "hops" (node-id arrays, the default) or "segments" (flat run-length
@@ -26,7 +34,9 @@
 // Because algorithm H is oblivious, the daemon is stateless with
 // respect to routing: any replica with the same -seed selects
 // byte-identical paths for the same batch, so instances can be
-// load-balanced freely and results replayed offline.
+// load-balanced freely and results replayed offline. (-ksample > 1
+// trades exactly this away: selection then also depends on the live
+// load history, so replicas agree only while their traffic does.)
 package main
 
 import (
@@ -68,6 +78,7 @@ type config struct {
 	pathFmt      string
 	noChainCache bool
 	chainSource  string
+	ksample      int
 }
 
 // run is the testable body of the daemon: parse flags, bind, serve
@@ -93,6 +104,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.pathFmt, "pathfmt", "hops", "JSON path representation for /v1/batch: \"hops\" (node-id arrays) or \"segments\" (run-length records)")
 	fs.BoolVar(&cfg.noChainCache, "nochaincache", false, "disable the (s,t)->chain memoization layer")
 	fs.StringVar(&cfg.chainSource, "chainsource", "", `chain backend: "cache" (sharded LRU), "table" (compiled routing table), or "none" (recompute per packet); empty follows -nochaincache`)
+	fs.IntVar(&cfg.ksample, "ksample", 1, "semi-oblivious candidates per packet: draw k algorithm-H paths, commit the least live-loaded (1 = pure algorithm H)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -134,6 +146,8 @@ func validate(cfg config) error {
 		return fmt.Errorf("-drain-timeout must be > 0 (got %v)", cfg.drainTimeout)
 	case cfg.pathFmt != "hops" && cfg.pathFmt != "segments":
 		return fmt.Errorf(`-pathfmt must be "hops" or "segments" (got %q)`, cfg.pathFmt)
+	case cfg.ksample < 1:
+		return fmt.Errorf("-ksample must be >= 1 (got %d)", cfg.ksample)
 	}
 	if _, err := core.ParseChainSource(cfg.chainSource); err != nil {
 		return fmt.Errorf("-chainsource: %w", err)
@@ -160,6 +174,7 @@ func serve(ctx context.Context, cfg config, stdout io.Writer) error {
 		BatchWorkers:      cfg.workers,
 		RequestTimeout:    cfg.timeout,
 		PathFormat:        cfg.pathFmt,
+		KSample:           cfg.ksample,
 	})
 	if err != nil {
 		return err

@@ -36,6 +36,9 @@ func TestRunFlagValidation(t *testing.T) {
 		{"zero drain-timeout", []string{"-drain-timeout", "0s"}, 2, "-drain-timeout must be > 0"},
 		{"malformed duration", []string{"-timeout", "soon"}, 2, "invalid value"},
 		{"bad pathfmt", []string{"-pathfmt", "runs"}, 2, `-pathfmt must be "hops" or "segments" (got "runs")`},
+		{"zero ksample", []string{"-ksample", "0"}, 2, "-ksample must be >= 1"},
+		{"negative ksample", []string{"-ksample", "-3"}, 2, "-ksample must be >= 1"},
+		{"bad chainsource", []string{"-chainsource", "disk"}, 2, "-chainsource"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -56,6 +56,7 @@ type scratch struct {
 	raw    mesh.Path
 	segs   []mesh.Seg // run-length construction buffer
 	segs2  []mesh.Seg // recompression buffer for the cycle fallback
+	segs3  []mesh.Seg // second compression buffer: k-sample candidate double-buffering
 	chain  []mesh.Box // table-mode chain assembly buffer
 	wp     []mesh.NodeID
 	c      mesh.Coord
@@ -63,6 +64,7 @@ type scratch struct {
 	r1, r2 *bitrand.Reservoir
 	last   map[mesh.NodeID]int
 	cyc    mesh.CycleBuf // dense cycle-excision state (segment engine)
+	scores []int64       // per-candidate scores of the k-sample engine
 }
 
 // newScratch builds a scratch for one worker on sel's mesh.

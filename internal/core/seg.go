@@ -64,6 +64,40 @@ func (sel *Selector) constructSegInto(s, t mesh.NodeID, stream uint64, sc *scrat
 	return out, st
 }
 
+// constructSegScored is constructSegInto for candidate racing: the
+// compressed result ALIASES buf (returned grown for reuse) instead of
+// being exact-size copied, and the maximum snapshot load over its
+// edges comes fused out of the excision walk
+// (mesh.CompressCyclesSegMax) — no second scan, no expansion. The
+// k-sample engine races k of these and pays the caller-owned copy only
+// for the candidate it commits. Requires !KeepCycles; the committed
+// path is byte-identical to constructSegInto's for the same stream.
+func (sel *Selector) constructSegScored(s, t mesh.NodeID, stream uint64, snapshot []int64, buf []mesh.Seg, sc *scratch) (mesh.SegPath, Stats, []mesh.Seg, int64) {
+	if s == t {
+		return mesh.SegPath{Start: s}, Stats{ChainLen: 1}, buf, 0
+	}
+	chain, br, waypoints, perm := sel.prepare(s, t, stream, sc)
+
+	segs := sc.segs[:0]
+	for i := 1; i < len(waypoints); i++ {
+		segs = sel.m.AppendStaircaseSegs(segs, waypoints[i-1], waypoints[i], perm)
+	}
+	sc.segs = segs
+
+	st := Stats{
+		RandomBits:   sc.rng.BitsUsed(),
+		BridgeHeight: sel.dc.HeightOf(br.Level),
+		BridgeType:   br.Type,
+		ChainLen:     len(chain),
+	}
+	sp := mesh.SegPath{Start: s, Segs: segs}
+	st.RawLen = sp.Len()
+
+	out, buf, maxLoad := sel.m.CompressCyclesSegMax(s, segs, &sc.cyc, buf, snapshot)
+	st.Len = out.Len()
+	return out, st, buf, maxLoad
+}
+
 // SegObserver receives each whole selected run-length path (with its
 // per-packet stats) immediately after construction — the segment
 // counterpart of PathObserver. The SegPath is caller-owned and safe to

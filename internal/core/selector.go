@@ -164,6 +164,19 @@ type Options struct {
 	// up-front compile and a measurable footprint (RouteTableStats) for
 	// lock-free, allocation-free warm dispatch.
 	ChainSource ChainSource
+
+	// KSample is the semi-oblivious candidate count of the k-sample
+	// engines (SelectAllKSegInto and friends): each packet draws
+	// KSample independent algorithm-H candidates and commits the one
+	// with the least maximum edge load under the caller's congestion
+	// snapshot, ties broken by the lowest candidate index. 0 and 1 both
+	// mean pure algorithm H — candidate 0 uses the packet's unmodified
+	// randomness stream, so k=1 output is byte-identical to SelectAllSeg
+	// (the golden contract TestKSampleGoldenK1 pins). Negative values
+	// are rejected by NewSelector. The plain engines (SelectAll,
+	// SelectAllSeg, Path) ignore KSample entirely: sampling needs a
+	// load snapshot, which only the K engines take.
+	KSample int
 }
 
 // Stats reports per-packet accounting for one path selection.
@@ -197,6 +210,9 @@ func NewSelector(m *mesh.Mesh, opt Options) (*Selector, error) {
 	dc, err := decomp.New(m, mode)
 	if err != nil {
 		return nil, err
+	}
+	if opt.KSample < 0 {
+		return nil, fmt.Errorf("core: Options.KSample must be >= 0 (got %d)", opt.KSample)
 	}
 	src := opt.ChainSource
 	switch src {

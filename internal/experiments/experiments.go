@@ -77,6 +77,7 @@ func Index() []IndexEntry {
 		{"E22", "randomization on the hypercube (related work)"},
 		{"E23", "ablating the bridge-size constant"},
 		{"E24", "drain dynamics (per-step utilization)"},
+		{"E25", "semi-oblivious k-sample selection (best-of-k candidates)"},
 	}
 }
 
@@ -109,6 +110,7 @@ func All(cfg Config) []Result {
 		{"E22", E22Hypercube(cfg)},
 		{"E23", E23BridgeFactor(cfg)},
 		{"E24", E24Dynamics(cfg)},
+		{"E25", E25KSample(cfg)},
 	}
 }
 

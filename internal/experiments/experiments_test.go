@@ -293,8 +293,8 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("short mode")
 	}
 	results := All(quickCfg)
-	if len(results) != 26 {
-		t.Fatalf("%d experiments, want 26", len(results))
+	if len(results) != 27 {
+		t.Fatalf("%d experiments, want 27", len(results))
 	}
 	seen := map[string]bool{}
 	for _, r := range results {

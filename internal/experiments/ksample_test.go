@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestE25KSampleSweep(t *testing.T) {
+	tb := E25KSample(quickCfg)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows, want 4 (k in 1,2,4,8)", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "1" {
+		t.Fatalf("first row k=%s, want the pure-H baseline k=1", tb.Rows[0][0])
+	}
+	// k=1 is pure algorithm H: no re-draws can win and nothing is
+	// avoided, so its ratio column is exactly 1.
+	if wins := mustFloat(t, tb.Rows[0][5]); wins != 0 {
+		t.Errorf("k=1 has %v redraw wins, want 0", wins)
+	}
+	if ratio := mustFloat(t, tb.Rows[0][4]); ratio != 1 {
+		t.Errorf("k=1 C ratio %v, want 1", ratio)
+	}
+	// The semi-oblivious thesis: mean max edge load is monotone
+	// non-increasing in k, and every k stays at or above the offline
+	// bracket.
+	prev := mustFloat(t, tb.Rows[0][3])
+	for _, row := range tb.Rows[1:] {
+		c := mustFloat(t, row[3])
+		if c > prev+1e-9 {
+			t.Errorf("k=%s: C mean %v increased from %v", row[0], c, prev)
+		}
+		prev = c
+		if wins := mustFloat(t, row[5]); wins <= 0 {
+			t.Errorf("k=%s: no redraw wins at all — sampling is not engaging", row[0])
+		}
+		if avoided := mustFloat(t, row[6]); avoided < 0 {
+			t.Errorf("k=%s: negative avoided score %v (commit must score <= candidate 0)", row[0], avoided)
+		}
+	}
+	cOff := mustFloat(t, tb.Rows[0][7])
+	for _, row := range tb.Rows {
+		if c := mustFloat(t, row[3]); c+1e-9 < cOff {
+			t.Errorf("k=%s: C mean %v below the offline congestion %v", row[0], c, cOff)
+		}
+	}
+}

@@ -37,71 +37,8 @@ type CycleBuf struct {
 // grown for the next call; the result's Segs are an exact-size copy
 // that never aliases buf. Panics when a run steps off the mesh.
 func (m *Mesh) CompressCyclesSeg(start NodeID, segs []Seg, cb *CycleBuf, buf []Seg) (SegPath, []Seg) {
-	if len(cb.last) != m.size {
-		cb.last = make([]int32, m.size)
-	}
-	last := cb.last
-	if cap(cb.prefix) < len(segs)+1 {
-		cb.prefix = make([]int32, len(segs)+1)
-	}
-	prefix := cb.prefix[:len(segs)+1]
-
-	// Pass 1: walk the runs, stamping every node with its position —
-	// later visits overwrite earlier ones, so after the pass each walk
-	// node holds its last occurrence. prefix[r] is the position of run
-	// r's first node, so pass 2 can locate any position's run. Runs on
-	// non-wrapping dimensions are strictly monotone, so their validity
-	// is one endpoint check and the hop loop is pure stride stepping.
-	last[start] = 0
-	u := int(start)
-	pos := int32(0)
-	for ri, sg := range segs {
-		prefix[ri] = pos
-		dim := int(sg.Dim)
-		s := m.dims[dim]
-		st := m.strides[dim]
-		ci := (u / st) % s
-		n, step := int(sg.Run), st
-		if n < 0 {
-			n, step = -n, -st
-		}
-		if !m.wrapDim(dim) {
-			if end := ci + int(sg.Run); end < 0 || end > s-1 {
-				panic(fmt.Sprintf("mesh: segment run of %d along dim %d leaves side %d",
-					sg.Run, dim, s))
-			}
-			for k := 0; k < n; k++ {
-				u += step
-				pos++
-				last[u] = pos
-			}
-			continue
-		}
-		dir := 1
-		if sg.Run < 0 {
-			dir = -1
-		}
-		for k := 0; k < n; k++ {
-			switch {
-			case dir > 0 && ci < s-1:
-				u += st
-				ci++
-			case dir > 0:
-				u -= (s - 1) * st
-				ci = 0
-			case ci > 0:
-				u -= st
-				ci--
-			default:
-				u += (s - 1) * st
-				ci = s - 1
-			}
-			pos++
-			last[u] = pos
-		}
-	}
-	prefix[len(segs)] = pos
-	total := int(pos)
+	total := m.stampWalk(start, segs, cb)
+	last, prefix := cb.last, cb.prefix[:len(segs)+1]
 
 	// Pass 2: walk the positions, jumping each node to its last
 	// occurrence (excising the cycle in between) and re-compressing the
@@ -112,7 +49,7 @@ func (m *Mesh) CompressCyclesSeg(start NodeID, segs []Seg, cb *CycleBuf, buf []S
 	// single merged increment.
 	out := buf[:0]
 	i := int(last[start])
-	u = int(start)
+	u := int(start)
 	r := 0
 	for i < total {
 		for int(prefix[r+1]) <= i {
@@ -180,4 +117,181 @@ func (m *Mesh) CompressCyclesSeg(start NodeID, segs []Seg, cb *CycleBuf, buf []S
 		sp.Segs = append(make([]Seg, 0, len(out)), out...)
 	}
 	return sp, out
+}
+
+// stampWalk is pass 1 of the cycle excision, shared by
+// CompressCyclesSeg and CompressCyclesSegMax: walk the runs, stamping
+// every node with its position — later visits overwrite earlier ones,
+// so after the pass each walk node holds its last occurrence.
+// cb.prefix[r] is the position of run r's first node, so pass 2 can
+// locate any position's run. Runs on non-wrapping dimensions are
+// strictly monotone, so their validity is one endpoint check and the
+// hop loop is pure stride stepping. Returns the walk length in hops.
+func (m *Mesh) stampWalk(start NodeID, segs []Seg, cb *CycleBuf) int {
+	if len(cb.last) != m.size {
+		cb.last = make([]int32, m.size)
+	}
+	last := cb.last
+	if cap(cb.prefix) < len(segs)+1 {
+		cb.prefix = make([]int32, len(segs)+1)
+	}
+	prefix := cb.prefix[:len(segs)+1]
+
+	last[start] = 0
+	u := int(start)
+	pos := int32(0)
+	for ri, sg := range segs {
+		prefix[ri] = pos
+		dim := int(sg.Dim)
+		s := m.dims[dim]
+		st := m.strides[dim]
+		ci := (u / st) % s
+		n, step := int(sg.Run), st
+		if n < 0 {
+			n, step = -n, -st
+		}
+		if !m.wrapDim(dim) {
+			if end := ci + int(sg.Run); end < 0 || end > s-1 {
+				panic(fmt.Sprintf("mesh: segment run of %d along dim %d leaves side %d",
+					sg.Run, dim, s))
+			}
+			for k := 0; k < n; k++ {
+				u += step
+				pos++
+				last[u] = pos
+			}
+			continue
+		}
+		dir := 1
+		if sg.Run < 0 {
+			dir = -1
+		}
+		for k := 0; k < n; k++ {
+			switch {
+			case dir > 0 && ci < s-1:
+				u += st
+				ci++
+			case dir > 0:
+				u -= (s - 1) * st
+				ci = 0
+			case ci > 0:
+				u -= st
+				ci--
+			default:
+				u += (s - 1) * st
+				ci = s - 1
+			}
+			pos++
+			last[u] = pos
+		}
+	}
+	prefix[len(segs)] = pos
+	return int(pos)
+}
+
+// CompressCyclesSegMax is CompressCyclesSeg fused with congestion
+// scoring: it additionally returns the maximum of loads over the
+// surviving edges (loads is indexed by EdgeID, the layout of a
+// metrics.LiveLoads snapshot; nil scores 0). The surviving hops pass 2
+// re-walks are exactly the compressed path's edges, so the score comes
+// out of the excision walk itself — the k-sample engine never expands
+// or re-scans a candidate. Because its caller races k candidates and
+// discards all but one, the result's Segs ALIAS buf rather than being
+// exact-size copied; the caller owns copying whichever candidate it
+// commits (and must not reuse buf while the result is live).
+func (m *Mesh) CompressCyclesSegMax(start NodeID, segs []Seg, cb *CycleBuf, buf []Seg, loads []int64) (SegPath, []Seg, int64) {
+	total := m.stampWalk(start, segs, cb)
+	last, prefix := cb.last, cb.prefix[:len(segs)+1]
+
+	// Pass 2 of CompressCyclesSeg with one read fused into each
+	// surviving hop: the edge just traversed is base+u for a
+	// positive-direction hop (read before the cursor moves, exactly
+	// AddRun's booking convention) and base+u after the move for a
+	// negative one — in both cases the endpoint the positive traversal
+	// leaves from, which is how EdgeID names the edge.
+	var maxLoad int64
+	out := buf[:0]
+	i := int(last[start])
+	u := int(start)
+	r := 0
+	for i < total {
+		for int(prefix[r+1]) <= i {
+			r++
+		}
+		sg := segs[r]
+		dim := int(sg.Dim)
+		s := m.dims[dim]
+		st := m.strides[dim]
+		base := dim * m.size
+		next := int(prefix[r+1])
+		runDir := int32(1)
+		step := st
+		if sg.Run < 0 {
+			runDir, step = -1, -st
+		}
+		if !m.wrapDim(dim) {
+			for i < next {
+				stretch := int32(0)
+				for i < next {
+					e := base + u
+					if step < 0 {
+						e += step
+					}
+					u += step
+					stretch++
+					i++
+					if loads != nil && loads[e] > maxLoad {
+						maxLoad = loads[e]
+					}
+					if j := int(last[u]); j > i {
+						i = j
+						break
+					}
+				}
+				if n := len(out); n > 0 && out[n-1].Dim == sg.Dim && (out[n-1].Run > 0) == (runDir > 0) {
+					out[n-1].Run += stretch * runDir
+				} else {
+					out = append(out, Seg{Dim: sg.Dim, Run: stretch * runDir})
+				}
+			}
+			continue
+		}
+		ci := (u / st) % s
+		for i < next {
+			e := u
+			switch {
+			case runDir > 0 && ci < s-1:
+				u += st
+				ci++
+			case runDir > 0:
+				u -= (s - 1) * st
+				ci = 0
+			case ci > 0:
+				u -= st
+				ci--
+				e = u
+			default:
+				u += (s - 1) * st
+				ci = s - 1
+				e = u
+			}
+			if loads != nil && loads[base+e] > maxLoad {
+				maxLoad = loads[base+e]
+			}
+			if n := len(out); n > 0 && out[n-1].Dim == sg.Dim && (out[n-1].Run > 0) == (runDir > 0) {
+				out[n-1].Run += runDir
+			} else {
+				out = append(out, Seg{Dim: sg.Dim, Run: runDir})
+			}
+			i++
+			if j := int(last[u]); j > i {
+				i = j // u is unchanged, so ci stays valid if we remain in this run
+			}
+		}
+	}
+	sp := SegPath{Start: start}
+	if len(out) > 0 {
+		sp.Segs = out
+	}
+	return sp, out, maxLoad
 }

@@ -71,6 +71,83 @@ func (l *LiveLoads) AddRun(m *mesh.Mesh, tag uint64, start mesh.NodeID, dim, run
 	return mesh.NodeID(u)
 }
 
+// MaxLoadRun returns the maximum load over the edges of one
+// axis-aligned run of |run| steps from start along dim against a plain
+// load vector (a LiveLoads Snapshot, indexed by mesh.EdgeID), plus the
+// node the run ends at so consecutive runs chain. It walks exactly the
+// edges AddRun would book — same stride arithmetic, same canonical-run
+// panics — but reads instead of writing, which is what the k-sample
+// selection mode uses to score candidate paths against a frozen
+// congestion snapshot without expanding them.
+func MaxLoadRun(m *mesh.Mesh, loads []int64, start mesh.NodeID, dim, run int) (int64, mesh.NodeID) {
+	if run == 0 {
+		return 0, start
+	}
+	s := m.Side(dim)
+	st := m.Stride(dim)
+	wrap := m.WrapDim(dim)
+	base := dim * m.Size()
+	u := int(start)
+	ci := (u / st) % s
+	steps, dir := run, 1
+	if steps < 0 {
+		steps, dir = -steps, -1
+	}
+	if wrap && steps >= s {
+		panic("metrics: run laps the ring")
+	}
+	var max int64
+	for k := 0; k < steps; k++ {
+		var e int
+		switch {
+		case dir > 0 && ci < s-1:
+			e = base + u
+			u += st
+			ci++
+		case dir > 0 && wrap:
+			e = base + u
+			u -= (s - 1) * st
+			ci = 0
+		case dir < 0 && ci > 0:
+			u -= st
+			ci--
+			e = base + u
+		case dir < 0 && wrap:
+			u += (s - 1) * st
+			ci = s - 1
+			e = base + u
+		default:
+			panic("metrics: run leaves the mesh")
+		}
+		if v := loads[e]; v > max {
+			max = v
+		}
+	}
+	return max, mesh.NodeID(u)
+}
+
+// SegPathMaxLoad returns the maximum load any edge of a run-length
+// path carries in a plain load vector (indexed by mesh.EdgeID) — the
+// candidate score of the k-sample selection mode: routing along sp
+// would raise the maximum load on its own edges to at least
+// SegPathMaxLoad+1. Computed run by run with MaxLoadRun, no expansion.
+// An empty or sentinel (Start < 0) path scores 0.
+func SegPathMaxLoad(m *mesh.Mesh, loads []int64, sp mesh.SegPath) int64 {
+	if sp.Start < 0 {
+		return 0
+	}
+	var max int64
+	u := sp.Start
+	for _, sg := range sp.Segs {
+		v, end := MaxLoadRun(m, loads, u, int(sg.Dim), int(sg.Run))
+		if v > max {
+			max = v
+		}
+		u = end
+	}
+	return max
+}
+
 // AddSegPath records every edge of one run-length path under one tag —
 // the fused accounting step of a segment-native live router, the
 // counterpart of AddPath without the per-hop decode.

@@ -21,10 +21,34 @@ import (
 // pairs across >1k requests — and demands the acceptance property:
 // below the shed threshold, zero dropped responses, and the /metrics
 // counters agree exactly with the client's observed totals.
+//
+// The matrix covers every chain backend (the test historically ran
+// only the default table backend, leaving ChainSource=none untested
+// under load) plus a k-sample arm, whose books must balance just as
+// exactly: semi-oblivious re-draws change which path each packet
+// takes, never how many packets or traversals are accounted.
 func TestLoadLoopback(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		chain   string
+		ksample int
+	}{
+		{"table", "table", 1},
+		{"cache", "cache", 1},
+		{"none", "none", 1},
+		{"ksample4", "table", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runLoadLoopback(t, tc.chain, tc.ksample)
+		})
+	}
+}
+
+func runLoadLoopback(t *testing.T, chain string, ksample int) {
 	m := mesh.MustSquare(2, 16)
 	srv, ts := newTestServer(t, Config{
 		Mesh: m, Seed: 3,
+		ChainSource: chain, KSample: ksample,
 		// Generous limits: this test runs below the shed threshold.
 		MaxInFlight: 64, MaxQueue: 4096,
 		RequestTimeout: 30 * time.Second,
@@ -165,6 +189,29 @@ func TestLoadLoopback(t *testing.T) {
 	}
 	if got := scraped["meshrouted_live_traversals_total"]; got != float64(gotEdges) {
 		t.Fatalf("metrics live_traversals_total %v, client observed %d", got, gotEdges)
+	}
+
+	// The k-sample counters must balance too: every routed packet draws
+	// exactly k candidates, and the committed score can never exceed the
+	// default candidate's. At k=1 the section is absent entirely.
+	if ksample <= 1 {
+		if _, ok := scraped["meshrouted_ksample_k"]; ok {
+			t.Fatal("ksample metrics exposed on a k=1 server")
+		}
+		return
+	}
+	if got := scraped["meshrouted_ksample_k"]; got != float64(ksample) {
+		t.Fatalf("metrics ksample_k %v, configured %d", got, ksample)
+	}
+	if got := scraped["meshrouted_ksample_candidates_total"]; got != float64(int64(ksample)*gotRoutes) {
+		t.Fatalf("metrics candidates_total %v, want k*routes = %d", got, int64(ksample)*gotRoutes)
+	}
+	wins := scraped["meshrouted_ksample_redraw_wins_total"]
+	if wins < 0 || wins > float64(int64(ksample-1)*gotRoutes) {
+		t.Fatalf("metrics redraw_wins_total %v out of [0, (k-1)*routes]", wins)
+	}
+	if c, f := scraped["meshrouted_ksample_commit_score_sum"], scraped["meshrouted_ksample_first_score_sum"]; c > f {
+		t.Fatalf("commit score sum %v exceeds first-candidate sum %v", c, f)
 	}
 }
 

@@ -4,10 +4,37 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
+	"obliviousmesh/internal/core"
 	"obliviousmesh/internal/metrics"
 )
+
+// ksampleCounters accumulates the sampling stats of every k>1 routing
+// request — fed chunk by chunk from core.KStats, read on /metrics.
+// All fields are atomics, so feeding and scraping never contend.
+type ksampleCounters struct {
+	candidates     atomic.Int64
+	redrawWins     atomic.Int64
+	commitScoreSum atomic.Int64
+	firstScoreSum  atomic.Int64
+	maxCommitScore atomic.Int64
+}
+
+// add folds one engine call's sampling stats into the counters.
+func (c *ksampleCounters) add(ks core.KStats) {
+	c.candidates.Add(ks.Candidates)
+	c.redrawWins.Add(ks.RedrawWins)
+	c.commitScoreSum.Add(ks.CommitScoreSum)
+	c.firstScoreSum.Add(ks.FirstScoreSum)
+	for {
+		cur := c.maxCommitScore.Load()
+		if ks.MaxCommitScore <= cur || c.maxCommitScore.CompareAndSwap(cur, ks.MaxCommitScore) {
+			return
+		}
+	}
+}
 
 // handleMetrics renders the live counters in a flat text exposition
 // (Prometheus-style `name{labels} value` lines): per-endpoint request
@@ -59,6 +86,19 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for rank, el := range metrics.TopLoads(snap, s.cfg.TopK) {
 		fmt.Fprintf(w, "meshrouted_edge_load{rank=\"%d\",edge=%q} %d\n",
 			rank, s.m.EdgeString(el.Edge), el.Load)
+	}
+
+	// Semi-oblivious sampling (KSample > 1): how many candidates were
+	// drawn, how often a re-draw beat candidate 0, and the committed
+	// score distribution (sum, candidate-0 sum for the avoided
+	// congestion, and max).
+	if s.cfg.KSample > 1 {
+		fmt.Fprintf(w, "meshrouted_ksample_k %d\n", s.cfg.KSample)
+		fmt.Fprintf(w, "meshrouted_ksample_candidates_total %d\n", s.kc.candidates.Load())
+		fmt.Fprintf(w, "meshrouted_ksample_redraw_wins_total %d\n", s.kc.redrawWins.Load())
+		fmt.Fprintf(w, "meshrouted_ksample_commit_score_sum %d\n", s.kc.commitScoreSum.Load())
+		fmt.Fprintf(w, "meshrouted_ksample_first_score_sum %d\n", s.kc.firstScoreSum.Load())
+		fmt.Fprintf(w, "meshrouted_ksample_commit_score_max %d\n", s.kc.maxCommitScore.Load())
 	}
 
 	if cs, ok := s.sel.ChainCacheStats(); ok {

@@ -66,6 +66,13 @@ type Config struct {
 	// The binary wire formats are unaffected — they are chosen per
 	// request.
 	PathFormat string
+	// KSample is the semi-oblivious candidate count: each packet draws
+	// KSample independent algorithm-H candidates and commits the one
+	// least loaded under a live-congestion snapshot. 0 and 1 (the
+	// default) serve pure algorithm H; negative is rejected. Snapshots
+	// refresh per batch chunk, so routing stays deterministic within a
+	// chunk while later chunks see the load earlier ones booked.
+	KSample int
 
 	// MaxInFlight is the number of routing requests allowed to execute
 	// concurrently (default 2×GOMAXPROCS).
@@ -106,6 +113,12 @@ func (c *Config) fill() error {
 	}
 	if _, err := core.ParseChainSource(c.ChainSource); err != nil {
 		return fmt.Errorf("server: Config.ChainSource: %w", err)
+	}
+	if c.KSample < 0 {
+		return fmt.Errorf("server: Config.KSample must be >= 0 (got %d)", c.KSample)
+	}
+	if c.KSample == 0 {
+		c.KSample = 1
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
@@ -150,6 +163,7 @@ type Server struct {
 
 	routeC metrics.ServerCounters
 	batchC metrics.ServerCounters
+	kc     ksampleCounters
 }
 
 // New builds a Server (and its Selector) from cfg.
@@ -164,7 +178,7 @@ func New(cfg Config) (*Server, error) {
 	src, _ := core.ParseChainSource(cfg.ChainSource) // validated by fill
 	sel, err := core.NewSelector(cfg.Mesh, core.Options{
 		Variant: v, Seed: cfg.Seed, DisableChainCache: cfg.DisableChainCache,
-		ChainSource: src,
+		ChainSource: src, KSample: cfg.KSample,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -315,14 +329,87 @@ func (s *Server) doRoute(w http.ResponseWriter, r *http.Request) (code int, rout
 		return http.StatusBadRequest, 0, 0
 	}
 	stream := atomic.AddUint64(&s.streams, 1) - 1
-	p := s.sel.Path(mesh.NodeID(req.S), mesh.NodeID(req.T), stream)
-	s.live.AddPath(s.m, stream, p)
+	var p mesh.Path
+	if s.cfg.KSample > 1 {
+		// Semi-oblivious single route: score the candidates against the
+		// tracker as it stands right now, commit, book the winner.
+		sp, _, ks := s.sel.KSegPath(mesh.NodeID(req.S), mesh.NodeID(req.T), stream, s.live.Snapshot())
+		s.kc.add(ks)
+		s.live.AddSegPath(s.m, stream, sp)
+		p = sp.Expand(s.m)
+	} else {
+		p = s.sel.Path(mesh.NodeID(req.S), mesh.NodeID(req.T), stream)
+		s.live.AddPath(s.m, stream, p)
+	}
 	resp := routeResponse{Stream: stream, Path: make([]int, len(p))}
 	for i, n := range p {
 		resp.Path[i] = int(n)
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, 1, int64(p.Len())
+}
+
+// kreq is the per-request state of a k>1 batch: the congestion
+// snapshot candidates are scored against — refreshed at the top of
+// every chunk, so selection is deterministic within a chunk while
+// later chunks see the load earlier chunks booked — plus run-length
+// scratch for the hop formats. A k<=1 server routes with kreq nil and
+// the plain oblivious engines.
+type kreq struct {
+	snap []int64
+	sps  []mesh.SegPath
+}
+
+// newKreq returns the k-sample request state, nil when the server
+// serves pure algorithm H.
+func (s *Server) newKreq() *kreq {
+	if s.cfg.KSample <= 1 {
+		return nil
+	}
+	return &kreq{}
+}
+
+// refresh re-snapshots the live tracker into the request's buffer.
+func (k *kreq) refresh(s *Server) {
+	if k.snap == nil {
+		k.snap = make([]int64, s.m.EdgeSpace())
+	}
+	s.live.SnapshotInto(k.snap)
+}
+
+// selectChunkSegs routes pairs[lo:hi] into sps[lo:hi] with the plain
+// segment engine, or — when the server samples — with the k-sample
+// engine against a freshly refreshed snapshot, folding the sampling
+// stats into the /metrics counters.
+func (s *Server) selectChunkSegs(kq *kreq, pairs []mesh.Pair, lo, hi int, sps []mesh.SegPath, hooks core.SegHooks) {
+	if kq == nil {
+		s.sel.SelectRangeParallelSegInto(pairs, lo, hi, s.cfg.BatchWorkers, sps, hooks)
+		return
+	}
+	kq.refresh(s)
+	_, ks := s.sel.SelectRangeParallelKSegInto(pairs, kq.snap, lo, hi, s.cfg.BatchWorkers, sps,
+		core.KSegHooks{Edge: hooks.Edge, Seg: hooks.Seg})
+	s.kc.add(ks)
+}
+
+// selectChunkHops is selectChunkSegs for the hop formats: a sampling
+// server routes run-length candidates and expands only the committed
+// paths into paths[lo:hi].
+func (s *Server) selectChunkHops(kq *kreq, pairs []mesh.Pair, lo, hi int, paths []mesh.Path, hooks core.Hooks) {
+	if kq == nil {
+		s.sel.SelectRangeParallelInto(pairs, lo, hi, s.cfg.BatchWorkers, paths, hooks)
+		return
+	}
+	if kq.sps == nil {
+		kq.sps = make([]mesh.SegPath, len(pairs))
+	}
+	kq.refresh(s)
+	_, ks := s.sel.SelectRangeParallelKSegInto(pairs, kq.snap, lo, hi, s.cfg.BatchWorkers, kq.sps,
+		core.KSegHooks{Edge: hooks.Edge})
+	s.kc.add(ks)
+	for i := lo; i < hi; i++ {
+		paths[i] = kq.sps[i].Expand(s.m)
+	}
 }
 
 // batchRequest is the /v1/batch body.
@@ -397,11 +484,12 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 		return http.StatusBadRequest, 0, 0
 	}
 
+	kq := s.newKreq()
 	if format == "wire2" {
-		return s.streamBatchSegWire(ctx, w, pairs)
+		return s.streamBatchSegWire(ctx, w, kq, pairs)
 	}
 	if format == "json" && s.cfg.PathFormat == "segments" {
-		return s.jsonBatchSeg(ctx, w, pairs)
+		return s.jsonBatchSeg(ctx, w, kq, pairs)
 	}
 
 	// Fused routing+accounting: every edge crossing lands in the live
@@ -413,7 +501,7 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 	paths := make([]mesh.Path, len(pairs))
 
 	if format == "wire" {
-		return s.streamBatchWire(ctx, w, pairs, paths, hooks)
+		return s.streamBatchWire(ctx, w, kq, pairs, paths, hooks)
 	}
 
 	// Deadline-checked slices: the context is consulted every
@@ -432,7 +520,7 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 		if hi > len(pairs) {
 			hi = len(pairs)
 		}
-		s.sel.SelectRangeParallelInto(pairs, lo, hi, s.cfg.BatchWorkers, paths, hooks)
+		s.selectChunkHops(kq, pairs, lo, hi, paths, hooks)
 	}
 	resp := batchResponse{Paths: make([][]int, len(paths))}
 	for i, p := range paths {
@@ -452,7 +540,7 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 // chunks. If the deadline passes mid-stream the response ends without
 // the checksum trailer, which the client's decoder rejects — a
 // truncated stream can never be mistaken for a complete one.
-func (s *Server) streamBatchWire(ctx context.Context, w http.ResponseWriter, pairs []mesh.Pair, paths []mesh.Path, hooks core.Hooks) (code int, routes, edges int64) {
+func (s *Server) streamBatchWire(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair, paths []mesh.Path, hooks core.Hooks) (code int, routes, edges int64) {
 	w.Header().Set("Content-Type", serial.WireContentType)
 	w.WriteHeader(http.StatusOK)
 	enc, err := serial.NewWireEncoder(w, s.m, len(pairs))
@@ -468,7 +556,7 @@ func (s *Server) streamBatchWire(ctx context.Context, w http.ResponseWriter, pai
 		if hi > len(pairs) {
 			hi = len(pairs)
 		}
-		s.sel.SelectRangeParallelInto(pairs, lo, hi, s.cfg.BatchWorkers, paths, hooks)
+		s.selectChunkHops(kq, pairs, lo, hi, paths, hooks)
 		for _, p := range paths[lo:hi] {
 			if err := enc.Encode(p); err != nil {
 				return http.StatusInternalServerError, routes, edges
@@ -506,7 +594,7 @@ type segBatchResponse struct {
 // jsonBatchSeg routes the batch with the segment-native engine and
 // answers with flat run-length records — the deadline-checked chunking
 // of the hop JSON path, minus the per-hop expansion.
-func (s *Server) jsonBatchSeg(ctx context.Context, w http.ResponseWriter, pairs []mesh.Pair) (code int, routes, edges int64) {
+func (s *Server) jsonBatchSeg(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair) (code int, routes, edges int64) {
 	sps := make([]mesh.SegPath, len(pairs))
 	hooks := s.segLiveHooks()
 	for lo := 0; lo < len(pairs); lo += s.cfg.BatchChunk {
@@ -521,7 +609,7 @@ func (s *Server) jsonBatchSeg(ctx context.Context, w http.ResponseWriter, pairs 
 		if hi > len(pairs) {
 			hi = len(pairs)
 		}
-		s.sel.SelectRangeParallelSegInto(pairs, lo, hi, s.cfg.BatchWorkers, sps, hooks)
+		s.selectChunkSegs(kq, pairs, lo, hi, sps, hooks)
 	}
 	resp := segBatchResponse{SegPaths: make([][]int, len(sps))}
 	for i, sp := range sps {
@@ -541,7 +629,7 @@ func (s *Server) jsonBatchSeg(ctx context.Context, w http.ResponseWriter, pairs 
 // and streams each chunk in the run-length wire format as soon as it
 // is selected — streamBatchWire without ever materializing hop paths.
 // A mid-stream deadline again truncates before the checksum trailer.
-func (s *Server) streamBatchSegWire(ctx context.Context, w http.ResponseWriter, pairs []mesh.Pair) (code int, routes, edges int64) {
+func (s *Server) streamBatchSegWire(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair) (code int, routes, edges int64) {
 	w.Header().Set("Content-Type", serial.WireSegContentType)
 	w.WriteHeader(http.StatusOK)
 	enc, err := serial.NewWireSegEncoder(w, s.m, len(pairs))
@@ -559,7 +647,7 @@ func (s *Server) streamBatchSegWire(ctx context.Context, w http.ResponseWriter, 
 		if hi > len(pairs) {
 			hi = len(pairs)
 		}
-		s.sel.SelectRangeParallelSegInto(pairs, lo, hi, s.cfg.BatchWorkers, sps, hooks)
+		s.selectChunkSegs(kq, pairs, lo, hi, sps, hooks)
 		for _, sp := range sps[lo:hi] {
 			if err := enc.Encode(sp); err != nil {
 				return http.StatusInternalServerError, routes, edges
@@ -586,6 +674,9 @@ type meshResponse struct {
 	MaxBatch int             `json:"maxBatch"`
 	// PathFormat is the configured JSON path representation.
 	PathFormat string `json:"pathFormat"`
+	// KSample is the semi-oblivious candidate count; 1 means pure
+	// algorithm H and full replica reproducibility.
+	KSample int `json:"ksample"`
 	// Formats lists the /v1/batch encodings this daemon speaks; clients
 	// use it to negotiate wire2 (absent on older daemons).
 	Formats []string `json:"formats"`
@@ -606,6 +697,7 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		Variant:    variant,
 		MaxBatch:   s.cfg.MaxBatch,
 		PathFormat: s.cfg.PathFormat,
+		KSample:    s.cfg.KSample,
 		Formats:    []string{"json", "wire", "wire2"},
 	})
 }

@@ -67,6 +67,10 @@ type (
 	// ChainSource selects the router's chain backend: the sharded LRU
 	// cache, the compiled routing table, or per-packet recomputation.
 	ChainSource = core.ChainSource
+	// KSampleStats is the sampling accounting of the semi-oblivious
+	// k-sample mode: candidates drawn, re-draw wins, and the committed
+	// snapshot-score distribution.
+	KSampleStats = core.KStats
 )
 
 // Chain-source values for RouterOptions.ChainSource. All three backends
@@ -106,6 +110,14 @@ type RouterOptions struct {
 	// ChainSourceNone recomputes per packet. The default follows
 	// DisableChainCache. Every backend selects byte-identical paths.
 	ChainSource ChainSource
+	// KSample enables semi-oblivious k-sample selection: each packet
+	// draws KSample independent algorithm-H candidates and the
+	// load-aware entry points (SelectAllSegTracked) commit the one with
+	// the least maximum live edge load, ties broken by candidate index.
+	// 0 and 1 mean pure algorithm H — byte-identical paths to an
+	// unsampled router. The plain selection methods stay oblivious
+	// regardless of KSample.
+	KSample int
 }
 
 // NewMesh constructs a d-dimensional mesh with equal side lengths.
@@ -130,6 +142,7 @@ func NewRouter(m *Mesh, opt RouterOptions) (*Router, error) {
 		Variant: v, Seed: opt.Seed,
 		DisableChainCache: opt.DisableChainCache,
 		ChainSource:       opt.ChainSource,
+		KSample:           opt.KSample,
 	})
 }
 
@@ -204,15 +217,37 @@ func SelectAllObserved(r *Router, pairs []Pair, observe EdgeObserver) []Path {
 // contiguous-stride walk) instead of edge by edge. Expanding the
 // results yields exactly SelectAllTracked's paths, and live holds the
 // identical per-edge loads.
+//
+// With RouterOptions.KSample > 1 the call is semi-oblivious: live is
+// snapshotted once at entry, every packet draws KSample candidates and
+// commits the least-loaded one under that frozen snapshot (ties to the
+// lowest candidate index), and the committed paths are accounted into
+// live as usual. The snapshot freeze keeps the call deterministic for
+// any worker count; load feedback accrues BETWEEN calls — successive
+// calls against the same tracker see each other's traffic.
 func SelectAllSegTracked(r *Router, pairs []Pair, live *LiveLoads) []SegPath {
+	sps, _ := SelectAllKSegTracked(r, pairs, live)
+	return sps
+}
+
+// SelectAllKSegTracked is SelectAllSegTracked plus the sampling
+// accounting: how many candidates were drawn, how often a re-draw beat
+// candidate 0, and the committed score distribution. At KSample ≤ 1
+// the stats degenerate (one candidate per packet, zero re-draw wins)
+// and the paths are pure algorithm H.
+func SelectAllKSegTracked(r *Router, pairs []Pair, live *LiveLoads) ([]SegPath, KSampleStats) {
 	m := r.Mesh()
+	var snapshot []int64
+	if r.Options().KSample > 1 {
+		snapshot = live.Snapshot()
+	}
 	sps := make([]SegPath, len(pairs))
-	r.SelectAllParallelSegInto(pairs, 0, sps, core.SegHooks{
+	_, ks := r.SelectAllParallelKSegInto(pairs, snapshot, 0, sps, core.KSegHooks{
 		Seg: func(pkt int, _ Pair, sp SegPath, _ RouterStats) {
 			live.AddSegPath(m, uint64(pkt), sp)
 		},
 	})
-	return sps
+	return sps, ks
 }
 
 // EvaluateSeg computes the §2 report of a run-length path set — equal
