@@ -31,12 +31,13 @@ FUZZ_ONLY ?= $(FUZZ_TARGETS)
 
 .PHONY: build test vet race fuzz verify bench bench-json bench-smoke serve-smoke cover
 
-# Committed benchmark baseline for the k-sample selection PR: headline
-# Path/SelectAll/SelectAllSeg/KSample benchmarks plus the loopback
-# ServerBatch benchmark rendered to JSON (ns/op, B/op, allocs/op) via
-# cmd/benchjson. Compare against BENCH_PR6.json for the numbers before
-# semi-oblivious best-of-k selection landed.
-BENCH_JSON ?= BENCH_PR7.json
+# Committed benchmark baseline for the pipelined serve-path PR:
+# headline Path/SelectAll/SelectAllSeg/KSample benchmarks plus the
+# loopback ServerBatch and handler-level ServerBatchPipeline
+# benchmarks rendered to JSON (ns/op, B/op, allocs/op) via
+# cmd/benchjson. Compare against BENCH_PR7.json for the numbers before
+# the chunk-streamed select/encode pipeline landed.
+BENCH_JSON ?= BENCH_PR8.json
 
 build:
 	$(GO) build ./...
@@ -79,12 +80,15 @@ bench-json:
 # hop baseline (< 2909 B/op) — and the routing-table dispatch budget:
 # warm table-mode SelectAllSeg on side 256 must beat the warm chain
 # cache by >= 2x — and the k-sample budget: best-of-4 selection must
-# cost <= 4.5x the k=1 baseline.
+# cost <= 4.5x the k=1 baseline — and the serve-path budget: the
+# pipelined wire2 handler must allocate <= 0.5x the bytes per request
+# of the batch-then-encode loop on the side-256 mesh.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^TestBenchGatePathSelect2D$$' -v .
 	$(GO) test -run '^TestBenchGateSelectAllSegTable$$' -v ./internal/core
 	$(GO) test -run '^TestBenchGateKSample$$' -v ./internal/core
+	$(GO) test -run '^TestBenchGateServerPipeline$$' -v ./internal/server
 
 # End-to-end daemon gate: builds the real meshrouted binary, boots it
 # on a random port, routes a batch through the typed client over both

@@ -199,7 +199,11 @@ func (c *Client) RouteBatchWire(ctx context.Context, pairs []Pair) ([]Path, erro
 	var paths []Path
 	err = c.do(ctx, http.MethodPost, "/v1/batch?format=wire", blob, serial.WireContentType,
 		func(body io.Reader) error {
-			ps, err := serial.DecodeWire(body, m, len(pairs))
+			// Cap the read at the largest stream the decoder could accept
+			// for this pair count, so a lying server cannot balloon client
+			// memory by streaming forever.
+			lr := io.LimitReader(body, serial.MaxWireBytes(m, len(pairs)))
+			ps, err := serial.DecodeWire(lr, m, len(pairs))
 			if err != nil {
 				return fmt.Errorf("meshrouted: decode wire response: %w", err)
 			}
@@ -219,33 +223,68 @@ func (c *Client) RouteBatchWire(ctx context.Context, pairs []Pair) ([]Path, erro
 // returns the paths as segments, never expanding: the cheapest way to
 // move a large batch when the caller can consume runs directly
 // (LiveLoads.AddSegPath, metrics EvaluateSeg, SegPath.Expand on
-// demand). Fails on daemons that do not advertise wire2.
+// demand). The response is decoded incrementally — only the result
+// slice itself grows with the batch, never a second whole-body buffer.
+// Fails on daemons that do not advertise wire2.
 func (c *Client) RouteBatchSeg(ctx context.Context, pairs []Pair) ([]SegPath, error) {
+	sps := make([]SegPath, 0, len(pairs))
+	if err := c.RouteBatchSegFunc(ctx, pairs, func(_ int, sp SegPath) error {
+		sps = append(sps, sp)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return sps, nil
+}
+
+// RouteBatchSegFunc is the streaming form of RouteBatchSeg: fn
+// receives path i for pairs[i] as soon as it is decoded and validated,
+// so a consumer that processes paths on the fly (a gateway fanning a
+// batch back out, a tracker booking loads) holds O(1) paths of memory
+// regardless of batch size. Body reads are capped by the largest
+// stream the declared pair count permits, so a lying server cannot
+// balloon client memory.
+//
+// Delivery is at-most-once per path: retries happen only before the
+// server commits a success status, and any error after delivery starts
+// — including fn's own, which is returned verbatim — aborts the call
+// without re-invoking fn for already-delivered paths. The checksum
+// trailer is only verified once every path has been delivered, so
+// consumers needing end-to-end integrity before acting must buffer
+// (RouteBatchSeg does exactly that).
+func (c *Client) RouteBatchSegFunc(ctx context.Context, pairs []Pair, fn func(i int, sp SegPath) error) error {
 	m, err := c.Mesh(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	blob, err := marshalPairs(pairs)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var sps []SegPath
-	err = c.do(ctx, http.MethodPost, "/v1/batch?format=wire2", blob, serial.WireSegContentType,
+	return c.do(ctx, http.MethodPost, "/v1/batch?format=wire2", blob, serial.WireSegContentType,
 		func(body io.Reader) error {
-			ps, err := serial.DecodeWireSeg(body, m, len(pairs))
+			lr := io.LimitReader(body, serial.MaxWireSegBytes(m, len(pairs)))
+			dec, err := serial.NewWireSegDecoder(lr, m, len(pairs))
 			if err != nil {
 				return fmt.Errorf("meshrouted: decode wire2 response: %w", err)
 			}
-			sps = ps
+			if dec.Count() != len(pairs) {
+				return fmt.Errorf("meshrouted: got %d paths for %d pairs", dec.Count(), len(pairs))
+			}
+			for i := 0; i < len(pairs); i++ {
+				sp, err := dec.Next()
+				if err != nil {
+					return fmt.Errorf("meshrouted: decode wire2 response: %w", err)
+				}
+				if err := fn(i, sp); err != nil {
+					return err
+				}
+			}
+			if err := dec.Close(); err != nil {
+				return fmt.Errorf("meshrouted: decode wire2 response: %w", err)
+			}
 			return nil
 		})
-	if err != nil {
-		return nil, err
-	}
-	if len(sps) != len(pairs) {
-		return nil, fmt.Errorf("meshrouted: got %d paths for %d pairs", len(sps), len(pairs))
-	}
-	return sps, nil
 }
 
 // Info fetches /v1/mesh (cached after the first success).

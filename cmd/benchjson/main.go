@@ -24,16 +24,17 @@ import (
 	"strings"
 )
 
-// Result is one benchmark line. BytesPerOp/AllocsPerOp are -1 when the
-// run did not use -benchmem (the fields are then omitted from JSON via
-// pointer indirection in record).
+// Result is one benchmark line. BytesPerOp/AllocsPerOp are nil when
+// the run did not use -benchmem (the fields are then omitted from
+// JSON). Extra holds any b.ReportMetric columns (e.g. "routes/op").
 type Result struct {
-	Name        string  `json:"name"`
-	Pkg         string  `json:"pkg,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the top-level JSON document.
@@ -44,11 +45,14 @@ type File struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-// benchLine matches e.g.
+// benchLine matches the name and iteration count of e.g.
 //
 //	BenchmarkSelectAll/2d-side32/cached-8   434   2749454 ns/op   91161 B/op   1024 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+//
+// The metric columns that follow are "<value> <unit>" pairs scanned
+// by record, so custom b.ReportMetric units (say "routes/op") cannot
+// shift B/op out of a positional match.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(\S.*)$`)
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
@@ -124,24 +128,36 @@ func record(m []string, pkg string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ns, err := strconv.ParseFloat(m[3], 64)
-	if err != nil {
-		return Result{}, err
+	r := Result{Name: m[1], Pkg: pkg, Iterations: iters}
+	fields := strings.Fields(m[3])
+	if len(fields)%2 != 0 {
+		return Result{}, fmt.Errorf("odd metric column count %d", len(fields))
 	}
-	r := Result{Name: m[1], Pkg: pkg, Iterations: iters, NsPerOp: ns}
-	if m[4] != "" {
-		b, err := strconv.ParseInt(m[4], 10, 64)
+	sawNs := false
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			return Result{}, err
 		}
-		r.BytesPerOp = &b
-	}
-	if m[5] != "" {
-		a, err := strconv.ParseInt(m[5], 10, 64)
-		if err != nil {
-			return Result{}, err
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b := int64(v)
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(v)
+			r.AllocsPerOp = &a
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
 		}
-		r.AllocsPerOp = &a
+	}
+	if !sawNs {
+		return Result{}, fmt.Errorf("no ns/op column")
 	}
 	return r, nil
 }

@@ -20,6 +20,8 @@ PASS
 ok  	obliviousmesh/internal/core	4.919s
 pkg: obliviousmesh
 BenchmarkRoutePermutation-8                   	      10	 104000000 ns/op
+pkg: obliviousmesh/internal/server
+BenchmarkServerBatchPipeline/side256/pipelined-8 	     255	   4553860 ns/op	      2048 routes/op	    7298 B/op	     118 allocs/op
 PASS
 `
 
@@ -31,8 +33,8 @@ func TestParse(t *testing.T) {
 	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "Imaginary CPU @ 3.0GHz" {
 		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
 	}
-	if len(doc.Benchmarks) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(doc.Benchmarks))
 	}
 	b := doc.Benchmarks[0]
 	if b.Name != "BenchmarkSelectAll/2d-side32/cached-8" ||
@@ -46,10 +48,20 @@ func TestParse(t *testing.T) {
 	if b.AllocsPerOp == nil || *b.AllocsPerOp != 1024 {
 		t.Errorf("allocs/op = %v, want 1024", b.AllocsPerOp)
 	}
-	// Last result has no -benchmem columns and a later pkg header.
-	last := doc.Benchmarks[3]
-	if last.Pkg != "obliviousmesh" || last.BytesPerOp != nil || last.AllocsPerOp != nil {
-		t.Errorf("no-benchmem benchmark = %+v", last)
+	// Fourth result has no -benchmem columns and a later pkg header.
+	plain := doc.Benchmarks[3]
+	if plain.Pkg != "obliviousmesh" || plain.BytesPerOp != nil || plain.AllocsPerOp != nil {
+		t.Errorf("no-benchmem benchmark = %+v", plain)
+	}
+	// Last result carries a custom ReportMetric column; it must not
+	// displace the -benchmem columns, and it lands in Extra.
+	pipe := doc.Benchmarks[4]
+	if pipe.BytesPerOp == nil || *pipe.BytesPerOp != 7298 ||
+		pipe.AllocsPerOp == nil || *pipe.AllocsPerOp != 118 {
+		t.Errorf("benchmem columns after custom metric = %+v", pipe)
+	}
+	if pipe.Extra["routes/op"] != 2048 {
+		t.Errorf("extra metrics = %v, want routes/op 2048", pipe.Extra)
 	}
 }
 
@@ -67,8 +79,8 @@ func TestRunWritesFile(t *testing.T) {
 	if err := json.Unmarshal(blob, &doc); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if len(doc.Benchmarks) != 4 {
-		t.Errorf("round-tripped %d benchmarks, want 4", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 5 {
+		t.Errorf("round-tripped %d benchmarks, want 5", len(doc.Benchmarks))
 	}
 }
 

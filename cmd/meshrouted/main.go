@@ -10,7 +10,13 @@
 //	           [-max-inflight 0] [-max-queue 0] [-max-batch 65536]
 //	           [-workers 4] [-timeout 10s] [-drain-timeout 30s]
 //	           [-pathfmt hops] [-nochaincache] [-chainsource table]
-//	           [-ksample 1]
+//	           [-ksample 1] [-pprof] [-nopipeline]
+//
+// -pprof mounts net/http/pprof under /debug/pprof/ on this server's
+// mux (never the global one); it is off by default and should stay off
+// on untrusted networks. -nopipeline reverts ?format=wire2 batches to
+// the sequential batch-then-encode loop — a kill switch; the bytes
+// served are identical either way.
 //
 // -ksample k > 1 switches the daemon to semi-oblivious selection: each
 // packet draws k independent algorithm-H candidate paths and commits
@@ -47,6 +53,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -79,6 +86,8 @@ type config struct {
 	noChainCache bool
 	chainSource  string
 	ksample      int
+	pprof        bool
+	noPipeline   bool
 }
 
 // run is the testable body of the daemon: parse flags, bind, serve
@@ -105,6 +114,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&cfg.noChainCache, "nochaincache", false, "disable the (s,t)->chain memoization layer")
 	fs.StringVar(&cfg.chainSource, "chainsource", "", `chain backend: "cache" (sharded LRU), "table" (compiled routing table), or "none" (recompute per packet); empty follows -nochaincache`)
 	fs.IntVar(&cfg.ksample, "ksample", 1, "semi-oblivious candidates per packet: draw k algorithm-H paths, commit the least live-loaded (1 = pure algorithm H)")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; enable only on trusted networks)")
+	fs.BoolVar(&cfg.noPipeline, "nopipeline", false, "serve ?format=wire2 batches with the sequential batch-then-encode loop instead of the select/encode pipeline (identical bytes; kill switch)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -175,6 +186,7 @@ func serve(ctx context.Context, cfg config, stdout io.Writer) error {
 		RequestTimeout:    cfg.timeout,
 		PathFormat:        cfg.pathFmt,
 		KSample:           cfg.ksample,
+		DisablePipeline:   cfg.noPipeline,
 	})
 	if err != nil {
 		return err
@@ -184,7 +196,23 @@ func serve(ctx context.Context, cfg config, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if cfg.pprof {
+		// Mux-scoped, opt-in profiling: the pprof handlers are mounted on
+		// a wrapper mux rather than http.DefaultServeMux, so nothing else
+		// registered in the process leaks into this server and the
+		// routes exist only when -pprof was given (otherwise the service
+		// mux 404s /debug/pprof/ like any unknown path).
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	fmt.Fprintf(stdout, "meshrouted: %v seed=%d listening on http://%s\n",
 		m, cfg.seed, ln.Addr())
 

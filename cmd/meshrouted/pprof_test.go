@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPprofDisabledByDefault: without -pprof the debug routes must not
+// exist at all — a stock daemon exposes nothing an operator did not
+// ask for.
+func TestPprofDisabledByDefault(t *testing.T) {
+	baseURL, shutdown := bootDaemon(t, "-side", "4")
+	defer shutdown()
+	resp, err := http.Get(baseURL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without -pprof: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPprofEnabled: with -pprof the index serves, and the service
+// endpoints still work through the wrapping mux.
+func TestPprofEnabled(t *testing.T) {
+	baseURL, shutdown := bootDaemon(t, "-side", "4", "-pprof")
+	defer shutdown()
+
+	resp, err := http.Get(baseURL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ with -pprof: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index missing profiles:\n%s", body)
+	}
+
+	resp, err = http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz behind pprof mux: status %d", resp.StatusCode)
+	}
+}
+
+// TestNoPipelineFlagServes: -nopipeline boots and serves wire2 batches
+// through the sequential loop — the kill switch must stay a working
+// server, not just a parseable flag.
+func TestNoPipelineFlagServes(t *testing.T) {
+	baseURL, shutdown := bootDaemon(t, "-side", "4", "-nopipeline")
+	defer shutdown()
+	blob, _ := json.Marshal(map[string]any{"pairs": [][2]int{{0, 15}, {3, 12}}})
+	resp, err := http.Post(baseURL+"/v1/batch?format=wire2", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wire2 batch with -nopipeline: status %d (%s)", resp.StatusCode, body)
+	}
+	if !bytes.HasPrefix(body, []byte("OMP2")) {
+		t.Fatalf("-nopipeline response is not an OMP2 stream: %q...", body[:min(len(body), 8)])
+	}
+}

@@ -120,13 +120,22 @@ func (sel *Selector) ksample() int {
 // candidate 0 wins; k = 1 skips scoring entirely and is byte-identical
 // to constructSegInto.
 func (sel *Selector) selectKSegInto(s, t mesh.NodeID, stream uint64, snapshot []int64, sc *scratch) (mesh.SegPath, Stats, int, []int64) {
+	return sel.selectKSegArena(s, t, stream, snapshot, nil, sc)
+}
+
+// selectKSegArena is selectKSegInto with the committed copy placed by
+// the caller: a nil arena keeps the private heap copy, a non-nil one
+// carves the committed path's Segs from its slab. Candidate racing is
+// untouched — losers still live in the alternating scratch buffers —
+// so only the commit's destination changes.
+func (sel *Selector) selectKSegArena(s, t mesh.NodeID, stream uint64, snapshot []int64, ar *SegArena, sc *scratch) (mesh.SegPath, Stats, int, []int64) {
 	k := sel.ksample()
 	if cap(sc.scores) < k {
 		sc.scores = make([]int64, k)
 	}
 	scores := sc.scores[:k]
 	if k == 1 {
-		best, bestStats := sel.constructSegInto(s, t, stream, sc)
+		best, bestStats := sel.constructSegArena(s, t, stream, ar, sc)
 		scores[0] = 0
 		return best, bestStats, 0, scores
 	}
@@ -170,10 +179,7 @@ func (sel *Selector) selectKSegInto(s, t mesh.NodeID, stream uint64, snapshot []
 	}
 	sc.segs2, sc.segs3 = bufBest, bufCand
 	bestStats.RandomBits = totalBits
-	committed := mesh.SegPath{Start: best.Start}
-	if len(best.Segs) > 0 {
-		committed.Segs = append(make([]mesh.Seg, 0, len(best.Segs)), best.Segs...)
-	}
+	committed := mesh.SegPath{Start: best.Start, Segs: segCopy(ar, best.Segs)}
 	return committed, bestStats, bestIdx, scores
 }
 
@@ -254,6 +260,65 @@ func (sel *Selector) SelectRangeParallelKSegInto(pairs []mesh.Pair, snapshot []i
 	var ks KStats
 	agg := runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
 		wagg, wks := sel.selectKSegRange(pairs, snapshot, sps, wlo, whi, h)
+		mu.Lock()
+		ks.Merge(wks)
+		mu.Unlock()
+		return wagg
+	})
+	return agg, ks
+}
+
+// selectKSegRangeArena is selectKSegRange writing into a
+// chunk-relative slice (out[i-base] for packet i) with committed paths
+// carved from a leased arena — the per-worker body of
+// SelectChunkKSegArena.
+func (sel *Selector) selectKSegRangeArena(pairs []mesh.Pair, snapshot []int64, out []mesh.SegPath, base, lo, hi int, ag *SegArenaGroup, h KSegHooks) (Aggregate, KStats) {
+	sc := sel.getScratch()
+	defer sel.putScratch(sc)
+	var ar *SegArena
+	if ag != nil {
+		ar = ag.get()
+		defer ag.put(ar)
+	}
+	k := sel.ksample()
+	var agg Aggregate
+	var ks KStats
+	for i := lo; i < hi; i++ {
+		sp, st, committed, scores := sel.selectKSegArena(pairs[i].S, pairs[i].T, uint64(i), snapshot, ar, sc)
+		out[i-base] = sp
+		agg.Add(st)
+		ks.add(k, committed, scores[committed], scores[0])
+		if h.Edge != nil {
+			sel.m.SegPathEdges(sp, func(e mesh.EdgeID) { h.Edge(i, e) })
+		}
+		if h.Seg != nil {
+			h.Seg(i, pairs[i], sp, st)
+		}
+		if h.Cand != nil {
+			h.Cand(i, pairs[i], sp, st, committed, scores)
+		}
+	}
+	return agg, ks
+}
+
+// SelectChunkKSegArena is SelectChunkSegArena for the k-sample mode:
+// pairs[lo:hi] into out[0:hi-lo] across `workers` goroutines against
+// one frozen snapshot, committed paths slab-backed by ag (nil falls
+// back to heap copies). Packet i's candidates draw from streams
+// KSampleStream(i, ·), so chunks compose into exactly the paths of one
+// whole-range call against the same snapshot. Paths in out die at
+// ag.Reset.
+func (sel *Selector) SelectChunkKSegArena(pairs []mesh.Pair, snapshot []int64, lo, hi, workers int, out []mesh.SegPath, ag *SegArenaGroup, h KSegHooks) (Aggregate, KStats) {
+	if lo < 0 || hi > len(pairs) || lo > hi {
+		panic("core: SelectChunkKSegArena: range out of bounds")
+	}
+	if len(out) < hi-lo {
+		panic("core: SelectChunkKSegArena: out slice too short")
+	}
+	var mu sync.Mutex
+	var ks KStats
+	agg := runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
+		wagg, wks := sel.selectKSegRangeArena(pairs, snapshot, out, lo, wlo, whi, ag, h)
 		mu.Lock()
 		ks.Merge(wks)
 		mu.Unlock()

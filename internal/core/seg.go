@@ -34,6 +34,15 @@ func (sel *Selector) SegPathStats(s, t mesh.NodeID, stream uint64) (mesh.SegPath
 // hop-level map walk, so outputs agree with
 // Compress(constructInto(...).Path) in every case.
 func (sel *Selector) constructSegInto(s, t mesh.NodeID, stream uint64, sc *scratch) (mesh.SegPath, Stats) {
+	return sel.constructSegArena(s, t, stream, nil, sc)
+}
+
+// constructSegArena is constructSegInto with the committed copy placed
+// by the caller: a nil arena keeps the private exact-size heap copy,
+// a non-nil one carves the result's Segs from its slab — in which case
+// the path is valid only until the arena's next Reset. Randomness,
+// compression, and stats are identical either way.
+func (sel *Selector) constructSegArena(s, t mesh.NodeID, stream uint64, ar *SegArena, sc *scratch) (mesh.SegPath, Stats) {
 	if s == t {
 		return mesh.SegPath{Start: s}, Stats{ChainLen: 1}
 	}
@@ -56,9 +65,11 @@ func (sel *Selector) constructSegInto(s, t mesh.NodeID, stream uint64, sc *scrat
 
 	var out mesh.SegPath
 	if sel.opt.KeepCycles {
-		out = mesh.SegPath{Start: s, Segs: append(make([]mesh.Seg, 0, len(segs)), segs...)}
+		out = mesh.SegPath{Start: s, Segs: segCopy(ar, segs)}
 	} else {
-		out, sc.segs2 = sel.m.CompressCyclesSeg(s, segs, &sc.cyc, sc.segs2)
+		var aliased mesh.SegPath
+		aliased, sc.segs2 = sel.m.CompressCyclesSegInto(s, segs, &sc.cyc, sc.segs2)
+		out = mesh.SegPath{Start: s, Segs: segCopy(ar, aliased.Segs)}
 	}
 	st.Len = out.Len()
 	return out, st
@@ -174,5 +185,54 @@ func (sel *Selector) SelectRangeParallelSegInto(pairs []mesh.Pair, lo, hi, worke
 	}
 	return runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
 		return sel.selectSegRange(pairs, sps, wlo, whi, h)
+	})
+}
+
+// selectSegRangeArena is selectSegRange writing into a chunk-relative
+// slice (out[i-base] for packet i) with each committed path's Segs
+// carved from a leased arena. The per-worker body of the chunked slab
+// engines.
+func (sel *Selector) selectSegRangeArena(pairs []mesh.Pair, out []mesh.SegPath, base, lo, hi int, ag *SegArenaGroup, h SegHooks) Aggregate {
+	sc := sel.getScratch()
+	defer sel.putScratch(sc)
+	var ar *SegArena
+	if ag != nil {
+		ar = ag.get()
+		defer ag.put(ar)
+	}
+	var agg Aggregate
+	for i := lo; i < hi; i++ {
+		sp, st := sel.constructSegArena(pairs[i].S, pairs[i].T, uint64(i), ar, sc)
+		out[i-base] = sp
+		agg.Add(st)
+		if h.Edge != nil {
+			sel.m.SegPathEdges(sp, func(e mesh.EdgeID) { h.Edge(i, e) })
+		}
+		if h.Seg != nil {
+			h.Seg(i, pairs[i], sp, st)
+		}
+	}
+	return agg
+}
+
+// SelectChunkSegArena routes pairs[lo:hi] into out[0:hi-lo] across
+// `workers` goroutines, backing every committed path's Segs with slabs
+// from ag (nil ag falls back to per-path heap copies). Packet i keeps
+// randomness stream i — the global index — so chunks compose into
+// exactly the paths of one whole-batch call; unlike
+// SelectRangeParallelSegInto the output slice is chunk-relative
+// (out[i-lo]), which is what lets the serve pipeline recycle two
+// chunk-sized buffers instead of materializing the batch. The paths
+// in out alias ag's slabs and die at ag.Reset; hooks run concurrently
+// from all workers.
+func (sel *Selector) SelectChunkSegArena(pairs []mesh.Pair, lo, hi, workers int, out []mesh.SegPath, ag *SegArenaGroup, h SegHooks) Aggregate {
+	if lo < 0 || hi > len(pairs) || lo > hi {
+		panic("core: SelectChunkSegArena: range out of bounds")
+	}
+	if len(out) < hi-lo {
+		panic("core: SelectChunkSegArena: out slice too short")
+	}
+	return runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
+		return sel.selectSegRangeArena(pairs, out, lo, wlo, whi, ag, h)
 	})
 }

@@ -37,6 +37,20 @@ type CycleBuf struct {
 // grown for the next call; the result's Segs are an exact-size copy
 // that never aliases buf. Panics when a run steps off the mesh.
 func (m *Mesh) CompressCyclesSeg(start NodeID, segs []Seg, cb *CycleBuf, buf []Seg) (SegPath, []Seg) {
+	sp, out := m.CompressCyclesSegInto(start, segs, cb, buf)
+	if len(sp.Segs) > 0 {
+		sp.Segs = append(make([]Seg, 0, len(out)), out...)
+	}
+	return sp, out
+}
+
+// CompressCyclesSegInto is CompressCyclesSeg minus the exact-size
+// result copy: the returned SegPath's Segs ALIAS buf (also returned
+// grown for the next call), so the result is valid only until buf's
+// next reuse. Callers that back committed paths with their own slab
+// memory — the serve pipeline's arena — copy out of buf themselves;
+// everyone else wants CompressCyclesSeg.
+func (m *Mesh) CompressCyclesSegInto(start NodeID, segs []Seg, cb *CycleBuf, buf []Seg) (SegPath, []Seg) {
 	total := m.stampWalk(start, segs, cb)
 	last, prefix := cb.last, cb.prefix[:len(segs)+1]
 
@@ -114,7 +128,7 @@ func (m *Mesh) CompressCyclesSeg(start NodeID, segs []Seg, cb *CycleBuf, buf []S
 	}
 	sp := SegPath{Start: start}
 	if len(out) > 0 {
-		sp.Segs = append(make([]Seg, 0, len(out)), out...)
+		sp.Segs = out
 	}
 	return sp, out
 }

@@ -174,6 +174,16 @@ func EncodeWire(w io.Writer, m *mesh.Mesh, paths []mesh.Path) error {
 	return enc.Close()
 }
 
+// MaxWireBytes bounds the byte size of any OMP1 stream of count paths
+// that DecodeWire would accept against m: per path a length and a
+// source varint (≤ 10 bytes each) plus at most 4·size − 1 hop bytes
+// (the decoder's walk-length ceiling). The OMP1 counterpart of
+// MaxWireSegBytes, for capping client body reads.
+func MaxWireBytes(m *mesh.Mesh, count int) int64 {
+	perPath := int64(20) + 4*int64(m.Size())
+	return int64(len(wireMagic)) + 10 + int64(count)*perPath + 8
+}
+
 // DecodeWire reads a compact path stream back into paths, verifying
 // every hop against the mesh and the checksum trailer. maxPaths bounds
 // the declared count (≤ 0 means no bound) so a hostile stream cannot

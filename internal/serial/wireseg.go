@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"obliviousmesh/internal/mesh"
 )
@@ -156,6 +157,53 @@ func (e *WireSegEncoder) Close() error {
 	return err
 }
 
+// wireSegEncPool recycles encoders (and, through them, their varint
+// scratch buffers) across requests, so the serve pipeline's per-request
+// framing cost is two small hasher allocations rather than a fresh
+// buffer growth curve per batch.
+var wireSegEncPool = sync.Pool{New: func() any { return new(WireSegEncoder) }}
+
+// AcquireWireSegEncoder is NewWireSegEncoder drawing the encoder and
+// its scratch buffer from a package pool. The caller must Release the
+// encoder (after Close) to return it; a released encoder must not be
+// used again.
+func AcquireWireSegEncoder(w io.Writer, m *mesh.Mesh, count int) (*WireSegEncoder, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("serial: wireseg: negative path count %d", count)
+	}
+	e := wireSegEncPool.Get().(*WireSegEncoder)
+	e.w, e.m, e.left = w, m, count
+	e.sum.init(count)
+	hdr := append(e.buf[:0], wireSegMagic...)
+	hdr = binary.AppendUvarint(hdr, uint64(count))
+	if _, err := w.Write(hdr); err != nil {
+		e.Release()
+		return nil, err
+	}
+	e.buf = hdr[:0]
+	return e, nil
+}
+
+// Release returns a pooled encoder for reuse, keeping its buffer
+// capacity. Safe on encoders from NewWireSegEncoder too.
+func (e *WireSegEncoder) Release() {
+	e.w, e.m, e.left = nil, nil, 0
+	e.sum = segPathsHasher{}
+	wireSegEncPool.Put(e)
+}
+
+// MaxWireSegBytes bounds the byte size of any OMP2 stream of count
+// paths that the decoder would accept against m: per path a flag and a
+// start varint (≤ 10 bytes each) plus at most 4·size segments — every
+// segment is ≥ 1 hop and the decoder rejects walks over 4·size hops —
+// of two varints each. Clients cap response-body reads with it so a
+// lying server cannot balloon memory past what a valid stream could
+// need.
+func MaxWireSegBytes(m *mesh.Mesh, count int) int64 {
+	perPath := int64(20) + 80*int64(m.Size())
+	return int64(len(wireSegMagic)) + 10 + int64(count)*perPath + 8
+}
+
 // EncodeWireSeg writes a whole run-length path set in the OMP2 wire
 // format.
 func EncodeWireSeg(w io.Writer, m *mesh.Mesh, sps []mesh.SegPath) error {
@@ -171,11 +219,26 @@ func EncodeWireSeg(w io.Writer, m *mesh.Mesh, sps []mesh.SegPath) error {
 	return enc.Close()
 }
 
-// DecodeWireSeg reads an OMP2 stream back into run-length paths,
-// verifying every run against the mesh and the checksum trailer.
-// maxPaths bounds the declared count (≤ 0 means no bound) so a hostile
-// stream cannot force a huge allocation up front.
-func DecodeWireSeg(r io.Reader, m *mesh.Mesh, maxPaths int) ([]mesh.SegPath, error) {
+// WireSegDecoder reads an OMP2 stream one path at a time: header
+// validation on construction, one Next call per declared path, Close to
+// verify the checksum trailer. Each Next holds only its own path live,
+// so a consumer that processes paths as they arrive runs at O(1) paths
+// of memory regardless of batch size — the client side of the serve
+// pipeline. The monolithic DecodeWireSeg is this decoder driven to
+// completion.
+type WireSegDecoder struct {
+	br      *bufio.Reader
+	m       *mesh.Mesh
+	count   uint64
+	read    uint64
+	maxHops uint64
+	sum     segPathsHasher
+}
+
+// NewWireSegDecoder validates the stream header (magic, declared count
+// against maxPaths; ≤ 0 means no bound) and returns a decoder
+// positioned at the first path.
+func NewWireSegDecoder(r io.Reader, m *mesh.Mesh, maxPaths int) (*WireSegDecoder, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReader(r)
@@ -197,77 +260,120 @@ func DecodeWireSeg(r io.Reader, m *mesh.Mesh, maxPaths int) ([]mesh.SegPath, err
 	if count > uint64(1)<<32 {
 		return nil, fmt.Errorf("serial: wireseg: implausible path count %d", count)
 	}
+	d := &WireSegDecoder{br: br, m: m, count: count}
 	// The same length slack DecodeWire allows: every segment is at least
 	// one hop, so both the segment count and the hop total of one path
 	// are bounded by 4·size.
-	maxHops := uint64(4) * uint64(m.Size())
-	sps := make([]mesh.SegPath, 0, count)
-	var sum segPathsHasher
-	sum.init(int(count))
-	for i := uint64(0); i < count; i++ {
-		flag, err := binary.ReadUvarint(br)
+	d.maxHops = uint64(4) * uint64(m.Size())
+	d.sum.init(int(count))
+	return d, nil
+}
+
+// Count reports the stream's declared path count.
+func (d *WireSegDecoder) Count() int { return int(d.count) }
+
+// Next decodes and validates the next path. The returned SegPath is
+// freshly allocated and caller-owned. Calling Next past the declared
+// count returns io.EOF; trailer verification is Close's job.
+func (d *WireSegDecoder) Next() (mesh.SegPath, error) {
+	if d.read >= d.count {
+		return mesh.SegPath{}, io.EOF
+	}
+	i := d.read
+	flag, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return mesh.SegPath{}, fmt.Errorf("serial: wireseg: path %d: read segment count: %w", i, err)
+	}
+	if flag == 0 {
+		sp := mesh.SegPath{Start: -1}
+		d.sum.add(sp)
+		d.read++
+		return sp, nil
+	}
+	nsegs := flag - 1
+	if nsegs > d.maxHops {
+		return mesh.SegPath{}, fmt.Errorf("serial: wireseg: path %d: implausible segment count %d", i, nsegs)
+	}
+	start, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return mesh.SegPath{}, fmt.Errorf("serial: wireseg: path %d: read start: %w", i, err)
+	}
+	if start >= uint64(d.m.Size()) {
+		return mesh.SegPath{}, fmt.Errorf("serial: wireseg: path %d: start %d out of range", i, start)
+	}
+	sp := mesh.SegPath{Start: mesh.NodeID(start)}
+	if nsegs > 0 {
+		sp.Segs = make([]mesh.Seg, 0, nsegs)
+	}
+	hops := uint64(0)
+	for j := uint64(0); j < nsegs; j++ {
+		code, err := binary.ReadUvarint(d.br)
 		if err != nil {
-			return nil, fmt.Errorf("serial: wireseg: path %d: read segment count: %w", i, err)
+			return mesh.SegPath{}, fmt.Errorf("serial: wireseg: path %d segment %d: read code: %w", i, j, err)
 		}
-		if flag == 0 {
-			sp := mesh.SegPath{Start: -1}
-			sps = append(sps, sp)
-			sum.add(sp)
-			continue
-		}
-		nsegs := flag - 1
-		if nsegs > maxHops {
-			return nil, fmt.Errorf("serial: wireseg: path %d: implausible segment count %d", i, nsegs)
-		}
-		start, err := binary.ReadUvarint(br)
+		steps, err := binary.ReadUvarint(d.br)
 		if err != nil {
-			return nil, fmt.Errorf("serial: wireseg: path %d: read start: %w", i, err)
+			return mesh.SegPath{}, fmt.Errorf("serial: wireseg: path %d segment %d: read length: %w", i, j, err)
 		}
-		if start >= uint64(m.Size()) {
-			return nil, fmt.Errorf("serial: wireseg: path %d: start %d out of range", i, start)
+		dim := code >> 1
+		if dim >= uint64(d.m.Dim()) {
+			return mesh.SegPath{}, fmt.Errorf("serial: wireseg: path %d segment %d: dimension %d out of range", i, j, dim)
 		}
-		sp := mesh.SegPath{Start: mesh.NodeID(start)}
-		if nsegs > 0 {
-			sp.Segs = make([]mesh.Seg, 0, nsegs)
+		if steps == 0 {
+			return mesh.SegPath{}, fmt.Errorf("serial: wireseg: path %d segment %d: empty run", i, j)
 		}
-		hops := uint64(0)
-		for j := uint64(0); j < nsegs; j++ {
-			code, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("serial: wireseg: path %d segment %d: read code: %w", i, j, err)
-			}
-			steps, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("serial: wireseg: path %d segment %d: read length: %w", i, j, err)
-			}
-			dim := code >> 1
-			if dim >= uint64(m.Dim()) {
-				return nil, fmt.Errorf("serial: wireseg: path %d segment %d: dimension %d out of range", i, j, dim)
-			}
-			if steps == 0 {
-				return nil, fmt.Errorf("serial: wireseg: path %d segment %d: empty run", i, j)
-			}
-			if hops += steps; hops > maxHops || steps > math.MaxInt32 {
-				return nil, fmt.Errorf("serial: wireseg: path %d: implausible length %d", i, hops)
-			}
-			run := int32(steps)
-			if code&1 == 0 {
-				run = -run
-			}
-			sp.Segs = append(sp.Segs, mesh.Seg{Dim: int32(dim), Run: run})
+		if hops += steps; hops > d.maxHops || steps > math.MaxInt32 {
+			return mesh.SegPath{}, fmt.Errorf("serial: wireseg: path %d: implausible length %d", i, hops)
 		}
-		if _, err := m.SegWalkEnd(sp); err != nil {
-			return nil, fmt.Errorf("serial: wireseg: path %d: %w", i, err)
+		run := int32(steps)
+		if code&1 == 0 {
+			run = -run
 		}
-		sps = append(sps, sp)
-		sum.add(sp)
+		sp.Segs = append(sp.Segs, mesh.Seg{Dim: int32(dim), Run: run})
+	}
+	if _, err := d.m.SegWalkEnd(sp); err != nil {
+		return mesh.SegPath{}, fmt.Errorf("serial: wireseg: path %d: %w", i, err)
+	}
+	d.sum.add(sp)
+	d.read++
+	return sp, nil
+}
+
+// Close verifies the checksum trailer after every declared path has
+// been read; the stream is invalid without it.
+func (d *WireSegDecoder) Close() error {
+	if d.read != d.count {
+		return fmt.Errorf("serial: wireseg: %d declared paths not decoded", d.count-d.read)
 	}
 	var tail [8]byte
-	if _, err := io.ReadFull(br, tail[:]); err != nil {
-		return nil, fmt.Errorf("serial: wireseg: read checksum: %w", err)
+	if _, err := io.ReadFull(d.br, tail[:]); err != nil {
+		return fmt.Errorf("serial: wireseg: read checksum: %w", err)
 	}
-	if got := binary.LittleEndian.Uint64(tail[:]); got != sum.sum64() {
-		return nil, fmt.Errorf("serial: wireseg: checksum mismatch (stored %x, decoded %x)", got, sum.sum64())
+	if got := binary.LittleEndian.Uint64(tail[:]); got != d.sum.sum64() {
+		return fmt.Errorf("serial: wireseg: checksum mismatch (stored %x, decoded %x)", got, d.sum.sum64())
+	}
+	return nil
+}
+
+// DecodeWireSeg reads an OMP2 stream back into run-length paths,
+// verifying every run against the mesh and the checksum trailer.
+// maxPaths bounds the declared count (≤ 0 means no bound) so a hostile
+// stream cannot force a huge allocation up front.
+func DecodeWireSeg(r io.Reader, m *mesh.Mesh, maxPaths int) ([]mesh.SegPath, error) {
+	d, err := NewWireSegDecoder(r, m, maxPaths)
+	if err != nil {
+		return nil, err
+	}
+	sps := make([]mesh.SegPath, 0, d.count)
+	for i := uint64(0); i < d.count; i++ {
+		sp, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		sps = append(sps, sp)
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
 	}
 	return sps, nil
 }

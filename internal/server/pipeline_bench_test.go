@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// discardWriter is an http.ResponseWriter + Flusher that throws the
+// body away. Driving the handler through it measures the serve path's
+// own allocations — routing, slabs, encoding — without loopback-socket
+// or client-side noise polluting B/op.
+type discardWriter struct {
+	hdr  http.Header
+	code int
+}
+
+func (d *discardWriter) Header() http.Header {
+	if d.hdr == nil {
+		d.hdr = make(http.Header)
+	}
+	return d.hdr
+}
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardWriter) WriteHeader(code int)        { d.code = code }
+func (d *discardWriter) Flush()                      {}
+
+// newPipelineBenchServer builds a wire2-serving handler on a 2-D mesh
+// of the given side, with chunking small enough that the batch really
+// flows through multiple pipeline handoffs.
+func newPipelineBenchServer(b testing.TB, side int, disable bool) (http.Handler, []byte, int) {
+	m := mesh.MustSquare(2, side)
+	srv, err := New(Config{
+		Mesh: m, Seed: 7,
+		MaxInFlight: 8, MaxQueue: 64,
+		RequestTimeout:  time.Minute,
+		BatchChunk:      256,
+		DisablePipeline: disable,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 2048
+	var req batchRequest
+	for k := 0; k < size; k++ {
+		s := (k * 131) % m.Size()
+		req.Pairs = append(req.Pairs, [2]int{s, (s + 517) % m.Size()})
+	}
+	blob, _ := json.Marshal(req)
+	return srv.Handler(), blob, size
+}
+
+// benchPipelineServe runs one wire2 batch per iteration through the
+// handler with a discarding writer; B/op is the serve path's live
+// allocation bill for a 2048-pair batch in 256-pair chunks.
+func benchPipelineServe(b *testing.B, side int, disable bool) {
+	handler, blob, size := newPipelineBenchServer(b, side, disable)
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch?format=wire2", nil)
+
+	serve := func() {
+		req.Body = io.NopCloser(bytes.NewReader(blob))
+		w := &discardWriter{}
+		handler.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("status %d", w.code)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		serve() // warm the pools so B/op reflects steady state
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(size), "routes/op")
+}
+
+// BenchmarkServerBatchPipeline compares the pipelined slab-pooled
+// wire2 serve path against the batch-then-encode loop it replaced
+// (DisablePipeline). The interesting column is B/op: serial
+// materializes the whole batch's SegPaths on the heap, pipelined keeps
+// O(chunk) live bytes in recycled slabs.
+func BenchmarkServerBatchPipeline(b *testing.B) {
+	for _, side := range []int{64, 256} {
+		b.Run("side"+itoa(side)+"/pipelined", func(b *testing.B) {
+			benchPipelineServe(b, side, false)
+		})
+		b.Run("side"+itoa(side)+"/serial", func(b *testing.B) {
+			benchPipelineServe(b, side, true)
+		})
+	}
+}
+
+// TestBenchGateServerPipeline is the CI benchmark gate for the
+// tentpole: on the side-256 mesh the pipelined wire2 serve path must
+// allocate at most half the bytes per request of batch-then-encode.
+// The gate runs with the regular suite (and explicitly in
+// `make bench-smoke`) so a pooling regression fails fast, not only
+// when someone re-runs `make bench-json`.
+func TestBenchGateServerPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark gate is not a -short test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the allocation profile; the gate runs in the non-race suite")
+	}
+	// B/op is far more stable than ns/op, but pools can be emptied by a
+	// badly-timed GC — take the best of two runs per mode.
+	measure := func(disable bool) int64 {
+		best := int64(-1)
+		for rep := 0; rep < 2; rep++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				benchPipelineServe(b, 256, disable)
+			})
+			if ao := r.AllocedBytesPerOp(); best < 0 || ao < best {
+				best = ao
+			}
+		}
+		return best
+	}
+	pipelined, serial := measure(false), measure(true)
+	if pipelined*2 > serial {
+		t.Fatalf("pipelined wire2 serve: %d B/op vs batch-then-encode %d B/op (%.2fx), want <= 0.5x",
+			pipelined, serial, float64(pipelined)/float64(serial))
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is active; allocation
+// and benchmark gates are skipped under -race because instrumentation
+// changes both the allocation profile and the timing.
+const raceEnabled = false

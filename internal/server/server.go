@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -94,6 +95,12 @@ type Config struct {
 	BatchChunk int
 	// RequestTimeout bounds each routing request (default 10s).
 	RequestTimeout time.Duration
+	// DisablePipeline keeps ?format=wire2 batches on the sequential
+	// batch-then-encode serve loop instead of the select/encode
+	// pipeline. The bytes on the wire are identical either way (the
+	// golden tests pin this); the switch exists as a kill switch and as
+	// the baseline the pipeline's benchmark gate compares against.
+	DisablePipeline bool
 	// TopK is how many hot edges /metrics exposes (default 10).
 	TopK int
 	// LoadShards overrides the LiveLoads shard count (default: auto).
@@ -164,6 +171,14 @@ type Server struct {
 	routeC metrics.ServerCounters
 	batchC metrics.ServerCounters
 	kc     ksampleCounters
+
+	// pipe pools the wire2 pipeline's chunk buffers (*pipeBuf);
+	// jsonPool pools the JSON response scratch (*jsonScratch); reqPool
+	// pools the batch request parse scratch (*batchScratch). Together
+	// they make sequential requests allocation-free at steady state.
+	pipe     sync.Pool
+	jsonPool sync.Pool
+	reqPool  sync.Pool
 }
 
 // New builds a Server (and its Selector) from cfg.
@@ -341,11 +356,13 @@ func (s *Server) doRoute(w http.ResponseWriter, r *http.Request) (code int, rout
 		p = s.sel.Path(mesh.NodeID(req.S), mesh.NodeID(req.T), stream)
 		s.live.AddPath(s.m, stream, p)
 	}
-	resp := routeResponse{Stream: stream, Path: make([]int, len(p))}
+	sc := s.getJSONScratch()
+	resp := routeResponse{Stream: stream, Path: sc.intsFor(len(p))}
 	for i, n := range p {
 		resp.Path[i] = int(n)
 	}
 	writeJSON(w, http.StatusOK, resp)
+	s.putJSONScratch(sc)
 	return http.StatusOK, 1, int64(p.Len())
 }
 
@@ -447,17 +464,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Request) (code int, routes, edges int64) {
 	limit := int64(64 + 48*s.cfg.MaxBatch) // JSON pair ≤ ~48 bytes
 	body := http.MaxBytesReader(w, r.Body, limit)
-	var req batchRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	bs := s.getBatchScratch()
+	defer s.putBatchScratch(bs)
+	var err error
+	if bs.body, err = readAppend(bs.body[:0], body); err == nil {
+		bs.req.Pairs = bs.req.Pairs[:0]
+		err = json.Unmarshal(bs.body, &bs.req)
+	}
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
 		return http.StatusBadRequest, 0, 0
 	}
+	req := &bs.req
 	if len(req.Pairs) > s.cfg.MaxBatch {
 		writeErr(w, http.StatusRequestEntityTooLarge, "%d pairs exceeds max batch %d", len(req.Pairs), s.cfg.MaxBatch)
 		return http.StatusRequestEntityTooLarge, 0, 0
 	}
 	size := s.m.Size()
-	pairs := make([]mesh.Pair, len(req.Pairs))
+	pairs := bs.pairsFor(len(req.Pairs))
 	for i, pr := range req.Pairs {
 		if pr[0] < 0 || pr[0] >= size || pr[1] < 0 || pr[1] >= size {
 			writeErr(w, http.StatusBadRequest, "pair %d (%d,%d) out of range for %v", i, pr[0], pr[1], s.m)
@@ -522,16 +546,12 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 		}
 		s.selectChunkHops(kq, pairs, lo, hi, paths, hooks)
 	}
-	resp := batchResponse{Paths: make([][]int, len(paths))}
-	for i, p := range paths {
-		nodes := make([]int, len(p))
-		for j, n := range p {
-			nodes[j] = int(n)
-		}
-		resp.Paths[i] = nodes
+	for _, p := range paths {
 		edges += int64(p.Len())
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sc := s.getJSONScratch()
+	writeJSON(w, http.StatusOK, batchResponse{Paths: sc.hopRows(paths)})
+	s.putJSONScratch(sc)
 	return http.StatusOK, int64(len(paths)), edges
 }
 
@@ -611,25 +631,32 @@ func (s *Server) jsonBatchSeg(ctx context.Context, w http.ResponseWriter, kq *kr
 		}
 		s.selectChunkSegs(kq, pairs, lo, hi, sps, hooks)
 	}
-	resp := segBatchResponse{SegPaths: make([][]int, len(sps))}
-	for i, sp := range sps {
-		rec := make([]int, 0, 1+2*len(sp.Segs))
-		rec = append(rec, int(sp.Start))
-		for _, sg := range sp.Segs {
-			rec = append(rec, int(sg.Dim), int(sg.Run))
-		}
-		resp.SegPaths[i] = rec
+	for _, sp := range sps {
 		edges += int64(sp.Len())
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sc := s.getJSONScratch()
+	writeJSON(w, http.StatusOK, segBatchResponse{SegPaths: sc.segRows(sps)})
+	s.putJSONScratch(sc)
 	return http.StatusOK, int64(len(sps)), edges
 }
 
 // streamBatchSegWire routes the batch with the segment-native engine
-// and streams each chunk in the run-length wire format as soon as it
-// is selected — streamBatchWire without ever materializing hop paths.
-// A mid-stream deadline again truncates before the checksum trailer.
+// and streams the run-length wire format: through the select/encode
+// pipeline (pipeline.go) by default, or the sequential
+// batch-then-encode loop when Config.DisablePipeline is set. Both
+// produce identical bytes.
 func (s *Server) streamBatchSegWire(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair) (code int, routes, edges int64) {
+	if !s.cfg.DisablePipeline {
+		return s.streamBatchSegWirePipelined(ctx, w, kq, pairs)
+	}
+	return s.streamBatchSegWireSerial(ctx, w, kq, pairs)
+}
+
+// streamBatchSegWireSerial is the pre-pipeline wire2 loop: materialize
+// the whole batch's SegPath slice, then select and encode each chunk
+// in turn — streamBatchWire without ever materializing hop paths. A
+// mid-stream deadline truncates before the checksum trailer.
+func (s *Server) streamBatchSegWireSerial(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair) (code int, routes, edges int64) {
 	w.Header().Set("Content-Type", serial.WireSegContentType)
 	w.WriteHeader(http.StatusOK)
 	enc, err := serial.NewWireSegEncoder(w, s.m, len(pairs))
