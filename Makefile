@@ -29,7 +29,7 @@ FUZZ_TARGETS := \
 
 FUZZ_ONLY ?= $(FUZZ_TARGETS)
 
-.PHONY: build test vet race fuzz verify bench bench-json bench-smoke serve-smoke cover
+.PHONY: build test vet race fuzz verify bench bench-json bench-smoke serve-smoke cluster-smoke cover
 
 # Committed benchmark baseline for the pipelined serve-path PR:
 # headline Path/SelectAll/SelectAllSeg/KSample benchmarks plus the
@@ -96,3 +96,13 @@ bench-smoke:
 # drain (exit 0). See cmd/meshrouted/smoke_test.go.
 serve-smoke:
 	MESHROUTED_SMOKE=1 $(GO) test -run '^TestServeSmoke$$' -v ./cmd/meshrouted
+
+# End-to-end cluster gate: builds meshrouted and meshgate, boots three
+# routing daemons plus one sharding gateway as separate processes,
+# streams ~19k routes through the gateway with golden verification
+# against a local Router, SIGKILLs one backend mid-run (the remaining
+# batches must still verify — re-fan, zero wrong bytes), checks the
+# merged metrics books, then SIGTERMs everything and requires clean
+# drains. See cmd/meshgate/cluster_smoke_test.go.
+cluster-smoke:
+	MESHGATE_SMOKE=1 $(GO) test -run '^TestClusterSmoke$$' -v ./cmd/meshgate

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -26,9 +27,21 @@ type ClientConfig struct {
 	MaxRetries int
 	// BaseBackoff is the first retry delay; each subsequent retry
 	// doubles it, jittered to ±50%, capped at MaxBackoff
-	// (defaults 50ms and 2s).
+	// (defaults 50ms and 2s). A Retry-After header on a 429/503
+	// response overrides the computed backoff when it asks for longer.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// RequestTimeout, when positive, bounds each client call (retries
+	// and body consumption included) with its own deadline on top of
+	// the caller's context — how a gateway keeps one slow backend from
+	// holding a whole fan-out hostage.
+	RequestTimeout time.Duration
+	// Observe, when set, receives one sample per HTTP attempt: the
+	// request path (with query), the attempt's wall time, and its
+	// outcome (nil on a consumed 2xx). Latency-adaptive callers — a
+	// hedging gateway sizing its straggler timer — feed quantile
+	// estimators from here. Must be safe for concurrent use.
+	Observe func(path string, elapsed time.Duration, err error)
 }
 
 // Client is a typed client for the meshrouted routing service. It is
@@ -58,16 +71,34 @@ type ServerInfo struct {
 	// PathFormat is the daemon's JSON path representation ("hops" or
 	// "segments"); empty on daemons predating the field.
 	PathFormat string `json:"pathFormat"`
+	// KSample is the daemon's semi-oblivious candidate count; 0 or 1
+	// means pure oblivious selection.
+	KSample int `json:"ksample"`
 	// Formats lists the /v1/batch encodings the daemon speaks. Empty on
 	// daemons predating wire2, which is how the client knows to stay on
 	// the per-hop wire format.
 	Formats []string `json:"formats"`
+	// Features lists protocol capabilities beyond the encodings —
+	// "batch-base" means /v1/batch honors the sharding stream offset.
+	// Empty on older daemons.
+	Features []string `json:"features"`
 }
 
 // supports reports whether the daemon advertised a batch format.
 func (info ServerInfo) supports(format string) bool {
 	for _, f := range info.Formats {
 		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+// HasFeature reports whether the daemon advertised a protocol feature
+// on /v1/mesh (e.g. "batch-base").
+func (info ServerInfo) HasFeature(feature string) bool {
+	for _, f := range info.Features {
+		if f == feature {
 			return true
 		}
 	}
@@ -253,11 +284,32 @@ func (c *Client) RouteBatchSeg(ctx context.Context, pairs []Pair) ([]SegPath, er
 // consumers needing end-to-end integrity before acting must buffer
 // (RouteBatchSeg does exactly that).
 func (c *Client) RouteBatchSegFunc(ctx context.Context, pairs []Pair, fn func(i int, sp SegPath) error) error {
+	return c.RouteBatchSegFuncBase(ctx, pairs, 0, fn)
+}
+
+// RouteBatchSegFuncBase is RouteBatchSegFunc with a stream-id offset:
+// the server draws path i with stream base+i instead of i. This is the
+// sharding primitive — a gateway that fans pairs[lo:hi] out with
+// base=lo gets back exactly the paths one daemon would have produced
+// for the whole batch at those indexes. A nonzero base requires the
+// daemon to advertise the "batch-base" feature on /v1/mesh; older
+// daemons would silently route with the wrong streams, so the call
+// fails up front instead.
+func (c *Client) RouteBatchSegFuncBase(ctx context.Context, pairs []Pair, base uint64, fn func(i int, sp SegPath) error) error {
+	if base > 0 {
+		info, err := c.Info(ctx)
+		if err != nil {
+			return err
+		}
+		if !info.HasFeature("batch-base") {
+			return fmt.Errorf("meshrouted: daemon does not advertise the batch-base feature (base=%d)", base)
+		}
+	}
 	m, err := c.Mesh(ctx)
 	if err != nil {
 		return err
 	}
-	blob, err := marshalPairs(pairs)
+	blob, err := marshalPairsBase(pairs, base)
 	if err != nil {
 		return err
 	}
@@ -339,9 +391,14 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 }
 
 func marshalPairs(pairs []Pair) ([]byte, error) {
+	return marshalPairsBase(pairs, 0)
+}
+
+func marshalPairsBase(pairs []Pair, base uint64) ([]byte, error) {
 	req := struct {
 		Pairs [][2]int `json:"pairs"`
-	}{Pairs: make([][2]int, len(pairs))}
+		Base  uint64   `json:"base,omitempty"`
+	}{Pairs: make([][2]int, len(pairs)), Base: base}
 	for i, pr := range pairs {
 		req.Pairs[i] = [2]int{int(pr.S), int(pr.T)}
 	}
@@ -360,16 +417,24 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, a
 
 // do issues one request with the retry policy: 429/5xx/transport
 // errors retry with jittered exponential backoff (bounded by ctx and
-// MaxRetries); other non-2xx statuses fail immediately as *HTTPError.
-// onBody consumes the 2xx response body.
+// MaxRetries, stretched to a server-sent Retry-After when longer);
+// other non-2xx statuses fail immediately as *HTTPError. onBody
+// consumes the 2xx response body.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, accept string, onBody func(io.Reader) error) error {
+	if c.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+	}
 	var lastErr error
+	var retryAfter time.Duration // the previous response's Retry-After hint
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			if err := c.sleep(ctx, attempt); err != nil {
+			if err := c.sleep(ctx, attempt, retryAfter); err != nil {
 				return err // context ended while backing off
 			}
 		}
+		retryAfter = 0
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -384,8 +449,10 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, accep
 		if accept != "" {
 			req.Header.Set("Accept", accept)
 		}
+		t0 := time.Now()
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			c.observe(path, t0, err)
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -396,10 +463,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, accep
 			err := onBody(resp.Body)
 			io.Copy(io.Discard, resp.Body) // drain so the connection is reused
 			resp.Body.Close()
+			c.observe(path, t0, err)
 			return err
 		}
 		herr := &HTTPError{StatusCode: resp.StatusCode, Message: readErrBody(resp.Body)}
+		retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		resp.Body.Close()
+		c.observe(path, t0, herr)
 		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode < 500 {
 			return herr // the request itself is wrong; retrying won't help
 		}
@@ -408,8 +478,39 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, accep
 	return fmt.Errorf("meshrouted: giving up after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
 }
 
-// sleep blocks for the attempt's jittered backoff or until ctx ends.
-func (c *Client) sleep(ctx context.Context, attempt int) error {
+// observe feeds the per-attempt hook, when configured.
+func (c *Client) observe(path string, t0 time.Time, err error) {
+	if c.cfg.Observe != nil {
+		c.cfg.Observe(path, time.Since(t0), err)
+	}
+}
+
+// parseRetryAfter reads a Retry-After header: delay-seconds or an
+// HTTP-date, anything else (or the past) is 0.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// sleep blocks for the attempt's jittered backoff — or for the
+// server's Retry-After when it asked for longer — or until ctx ends.
+// A shed server knows better than the client's exponential schedule
+// when it expects to have capacity again; ignoring the larger figure
+// would re-offer load it already said it cannot take.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
 	d := c.cfg.BaseBackoff << (attempt - 1)
 	if d > c.cfg.MaxBackoff || d <= 0 {
 		d = c.cfg.MaxBackoff
@@ -419,6 +520,9 @@ func (c *Client) sleep(ctx context.Context, attempt int) error {
 	c.mu.Lock()
 	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
 	c.mu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

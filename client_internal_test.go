@@ -1,0 +1,30 @@
+package obliviousmesh
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in       string
+		min, max time.Duration
+	}{
+		{"", 0, 0},
+		{"2", 2 * time.Second, 2 * time.Second},
+		{"0", 0, 0},
+		{"-3", 0, 0},
+		{"soon", 0, 0},
+		// HTTP-date ~2s out: anything in (1s, 2s] is a correct read.
+		{time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat), time.Second, 2 * time.Second},
+		// A date in the past asks for no delay.
+		{time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0, 0},
+	}
+	for _, c := range cases {
+		got := parseRetryAfter(c.in)
+		if got < c.min || got > c.max {
+			t.Errorf("parseRetryAfter(%q) = %v, want in [%v, %v]", c.in, got, c.min, c.max)
+		}
+	}
+}

@@ -54,18 +54,22 @@ func (sel *Selector) SelectAllIntoHooks(pairs []mesh.Pair, paths []mesh.Path, h 
 	if len(paths) < len(pairs) {
 		panic(fmt.Sprintf("core: SelectAllInto: paths slice too short (%d < %d)", len(paths), len(pairs)))
 	}
-	return sel.selectRange(pairs, paths, 0, len(pairs), h)
+	return sel.selectRange(pairs, paths, 0, 0, len(pairs), h)
 }
 
 // selectRange routes pairs[lo:hi] into paths[lo:hi] with one scratch,
 // reporting edges and paths to the hooks. It is the per-worker body of
-// both the serial and the parallel fused engines.
-func (sel *Selector) selectRange(pairs []mesh.Pair, paths []mesh.Path, lo, hi int, h Hooks) Aggregate {
+// both the serial and the parallel fused engines. stream0 shifts packet
+// i's randomness stream to stream0+i, so a sub-batch of a larger
+// logical batch routes byte-identically to the whole-batch call (the
+// sharded gateway's deterministic-split contract); every whole-batch
+// entry point passes 0.
+func (sel *Selector) selectRange(pairs []mesh.Pair, paths []mesh.Path, stream0 uint64, lo, hi int, h Hooks) Aggregate {
 	sc := sel.getScratch()
 	defer sel.putScratch(sc)
 	var agg Aggregate
 	for i := lo; i < hi; i++ {
-		tr := sel.constructInto(pairs[i].S, pairs[i].T, uint64(i), false, sc)
+		tr := sel.constructInto(pairs[i].S, pairs[i].T, stream0+uint64(i), false, sc)
 		paths[i] = tr.Path
 		agg.Add(tr.Stats)
 		if h.Edge != nil {

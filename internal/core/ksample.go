@@ -202,19 +202,21 @@ func (sel *Selector) SelectAllKSegInto(pairs []mesh.Pair, snapshot []int64, sps 
 	if len(sps) < len(pairs) {
 		panic(fmt.Sprintf("core: SelectAllKSegInto: seg slice too short (%d < %d)", len(sps), len(pairs)))
 	}
-	return sel.selectKSegRange(pairs, snapshot, sps, 0, len(pairs), h)
+	return sel.selectKSegRange(pairs, snapshot, sps, 0, 0, len(pairs), h)
 }
 
 // selectKSegRange routes pairs[lo:hi] into sps[lo:hi] with one scratch
 // — the per-worker body of the serial and parallel k-sample engines.
-func (sel *Selector) selectKSegRange(pairs []mesh.Pair, snapshot []int64, sps []mesh.SegPath, lo, hi int, h KSegHooks) (Aggregate, KStats) {
+// stream0 shifts packet i's base stream to stream0+i (candidates then
+// draw from KSampleStream(stream0+i, ·)).
+func (sel *Selector) selectKSegRange(pairs []mesh.Pair, snapshot []int64, sps []mesh.SegPath, stream0 uint64, lo, hi int, h KSegHooks) (Aggregate, KStats) {
 	sc := sel.getScratch()
 	defer sel.putScratch(sc)
 	k := sel.ksample()
 	var agg Aggregate
 	var ks KStats
 	for i := lo; i < hi; i++ {
-		sp, st, committed, scores := sel.selectKSegInto(pairs[i].S, pairs[i].T, uint64(i), snapshot, sc)
+		sp, st, committed, scores := sel.selectKSegInto(pairs[i].S, pairs[i].T, stream0+uint64(i), snapshot, sc)
 		sps[i] = sp
 		agg.Add(st)
 		ks.add(k, committed, scores[committed], scores[0])
@@ -247,6 +249,15 @@ func (sel *Selector) SelectAllParallelKSegInto(pairs []mesh.Pair, snapshot []int
 // paths of one whole-range call against the same snapshot — the
 // property the routing service's chunked epochs rely on.
 func (sel *Selector) SelectRangeParallelKSegInto(pairs []mesh.Pair, snapshot []int64, lo, hi, workers int, sps []mesh.SegPath, h KSegHooks) (Aggregate, KStats) {
+	return sel.SelectRangeParallelKSegBaseInto(pairs, snapshot, 0, lo, hi, workers, sps, h)
+}
+
+// SelectRangeParallelKSegBaseInto is SelectRangeParallelKSegInto with
+// the packet base streams shifted by stream0: packet i's candidates
+// draw from KSampleStream(stream0+i, ·). The k-sample counterpart of
+// SelectRangeParallelBaseInto, for servers routing a shard of a larger
+// logical batch against one frozen snapshot.
+func (sel *Selector) SelectRangeParallelKSegBaseInto(pairs []mesh.Pair, snapshot []int64, stream0 uint64, lo, hi, workers int, sps []mesh.SegPath, h KSegHooks) (Aggregate, KStats) {
 	if lo < 0 || hi > len(pairs) || lo > hi {
 		panic("core: SelectRangeParallelKSegInto: range out of bounds")
 	}
@@ -259,7 +270,7 @@ func (sel *Selector) SelectRangeParallelKSegInto(pairs []mesh.Pair, snapshot []i
 	var mu sync.Mutex
 	var ks KStats
 	agg := runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
-		wagg, wks := sel.selectKSegRange(pairs, snapshot, sps, wlo, whi, h)
+		wagg, wks := sel.selectKSegRange(pairs, snapshot, sps, stream0, wlo, whi, h)
 		mu.Lock()
 		ks.Merge(wks)
 		mu.Unlock()
@@ -271,8 +282,9 @@ func (sel *Selector) SelectRangeParallelKSegInto(pairs []mesh.Pair, snapshot []i
 // selectKSegRangeArena is selectKSegRange writing into a
 // chunk-relative slice (out[i-base] for packet i) with committed paths
 // carved from a leased arena — the per-worker body of
-// SelectChunkKSegArena.
-func (sel *Selector) selectKSegRangeArena(pairs []mesh.Pair, snapshot []int64, out []mesh.SegPath, base, lo, hi int, ag *SegArenaGroup, h KSegHooks) (Aggregate, KStats) {
+// SelectChunkKSegArena. stream0 shifts packet i's base stream to
+// stream0+i.
+func (sel *Selector) selectKSegRangeArena(pairs []mesh.Pair, snapshot []int64, out []mesh.SegPath, stream0 uint64, base, lo, hi int, ag *SegArenaGroup, h KSegHooks) (Aggregate, KStats) {
 	sc := sel.getScratch()
 	defer sel.putScratch(sc)
 	var ar *SegArena
@@ -284,7 +296,7 @@ func (sel *Selector) selectKSegRangeArena(pairs []mesh.Pair, snapshot []int64, o
 	var agg Aggregate
 	var ks KStats
 	for i := lo; i < hi; i++ {
-		sp, st, committed, scores := sel.selectKSegArena(pairs[i].S, pairs[i].T, uint64(i), snapshot, ar, sc)
+		sp, st, committed, scores := sel.selectKSegArena(pairs[i].S, pairs[i].T, stream0+uint64(i), snapshot, ar, sc)
 		out[i-base] = sp
 		agg.Add(st)
 		ks.add(k, committed, scores[committed], scores[0])
@@ -309,6 +321,14 @@ func (sel *Selector) selectKSegRangeArena(pairs []mesh.Pair, snapshot []int64, o
 // whole-range call against the same snapshot. Paths in out die at
 // ag.Reset.
 func (sel *Selector) SelectChunkKSegArena(pairs []mesh.Pair, snapshot []int64, lo, hi, workers int, out []mesh.SegPath, ag *SegArenaGroup, h KSegHooks) (Aggregate, KStats) {
+	return sel.SelectChunkKSegArenaBase(pairs, snapshot, 0, lo, hi, workers, out, ag, h)
+}
+
+// SelectChunkKSegArenaBase is SelectChunkKSegArena with the packet base
+// streams shifted by stream0 (packet i's candidates draw from
+// KSampleStream(stream0+i, ·)) — the k-sample chunked slab engine of a
+// server routing a shard of a larger logical batch.
+func (sel *Selector) SelectChunkKSegArenaBase(pairs []mesh.Pair, snapshot []int64, stream0 uint64, lo, hi, workers int, out []mesh.SegPath, ag *SegArenaGroup, h KSegHooks) (Aggregate, KStats) {
 	if lo < 0 || hi > len(pairs) || lo > hi {
 		panic("core: SelectChunkKSegArena: range out of bounds")
 	}
@@ -318,7 +338,7 @@ func (sel *Selector) SelectChunkKSegArena(pairs []mesh.Pair, snapshot []int64, l
 	var mu sync.Mutex
 	var ks KStats
 	agg := runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
-		wagg, wks := sel.selectKSegRangeArena(pairs, snapshot, out, lo, wlo, whi, ag, h)
+		wagg, wks := sel.selectKSegRangeArena(pairs, snapshot, out, stream0, lo, wlo, whi, ag, h)
 		mu.Lock()
 		ks.Merge(wks)
 		mu.Unlock()

@@ -48,6 +48,18 @@ func (sel *Selector) SelectAllParallelIntoHooks(pairs []mesh.Pair, workers int, 
 // service's cancellation points) and still produce exactly the paths
 // of one whole-slice call.
 func (sel *Selector) SelectRangeParallelInto(pairs []mesh.Pair, lo, hi, workers int, paths []mesh.Path, h Hooks) Aggregate {
+	return sel.SelectRangeParallelBaseInto(pairs, 0, lo, hi, workers, paths, h)
+}
+
+// SelectRangeParallelBaseInto is SelectRangeParallelInto with the
+// packet streams shifted by stream0: packet i draws from stream
+// stream0+i instead of i. It exists for servers routing a shard of a
+// larger logical batch — a gateway that splits pairs [0,n) across
+// backends hands each backend its contiguous slice plus the slice's
+// global offset as stream0, and the reassembled results are
+// byte-identical to one whole-batch call on a single node. stream0 = 0
+// is exactly SelectRangeParallelInto.
+func (sel *Selector) SelectRangeParallelBaseInto(pairs []mesh.Pair, stream0 uint64, lo, hi, workers int, paths []mesh.Path, h Hooks) Aggregate {
 	if lo < 0 || hi > len(pairs) || lo > hi {
 		panic("core: SelectRangeParallelInto: range out of bounds")
 	}
@@ -55,7 +67,7 @@ func (sel *Selector) SelectRangeParallelInto(pairs []mesh.Pair, lo, hi, workers 
 		panic("core: SelectRangeParallelInto: paths slice too short")
 	}
 	return runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
-		return sel.selectRange(pairs, paths, wlo, whi, h)
+		return sel.selectRange(pairs, paths, stream0, wlo, whi, h)
 	})
 }
 

@@ -140,17 +140,19 @@ func (sel *Selector) SelectAllSegInto(pairs []mesh.Pair, sps []mesh.SegPath, h S
 	if len(sps) < len(pairs) {
 		panic(fmt.Sprintf("core: SelectAllSegInto: seg slice too short (%d < %d)", len(sps), len(pairs)))
 	}
-	return sel.selectSegRange(pairs, sps, 0, len(pairs), h)
+	return sel.selectSegRange(pairs, sps, 0, 0, len(pairs), h)
 }
 
 // selectSegRange routes pairs[lo:hi] into sps[lo:hi] with one scratch —
 // the per-worker body of the serial and parallel segment engines.
-func (sel *Selector) selectSegRange(pairs []mesh.Pair, sps []mesh.SegPath, lo, hi int, h SegHooks) Aggregate {
+// stream0 shifts packet i's randomness stream to stream0+i (0 for
+// whole-batch calls; see SelectRangeParallelBaseInto).
+func (sel *Selector) selectSegRange(pairs []mesh.Pair, sps []mesh.SegPath, stream0 uint64, lo, hi int, h SegHooks) Aggregate {
 	sc := sel.getScratch()
 	defer sel.putScratch(sc)
 	var agg Aggregate
 	for i := lo; i < hi; i++ {
-		sp, st := sel.constructSegInto(pairs[i].S, pairs[i].T, uint64(i), sc)
+		sp, st := sel.constructSegInto(pairs[i].S, pairs[i].T, stream0+uint64(i), sc)
 		sps[i] = sp
 		agg.Add(st)
 		if h.Edge != nil {
@@ -177,6 +179,16 @@ func (sel *Selector) SelectAllParallelSegInto(pairs []mesh.Pair, workers int, sp
 // paths of one whole-batch call — the property the routing service's
 // chunked wire streaming relies on.
 func (sel *Selector) SelectRangeParallelSegInto(pairs []mesh.Pair, lo, hi, workers int, sps []mesh.SegPath, h SegHooks) Aggregate {
+	return sel.SelectRangeParallelSegBaseInto(pairs, 0, lo, hi, workers, sps, h)
+}
+
+// SelectRangeParallelSegBaseInto is SelectRangeParallelSegInto with the
+// packet streams shifted by stream0: packet i draws from stream
+// stream0+i. A gateway routing shard [lo,hi) of a larger logical batch
+// passes the shard's global offset as stream0 and gets exactly the
+// paths a single node would have selected for those positions (see
+// SelectRangeParallelBaseInto). stream0 = 0 is the plain call.
+func (sel *Selector) SelectRangeParallelSegBaseInto(pairs []mesh.Pair, stream0 uint64, lo, hi, workers int, sps []mesh.SegPath, h SegHooks) Aggregate {
 	if lo < 0 || hi > len(pairs) || lo > hi {
 		panic("core: SelectRangeParallelSegInto: range out of bounds")
 	}
@@ -184,15 +196,15 @@ func (sel *Selector) SelectRangeParallelSegInto(pairs []mesh.Pair, lo, hi, worke
 		panic("core: SelectRangeParallelSegInto: seg slice too short")
 	}
 	return runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
-		return sel.selectSegRange(pairs, sps, wlo, whi, h)
+		return sel.selectSegRange(pairs, sps, stream0, wlo, whi, h)
 	})
 }
 
 // selectSegRangeArena is selectSegRange writing into a chunk-relative
 // slice (out[i-base] for packet i) with each committed path's Segs
 // carved from a leased arena. The per-worker body of the chunked slab
-// engines.
-func (sel *Selector) selectSegRangeArena(pairs []mesh.Pair, out []mesh.SegPath, base, lo, hi int, ag *SegArenaGroup, h SegHooks) Aggregate {
+// engines. stream0 shifts packet i's randomness stream to stream0+i.
+func (sel *Selector) selectSegRangeArena(pairs []mesh.Pair, out []mesh.SegPath, stream0 uint64, base, lo, hi int, ag *SegArenaGroup, h SegHooks) Aggregate {
 	sc := sel.getScratch()
 	defer sel.putScratch(sc)
 	var ar *SegArena
@@ -202,7 +214,7 @@ func (sel *Selector) selectSegRangeArena(pairs []mesh.Pair, out []mesh.SegPath, 
 	}
 	var agg Aggregate
 	for i := lo; i < hi; i++ {
-		sp, st := sel.constructSegArena(pairs[i].S, pairs[i].T, uint64(i), ar, sc)
+		sp, st := sel.constructSegArena(pairs[i].S, pairs[i].T, stream0+uint64(i), ar, sc)
 		out[i-base] = sp
 		agg.Add(st)
 		if h.Edge != nil {
@@ -226,6 +238,14 @@ func (sel *Selector) selectSegRangeArena(pairs []mesh.Pair, out []mesh.SegPath, 
 // in out alias ag's slabs and die at ag.Reset; hooks run concurrently
 // from all workers.
 func (sel *Selector) SelectChunkSegArena(pairs []mesh.Pair, lo, hi, workers int, out []mesh.SegPath, ag *SegArenaGroup, h SegHooks) Aggregate {
+	return sel.SelectChunkSegArenaBase(pairs, 0, lo, hi, workers, out, ag, h)
+}
+
+// SelectChunkSegArenaBase is SelectChunkSegArena with the packet
+// streams shifted by stream0 (packet i draws from stream stream0+i) —
+// the chunked slab engine of a server routing a shard of a larger
+// logical batch; see SelectRangeParallelBaseInto.
+func (sel *Selector) SelectChunkSegArenaBase(pairs []mesh.Pair, stream0 uint64, lo, hi, workers int, out []mesh.SegPath, ag *SegArenaGroup, h SegHooks) Aggregate {
 	if lo < 0 || hi > len(pairs) || lo > hi {
 		panic("core: SelectChunkSegArena: range out of bounds")
 	}
@@ -233,6 +253,6 @@ func (sel *Selector) SelectChunkSegArena(pairs []mesh.Pair, lo, hi, workers int,
 		panic("core: SelectChunkSegArena: out slice too short")
 	}
 	return runRangeParallel(lo, hi, workers, func(wlo, whi int) Aggregate {
-		return sel.selectSegRangeArena(pairs, out, lo, wlo, whi, ag, h)
+		return sel.selectSegRangeArena(pairs, out, stream0, lo, wlo, whi, ag, h)
 	})
 }

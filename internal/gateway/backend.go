@@ -1,0 +1,73 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	obliviousmesh "obliviousmesh"
+)
+
+// backend is one meshrouted member of the rotation: a typed client and
+// a health bit flipped down by the prober or by fan-out demotion, and
+// back up by the prober once /healthz answers again.
+type backend struct {
+	url     string
+	client  *obliviousmesh.Client
+	healthy atomic.Bool
+}
+
+func newBackend(url string, cfg Config) *backend {
+	return &backend{
+		url: url,
+		client: obliviousmesh.NewClient(url, obliviousmesh.ClientConfig{
+			HTTPClient: cfg.HTTPClient,
+			// The gateway has its own failover (demote + re-fan), so each
+			// sub-request burns only a small transient budget in place.
+			MaxRetries:     cfg.BackendRetries,
+			BaseBackoff:    10 * time.Millisecond,
+			MaxBackoff:     250 * time.Millisecond,
+			RequestTimeout: cfg.BackendTimeout,
+		}),
+	}
+}
+
+// probeLoop drives health-gated membership: every ProbeInterval each
+// backend's /healthz is probed concurrently, and the health bit is
+// overwritten with the verdict — dead or draining members leave the
+// rotation, recovered ones rejoin without operator action.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	tick := time.NewTicker(g.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-tick.C:
+			g.probeAll()
+		}
+	}
+}
+
+func (g *Gateway) probeAll() {
+	timeout := g.cfg.ProbeInterval
+	if timeout < 100*time.Millisecond {
+		timeout = 100 * time.Millisecond
+	}
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			b.healthy.Store(b.client.Health(ctx) == nil)
+		}(b)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,104 @@
+package serial
+
+import (
+	"bytes"
+	"testing"
+
+	"obliviousmesh/internal/mesh"
+)
+
+// TestWireSegEncodeTrustedBytes pins the re-framing contract: a stream
+// built with EncodeTrusted is byte-for-byte the stream Encode builds,
+// and a decode → re-frame round trip reproduces the original bytes —
+// what lets a gateway reassemble backend sub-streams into a response
+// byte-identical to a single node's.
+func TestWireSegEncodeTrustedBytes(t *testing.T) {
+	m, err := mesh.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sps := []mesh.SegPath{
+		{Start: -1}, // empty path
+		{Start: 0},  // single-node path
+		{Start: 0, Segs: []mesh.Seg{{Dim: 0, Run: 3}, {Dim: 1, Run: 2}, {Dim: 0, Run: -1}}},
+		{Start: 63, Segs: []mesh.Seg{{Dim: 1, Run: -7}}},
+	}
+
+	var want, got bytes.Buffer
+	enc, err := NewWireSegEncoder(&want, m, len(sps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range sps {
+		if err := enc.Encode(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tenc, err := NewWireSegEncoder(&got, m, len(sps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range sps {
+		if err := tenc.EncodeTrusted(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tenc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("EncodeTrusted bytes differ from Encode:\n%x\n%x", want.Bytes(), got.Bytes())
+	}
+
+	// Decode → re-frame: the gateway's fan-in loop.
+	dec, err := NewWireSegDecoder(bytes.NewReader(want.Bytes()), m, len(sps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reframed bytes.Buffer
+	renc, err := NewWireSegEncoder(&reframed, m, dec.Count())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < dec.Count(); i++ {
+		sp, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := renc.EncodeTrusted(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := renc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), reframed.Bytes()) {
+		t.Fatal("decode → EncodeTrusted round trip changed the stream bytes")
+	}
+}
+
+// TestMeshSpecEqual covers the membership fingerprint comparison.
+func TestMeshSpecEqual(t *testing.T) {
+	a := MeshSpec{Dims: []int{8, 8}}
+	cases := []struct {
+		b    MeshSpec
+		want bool
+	}{
+		{MeshSpec{Dims: []int{8, 8}}, true},
+		{MeshSpec{Dims: []int{8, 8}, Wrap: true}, false},
+		{MeshSpec{Dims: []int{8, 16}}, false},
+		{MeshSpec{Dims: []int{8, 8, 8}}, false},
+	}
+	for _, c := range cases {
+		if got := a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}

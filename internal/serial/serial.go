@@ -26,6 +26,21 @@ func Spec(m *mesh.Mesh) MeshSpec {
 	return MeshSpec{Dims: m.Sides(), Wrap: m.Wrap()}
 }
 
+// Equal reports whether two specs describe the same topology — the
+// cluster-membership check a gateway runs before treating two daemons
+// as interchangeable replicas.
+func (s MeshSpec) Equal(o MeshSpec) bool {
+	if s.Wrap != o.Wrap || len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		if s.Dims[i] != o.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Build reconstructs the mesh.
 func (s MeshSpec) Build() (*mesh.Mesh, error) {
 	if s.Wrap {

@@ -102,6 +102,27 @@ func AppendWireSegPath(dst []byte, m *mesh.Mesh, sp mesh.SegPath) ([]byte, error
 	return dst, nil
 }
 
+// AppendWireSegPathTrusted is AppendWireSegPath without the
+// SegWalkEnd validation — for re-framing paths that already passed a
+// decoder's or engine's validation (a gateway splitting one logical
+// batch across backends and re-assembling the sub-streams), where
+// walking every path a second time would double the per-path cost.
+// Feeding it an invalid walk produces a stream the receiving decoder
+// rejects, so the failure mode is loud, just later.
+func AppendWireSegPathTrusted(dst []byte, sp mesh.SegPath) []byte {
+	if sp.Start < 0 {
+		return binary.AppendUvarint(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(sp.Segs))+1)
+	dst = binary.AppendUvarint(dst, uint64(sp.Start))
+	for _, sg := range sp.Segs {
+		code, steps := segCode(sg)
+		dst = binary.AppendUvarint(dst, code)
+		dst = binary.AppendUvarint(dst, steps)
+	}
+	return dst
+}
+
 // WireSegEncoder streams a batch of run-length paths: header on
 // construction, one Encode per path in order, Close for the checksum
 // trailer — the OMP2 counterpart of WireEncoder.
@@ -140,6 +161,24 @@ func (e *WireSegEncoder) Encode(sp mesh.SegPath) error {
 	if err != nil {
 		return err
 	}
+	e.sum.add(sp)
+	e.left--
+	_, werr := e.w.Write(e.buf)
+	return werr
+}
+
+// EncodeTrusted is Encode without re-walking the path against the
+// mesh — the sub-batch re-framing fast path for paths that already
+// passed a WireSegDecoder's validation. Byte-for-byte identical output
+// to Encode for any valid path.
+func (e *WireSegEncoder) EncodeTrusted(sp mesh.SegPath) error {
+	if e.left <= 0 {
+		return fmt.Errorf("serial: wireseg: more paths than the declared count")
+	}
+	if sp.Start < 0 && len(sp.Segs) != 0 {
+		return fmt.Errorf("serial: wireseg: empty path with %d segments", len(sp.Segs))
+	}
+	e.buf = AppendWireSegPathTrusted(e.buf[:0], sp)
 	e.sum.add(sp)
 	e.left--
 	_, werr := e.w.Write(e.buf)

@@ -253,14 +253,14 @@ func TestLoadShedding(t *testing.T) {
 		RequestTimeout: 5 * time.Second,
 	})
 	// Occupy the only execution slot and the only queue position.
-	if err := srv.adm.admit(t.Context()); err != nil {
+	if err := srv.adm.Admit(t.Context()); err != nil {
 		t.Fatal(err)
 	}
 	waiterDone := make(chan error, 1)
 	go func() {
-		err := srv.adm.admit(t.Context())
+		err := srv.adm.Admit(t.Context())
 		if err == nil {
-			srv.adm.release()
+			srv.adm.Release()
 		}
 		waiterDone <- err
 	}()
@@ -296,7 +296,7 @@ func TestLoadShedding(t *testing.T) {
 	}
 
 	// Release the slot: the queued waiter must get through.
-	srv.adm.release()
+	srv.adm.Release()
 	select {
 	case err := <-waiterDone:
 		if err != nil {

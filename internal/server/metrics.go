@@ -44,37 +44,44 @@ func (c *ksampleCounters) add(ks core.KStats) {
 // scrape is a consistent-enough rolling view, never a stop-the-world.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		WriteErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.writeMetrics(w)
 }
 
-func (s *Server) writeMetrics(w io.Writer) {
-	writeEndpoint := func(endpoint string, st metrics.ServerStats) {
-		e := func(name string, v int64) {
-			fmt.Fprintf(w, "meshrouted_%s{endpoint=%q} %d\n", name, endpoint, v)
-		}
-		e("requests_total", st.Requests())
-		e("responses_ok_total", st.OK)
-		e("responses_client_error_total", st.ClientErrors)
-		e("responses_server_error_total", st.ServerErrors)
-		e("shed_total", st.Shed)
-		e("timeouts_total", st.Timeouts)
-		e("requests_in_flight", st.InFlight())
-		e("routes_total", st.Routes)
-		e("route_edges_total", st.Traversals)
-		fmt.Fprintf(w, "meshrouted_latency_avg_seconds{endpoint=%q} %.9f\n",
-			endpoint, st.AvgLatency.Seconds())
-		fmt.Fprintf(w, "meshrouted_latency_max_seconds{endpoint=%q} %.9f\n",
-			endpoint, st.MaxLatency.Seconds())
+// WriteEndpointMetrics renders one endpoint's request counters in the
+// flat text exposition under the given metric prefix (the daemon uses
+// "meshrouted", the gateway "meshgate" — identical line shapes, so
+// one set of dashboards reads both).
+func WriteEndpointMetrics(w io.Writer, prefix, endpoint string, st metrics.ServerStats) {
+	e := func(name string, v int64) {
+		fmt.Fprintf(w, "%s_%s{endpoint=%q} %d\n", prefix, name, endpoint, v)
 	}
-	writeEndpoint("route", s.routeC.Snapshot())
-	writeEndpoint("batch", s.batchC.Snapshot())
+	e("requests_total", st.Requests())
+	e("responses_ok_total", st.OK)
+	e("responses_client_error_total", st.ClientErrors)
+	e("responses_server_error_total", st.ServerErrors)
+	e("shed_total", st.Shed)
+	e("timeouts_total", st.Timeouts)
+	e("requests_in_flight", st.InFlight())
+	e("routes_total", st.Routes)
+	e("route_edges_total", st.Traversals)
+	fmt.Fprintf(w, "%s_latency_avg_seconds{endpoint=%q} %.9f\n",
+		prefix, endpoint, st.AvgLatency.Seconds())
+	fmt.Fprintf(w, "%s_latency_max_seconds{endpoint=%q} %.9f\n",
+		prefix, endpoint, st.MaxLatency.Seconds())
+}
+
+func (s *Server) writeMetrics(w io.Writer) {
+	WriteEndpointMetrics(w, "meshrouted", "route", s.routeC.Snapshot())
+	WriteEndpointMetrics(w, "meshrouted", "batch", s.batchC.Snapshot())
 
 	fmt.Fprintf(w, "meshrouted_admission_in_flight %d\n", s.adm.InFlight())
 	fmt.Fprintf(w, "meshrouted_admission_waiting %d\n", s.adm.Waiting())
+	fmt.Fprintf(w, "meshrouted_admission_in_flight_max %d\n", s.cfg.MaxInFlight)
+	fmt.Fprintf(w, "meshrouted_admission_queue_max %d\n", s.cfg.MaxQueue)
 	fmt.Fprintf(w, "meshrouted_draining %d\n", boolGauge(s.draining.Load()))
 	fmt.Fprintf(w, "meshrouted_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
 

@@ -62,13 +62,13 @@ func (s *Server) putPipeBuf(b *pipeBuf) { s.pipe.Put(b) }
 // k-sample refresh semantics are unchanged — the snapshot is taken
 // right before the chunk routes, so it sees exactly the load earlier
 // chunks booked, the same order the batch-then-encode path produced.
-func (s *Server) selectChunkSegsArena(kq *kreq, pairs []mesh.Pair, lo, hi int, out []mesh.SegPath, ag *core.SegArenaGroup, hooks core.SegHooks) {
+func (s *Server) selectChunkSegsArena(kq *kreq, pairs []mesh.Pair, base uint64, lo, hi int, out []mesh.SegPath, ag *core.SegArenaGroup, hooks core.SegHooks) {
 	if kq == nil {
-		s.sel.SelectChunkSegArena(pairs, lo, hi, s.cfg.BatchWorkers, out, ag, hooks)
+		s.sel.SelectChunkSegArenaBase(pairs, base, lo, hi, s.cfg.BatchWorkers, out, ag, hooks)
 		return
 	}
 	kq.refresh(s)
-	_, ks := s.sel.SelectChunkKSegArena(pairs, kq.snap, lo, hi, s.cfg.BatchWorkers, out, ag,
+	_, ks := s.sel.SelectChunkKSegArenaBase(pairs, kq.snap, base, lo, hi, s.cfg.BatchWorkers, out, ag,
 		core.KSegHooks{Edge: hooks.Edge, Seg: hooks.Seg})
 	s.kc.add(ks)
 }
@@ -80,7 +80,7 @@ func (s *Server) selectChunkSegsArena(kq *kreq, pairs []mesh.Pair, lo, hi int, o
 // truncates the response before the checksum trailer, exactly like the
 // serial path, so a partial flush can never be mistaken for a complete
 // stream.
-func (s *Server) streamBatchSegWirePipelined(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair) (code int, routes, edges int64) {
+func (s *Server) streamBatchSegWirePipelined(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair, base uint64) (code int, routes, edges int64) {
 	w.Header().Set("Content-Type", serial.WireSegContentType)
 	w.WriteHeader(http.StatusOK)
 	enc, err := serial.AcquireWireSegEncoder(w, s.m, len(pairs))
@@ -119,7 +119,7 @@ func (s *Server) streamBatchSegWirePipelined(ctx context.Context, w http.Respons
 				return
 			}
 			buf.arena.Reset() // reclaims the PREVIOUS tenant chunk's slabs
-			s.selectChunkSegsArena(kq, pairs, lo, hi, buf.sps[:hi-lo], buf.arena, hooks)
+			s.selectChunkSegsArena(kq, pairs, base, lo, hi, buf.sps[:hi-lo], buf.arena, hooks)
 			select {
 			case results <- chunkResult{buf: buf, lo: lo, hi: hi}:
 			case <-stop:

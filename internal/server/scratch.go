@@ -10,7 +10,7 @@ import (
 // shapes: one flat []int holds every row's integers (carved with
 // three-index slices, so rows can't bleed into each other) and one
 // [][]int holds the row headers. Pooled per Server; a request releases
-// its scratch only after writeJSON has fully encoded the response, so
+// its scratch only after WriteJSON has fully encoded the response, so
 // nothing the encoder read is ever recycled early. This removes the
 // per-path make([]int, ...) from the JSON batch, seg-batch, and route
 // handlers — after warm-up the response shaping allocates nothing.

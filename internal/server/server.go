@@ -158,7 +158,7 @@ type Server struct {
 	m    *mesh.Mesh
 	sel  *core.Selector
 	live *metrics.LiveLoads
-	adm  *admitter
+	adm  *Admitter
 
 	streams  uint64 // single-route stream ids (atomic)
 	draining atomic.Bool
@@ -203,7 +203,7 @@ func New(cfg Config) (*Server, error) {
 		m:       cfg.Mesh,
 		sel:     sel,
 		live:    metrics.NewLiveLoadsSize(cfg.Mesh.EdgeSpace(), cfg.LoadShards),
-		adm:     newAdmitter(cfg.MaxInFlight, cfg.MaxQueue),
+		adm:     NewAdmitter(cfg.MaxInFlight, cfg.MaxQueue),
 		started: time.Now(),
 	}, nil
 }
@@ -224,6 +224,11 @@ func (s *Server) Handler() http.Handler {
 // shed. In-flight requests are unaffected; pair Drain with
 // http.Server.Shutdown, which waits for them.
 func (s *Server) Drain() { s.draining.Store(true) }
+
+// Undrain reverses Drain: /healthz answers ok again and new work is
+// admitted — an aborted rollout rejoins its gateway's rotation on the
+// next health probe.
+func (s *Server) Undrain() { s.draining.Store(false) }
 
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -263,15 +268,18 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes v as the JSON body of a code response. Exported so
+// sibling services (the gateway) answer with the exact same envelope.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+// WriteErr writes the standard {"error": ...} envelope.
+func WriteErr(w http.ResponseWriter, code int, format string, args ...any) {
+	WriteJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
 // admitOrShed runs admission control for one routing request. ctx
@@ -284,17 +292,17 @@ func (s *Server) admitOrShed(ctx context.Context, w http.ResponseWriter, c *metr
 	if s.draining.Load() {
 		c.Shed()
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, "draining")
+		WriteErr(w, http.StatusServiceUnavailable, "draining")
 		return false
 	}
-	if err := s.adm.admit(ctx); err != nil {
-		if errors.Is(err, errShed) {
+	if err := s.adm.Admit(ctx); err != nil {
+		if errors.Is(err, ErrShed) {
 			c.Shed()
 			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, "overloaded: %d in flight, %d queued", s.cfg.MaxInFlight, s.cfg.MaxQueue)
+			WriteErr(w, http.StatusTooManyRequests, "overloaded: %d in flight, %d queued", s.cfg.MaxInFlight, s.cfg.MaxQueue)
 		} else {
 			c.Timeout()
-			writeErr(w, http.StatusServiceUnavailable, "canceled while queued: %v", err)
+			WriteErr(w, http.StatusServiceUnavailable, "canceled while queued: %v", err)
 		}
 		return false
 	}
@@ -317,7 +325,7 @@ type routeResponse struct {
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		WriteErr(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	ctx, cancel := contextWithTimeout(r, s.cfg.RequestTimeout)
@@ -325,7 +333,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if !s.admitOrShed(ctx, w, &s.routeC) {
 		return
 	}
-	defer s.adm.release()
+	defer s.adm.Release()
 	start := s.routeC.Start()
 	code, routes, edges := s.doRoute(w, r)
 	s.routeC.Done(code, start, routes, edges)
@@ -335,12 +343,12 @@ func (s *Server) doRoute(w http.ResponseWriter, r *http.Request) (code int, rout
 	var req routeRequest
 	body := http.MaxBytesReader(w, r.Body, 4096)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
+		WriteErr(w, http.StatusBadRequest, "decode request: %v", err)
 		return http.StatusBadRequest, 0, 0
 	}
 	size := s.m.Size()
 	if req.S < 0 || req.S >= size || req.T < 0 || req.T >= size {
-		writeErr(w, http.StatusBadRequest, "pair (%d,%d) out of range for %v", req.S, req.T, s.m)
+		WriteErr(w, http.StatusBadRequest, "pair (%d,%d) out of range for %v", req.S, req.T, s.m)
 		return http.StatusBadRequest, 0, 0
 	}
 	stream := atomic.AddUint64(&s.streams, 1) - 1
@@ -361,7 +369,7 @@ func (s *Server) doRoute(w http.ResponseWriter, r *http.Request) (code int, rout
 	for i, n := range p {
 		resp.Path[i] = int(n)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 	s.putJSONScratch(sc)
 	return http.StatusOK, 1, int64(p.Len())
 }
@@ -397,14 +405,15 @@ func (k *kreq) refresh(s *Server) {
 // selectChunkSegs routes pairs[lo:hi] into sps[lo:hi] with the plain
 // segment engine, or — when the server samples — with the k-sample
 // engine against a freshly refreshed snapshot, folding the sampling
-// stats into the /metrics counters.
-func (s *Server) selectChunkSegs(kq *kreq, pairs []mesh.Pair, lo, hi int, sps []mesh.SegPath, hooks core.SegHooks) {
+// stats into the /metrics counters. base offsets every stream id, so
+// pair i routes with stream base+i.
+func (s *Server) selectChunkSegs(kq *kreq, pairs []mesh.Pair, base uint64, lo, hi int, sps []mesh.SegPath, hooks core.SegHooks) {
 	if kq == nil {
-		s.sel.SelectRangeParallelSegInto(pairs, lo, hi, s.cfg.BatchWorkers, sps, hooks)
+		s.sel.SelectRangeParallelSegBaseInto(pairs, base, lo, hi, s.cfg.BatchWorkers, sps, hooks)
 		return
 	}
 	kq.refresh(s)
-	_, ks := s.sel.SelectRangeParallelKSegInto(pairs, kq.snap, lo, hi, s.cfg.BatchWorkers, sps,
+	_, ks := s.sel.SelectRangeParallelKSegBaseInto(pairs, kq.snap, base, lo, hi, s.cfg.BatchWorkers, sps,
 		core.KSegHooks{Edge: hooks.Edge, Seg: hooks.Seg})
 	s.kc.add(ks)
 }
@@ -412,16 +421,16 @@ func (s *Server) selectChunkSegs(kq *kreq, pairs []mesh.Pair, lo, hi int, sps []
 // selectChunkHops is selectChunkSegs for the hop formats: a sampling
 // server routes run-length candidates and expands only the committed
 // paths into paths[lo:hi].
-func (s *Server) selectChunkHops(kq *kreq, pairs []mesh.Pair, lo, hi int, paths []mesh.Path, hooks core.Hooks) {
+func (s *Server) selectChunkHops(kq *kreq, pairs []mesh.Pair, base uint64, lo, hi int, paths []mesh.Path, hooks core.Hooks) {
 	if kq == nil {
-		s.sel.SelectRangeParallelInto(pairs, lo, hi, s.cfg.BatchWorkers, paths, hooks)
+		s.sel.SelectRangeParallelBaseInto(pairs, base, lo, hi, s.cfg.BatchWorkers, paths, hooks)
 		return
 	}
 	if kq.sps == nil {
 		kq.sps = make([]mesh.SegPath, len(pairs))
 	}
 	kq.refresh(s)
-	_, ks := s.sel.SelectRangeParallelKSegInto(pairs, kq.snap, lo, hi, s.cfg.BatchWorkers, kq.sps,
+	_, ks := s.sel.SelectRangeParallelKSegBaseInto(pairs, kq.snap, base, lo, hi, s.cfg.BatchWorkers, kq.sps,
 		core.KSegHooks{Edge: hooks.Edge})
 	s.kc.add(ks)
 	for i := lo; i < hi; i++ {
@@ -429,9 +438,20 @@ func (s *Server) selectChunkHops(kq *kreq, pairs []mesh.Pair, lo, hi int, paths 
 	}
 }
 
-// batchRequest is the /v1/batch body.
+// maxStreamBase caps the "base" field of a batch request. It keeps
+// base + MaxBatch far below the 1<<48 bit the k-sample candidate
+// streams flip (KSampleStream XORs j<<48), so a shard's candidate
+// draws can never collide with another shard's primary streams.
+const maxStreamBase = 1 << 40
+
+// batchRequest is the /v1/batch body. Base offsets the stream ids:
+// pair i routes with stream base+i instead of i, which lets a gateway
+// split one logical batch across replicas and get back exactly the
+// bytes one replica would have produced for the whole batch
+// (advertised as the "batch-base" feature on /v1/mesh).
 type batchRequest struct {
 	Pairs [][2]int `json:"pairs"`
+	Base  uint64   `json:"base,omitempty"`
 }
 
 // batchResponse is the JSON /v1/batch reply. Path i belongs to pair i
@@ -444,7 +464,7 @@ type batchResponse struct {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		WriteErr(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	ctx, cancel := contextWithTimeout(r, s.cfg.RequestTimeout)
@@ -452,7 +472,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.admitOrShed(ctx, w, &s.batchC) {
 		return
 	}
-	defer s.adm.release()
+	defer s.adm.Release()
 	start := s.batchC.Start()
 	code, routes, edges := s.doBatch(ctx, w, r)
 	if code == http.StatusGatewayTimeout {
@@ -469,51 +489,45 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 	var err error
 	if bs.body, err = readAppend(bs.body[:0], body); err == nil {
 		bs.req.Pairs = bs.req.Pairs[:0]
+		bs.req.Base = 0
 		err = json.Unmarshal(bs.body, &bs.req)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
+		WriteErr(w, http.StatusBadRequest, "decode request: %v", err)
 		return http.StatusBadRequest, 0, 0
 	}
 	req := &bs.req
 	if len(req.Pairs) > s.cfg.MaxBatch {
-		writeErr(w, http.StatusRequestEntityTooLarge, "%d pairs exceeds max batch %d", len(req.Pairs), s.cfg.MaxBatch)
+		WriteErr(w, http.StatusRequestEntityTooLarge, "%d pairs exceeds max batch %d", len(req.Pairs), s.cfg.MaxBatch)
 		return http.StatusRequestEntityTooLarge, 0, 0
 	}
+	if req.Base > maxStreamBase {
+		WriteErr(w, http.StatusBadRequest, "base %d exceeds max %d", req.Base, uint64(maxStreamBase))
+		return http.StatusBadRequest, 0, 0
+	}
+	base := req.Base
 	size := s.m.Size()
 	pairs := bs.pairsFor(len(req.Pairs))
 	for i, pr := range req.Pairs {
 		if pr[0] < 0 || pr[0] >= size || pr[1] < 0 || pr[1] >= size {
-			writeErr(w, http.StatusBadRequest, "pair %d (%d,%d) out of range for %v", i, pr[0], pr[1], s.m)
+			WriteErr(w, http.StatusBadRequest, "pair %d (%d,%d) out of range for %v", i, pr[0], pr[1], s.m)
 			return http.StatusBadRequest, 0, 0
 		}
 		pairs[i] = mesh.Pair{S: mesh.NodeID(pr[0]), T: mesh.NodeID(pr[1])}
 	}
 
-	format := r.URL.Query().Get("format")
-	switch format {
-	case "":
-		accept := r.Header.Get("Accept")
-		switch {
-		case strings.Contains(accept, serial.WireSegContentType):
-			format = "wire2"
-		case strings.Contains(accept, serial.WireContentType):
-			format = "wire"
-		default:
-			format = "json"
-		}
-	case "json", "wire", "wire2":
-	default:
-		writeErr(w, http.StatusBadRequest, `unknown format %q (want "json", "wire" or "wire2")`, format)
+	format, ok := NegotiateBatchFormat(r)
+	if !ok {
+		WriteErr(w, http.StatusBadRequest, `unknown format %q (want "json", "wire" or "wire2")`, format)
 		return http.StatusBadRequest, 0, 0
 	}
 
 	kq := s.newKreq()
 	if format == "wire2" {
-		return s.streamBatchSegWire(ctx, w, kq, pairs)
+		return s.streamBatchSegWire(ctx, w, kq, pairs, base)
 	}
 	if format == "json" && s.cfg.PathFormat == "segments" {
-		return s.jsonBatchSeg(ctx, w, kq, pairs)
+		return s.jsonBatchSeg(ctx, w, kq, pairs, base)
 	}
 
 	// Fused routing+accounting: every edge crossing lands in the live
@@ -525,7 +539,7 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 	paths := make([]mesh.Path, len(pairs))
 
 	if format == "wire" {
-		return s.streamBatchWire(ctx, w, kq, pairs, paths, hooks)
+		return s.streamBatchWire(ctx, w, kq, pairs, base, paths, hooks)
 	}
 
 	// Deadline-checked slices: the context is consulted every
@@ -537,20 +551,20 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 			s.chunkHook(lo)
 		}
 		if err := ctx.Err(); err != nil {
-			writeErr(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d pairs", lo, len(pairs))
+			WriteErr(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d pairs", lo, len(pairs))
 			return http.StatusGatewayTimeout, 0, 0
 		}
 		hi := lo + s.cfg.BatchChunk
 		if hi > len(pairs) {
 			hi = len(pairs)
 		}
-		s.selectChunkHops(kq, pairs, lo, hi, paths, hooks)
+		s.selectChunkHops(kq, pairs, base, lo, hi, paths, hooks)
 	}
 	for _, p := range paths {
 		edges += int64(p.Len())
 	}
 	sc := s.getJSONScratch()
-	writeJSON(w, http.StatusOK, batchResponse{Paths: sc.hopRows(paths)})
+	WriteJSON(w, http.StatusOK, batchResponse{Paths: sc.hopRows(paths)})
 	s.putJSONScratch(sc)
 	return http.StatusOK, int64(len(paths)), edges
 }
@@ -560,7 +574,7 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 // chunks. If the deadline passes mid-stream the response ends without
 // the checksum trailer, which the client's decoder rejects — a
 // truncated stream can never be mistaken for a complete one.
-func (s *Server) streamBatchWire(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair, paths []mesh.Path, hooks core.Hooks) (code int, routes, edges int64) {
+func (s *Server) streamBatchWire(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair, base uint64, paths []mesh.Path, hooks core.Hooks) (code int, routes, edges int64) {
 	w.Header().Set("Content-Type", serial.WireContentType)
 	w.WriteHeader(http.StatusOK)
 	enc, err := serial.NewWireEncoder(w, s.m, len(pairs))
@@ -576,7 +590,7 @@ func (s *Server) streamBatchWire(ctx context.Context, w http.ResponseWriter, kq 
 		if hi > len(pairs) {
 			hi = len(pairs)
 		}
-		s.selectChunkHops(kq, pairs, lo, hi, paths, hooks)
+		s.selectChunkHops(kq, pairs, base, lo, hi, paths, hooks)
 		for _, p := range paths[lo:hi] {
 			if err := enc.Encode(p); err != nil {
 				return http.StatusInternalServerError, routes, edges
@@ -614,7 +628,7 @@ type segBatchResponse struct {
 // jsonBatchSeg routes the batch with the segment-native engine and
 // answers with flat run-length records — the deadline-checked chunking
 // of the hop JSON path, minus the per-hop expansion.
-func (s *Server) jsonBatchSeg(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair) (code int, routes, edges int64) {
+func (s *Server) jsonBatchSeg(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair, base uint64) (code int, routes, edges int64) {
 	sps := make([]mesh.SegPath, len(pairs))
 	hooks := s.segLiveHooks()
 	for lo := 0; lo < len(pairs); lo += s.cfg.BatchChunk {
@@ -622,20 +636,20 @@ func (s *Server) jsonBatchSeg(ctx context.Context, w http.ResponseWriter, kq *kr
 			s.chunkHook(lo)
 		}
 		if err := ctx.Err(); err != nil {
-			writeErr(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d pairs", lo, len(pairs))
+			WriteErr(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d pairs", lo, len(pairs))
 			return http.StatusGatewayTimeout, 0, 0
 		}
 		hi := lo + s.cfg.BatchChunk
 		if hi > len(pairs) {
 			hi = len(pairs)
 		}
-		s.selectChunkSegs(kq, pairs, lo, hi, sps, hooks)
+		s.selectChunkSegs(kq, pairs, base, lo, hi, sps, hooks)
 	}
 	for _, sp := range sps {
 		edges += int64(sp.Len())
 	}
 	sc := s.getJSONScratch()
-	writeJSON(w, http.StatusOK, segBatchResponse{SegPaths: sc.segRows(sps)})
+	WriteJSON(w, http.StatusOK, segBatchResponse{SegPaths: sc.segRows(sps)})
 	s.putJSONScratch(sc)
 	return http.StatusOK, int64(len(sps)), edges
 }
@@ -645,18 +659,18 @@ func (s *Server) jsonBatchSeg(ctx context.Context, w http.ResponseWriter, kq *kr
 // pipeline (pipeline.go) by default, or the sequential
 // batch-then-encode loop when Config.DisablePipeline is set. Both
 // produce identical bytes.
-func (s *Server) streamBatchSegWire(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair) (code int, routes, edges int64) {
+func (s *Server) streamBatchSegWire(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair, base uint64) (code int, routes, edges int64) {
 	if !s.cfg.DisablePipeline {
-		return s.streamBatchSegWirePipelined(ctx, w, kq, pairs)
+		return s.streamBatchSegWirePipelined(ctx, w, kq, pairs, base)
 	}
-	return s.streamBatchSegWireSerial(ctx, w, kq, pairs)
+	return s.streamBatchSegWireSerial(ctx, w, kq, pairs, base)
 }
 
 // streamBatchSegWireSerial is the pre-pipeline wire2 loop: materialize
 // the whole batch's SegPath slice, then select and encode each chunk
 // in turn — streamBatchWire without ever materializing hop paths. A
 // mid-stream deadline truncates before the checksum trailer.
-func (s *Server) streamBatchSegWireSerial(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair) (code int, routes, edges int64) {
+func (s *Server) streamBatchSegWireSerial(ctx context.Context, w http.ResponseWriter, kq *kreq, pairs []mesh.Pair, base uint64) (code int, routes, edges int64) {
 	w.Header().Set("Content-Type", serial.WireSegContentType)
 	w.WriteHeader(http.StatusOK)
 	enc, err := serial.NewWireSegEncoder(w, s.m, len(pairs))
@@ -674,7 +688,7 @@ func (s *Server) streamBatchSegWireSerial(ctx context.Context, w http.ResponseWr
 		if hi > len(pairs) {
 			hi = len(pairs)
 		}
-		s.selectChunkSegs(kq, pairs, lo, hi, sps, hooks)
+		s.selectChunkSegs(kq, pairs, base, lo, hi, sps, hooks)
 		for _, sp := range sps[lo:hi] {
 			if err := enc.Encode(sp); err != nil {
 				return http.StatusInternalServerError, routes, edges
@@ -692,6 +706,30 @@ func (s *Server) streamBatchSegWireSerial(ctx context.Context, w http.ResponseWr
 	return http.StatusOK, routes, edges
 }
 
+// NegotiateBatchFormat resolves the response encoding of a /v1/batch
+// request: the explicit ?format query parameter wins, otherwise the
+// Accept header, otherwise "json". ok is false when an explicit
+// format is unknown (the returned string is the offending value, for
+// the error message). Exported so the gateway negotiates identically.
+func NegotiateBatchFormat(r *http.Request) (format string, ok bool) {
+	format = r.URL.Query().Get("format")
+	switch format {
+	case "":
+		accept := r.Header.Get("Accept")
+		switch {
+		case strings.Contains(accept, serial.WireSegContentType):
+			return "wire2", true
+		case strings.Contains(accept, serial.WireContentType):
+			return "wire", true
+		default:
+			return "json", true
+		}
+	case "json", "wire", "wire2":
+		return format, true
+	}
+	return format, false
+}
+
 // meshResponse describes the served topology and limits, everything a
 // typed client needs to validate pairs and decode the wire formats.
 type meshResponse struct {
@@ -707,18 +745,22 @@ type meshResponse struct {
 	// Formats lists the /v1/batch encodings this daemon speaks; clients
 	// use it to negotiate wire2 (absent on older daemons).
 	Formats []string `json:"formats"`
+	// Features lists protocol capabilities beyond the encodings:
+	// "batch-base" means /v1/batch honors the "base" stream offset a
+	// sharding gateway needs. Absent on older daemons.
+	Features []string `json:"features,omitempty"`
 }
 
 func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		WriteErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	variant := "general"
 	if s.sel.Options().Variant == core.Variant2D {
 		variant = "2d"
 	}
-	writeJSON(w, http.StatusOK, meshResponse{
+	WriteJSON(w, http.StatusOK, meshResponse{
 		Spec:       serial.Spec(s.m),
 		Seed:       s.cfg.Seed,
 		Variant:    variant,
@@ -726,6 +768,7 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		PathFormat: s.cfg.PathFormat,
 		KSample:    s.cfg.KSample,
 		Formats:    []string{"json", "wire", "wire2"},
+		Features:   []string{"batch-base"},
 	})
 }
 
@@ -733,7 +776,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		// The in-flight count lets a rollout watcher poll the drain down
+		// to zero before cutting power.
+		fmt.Fprintf(w, "draining (in flight: %d)\n", s.adm.InFlight())
 		return
 	}
 	fmt.Fprintln(w, "ok")

@@ -447,15 +447,15 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestAdmitterQueueBounds(t *testing.T) {
-	a := newAdmitter(1, 1)
-	if err := a.admit(context.Background()); err != nil {
+	a := NewAdmitter(1, 1)
+	if err := a.Admit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Slot held: one waiter may queue; it must respect its deadline.
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	if err := a.admit(ctx); err != context.DeadlineExceeded {
+	if err := a.Admit(ctx); err != context.DeadlineExceeded {
 		t.Fatalf("queued admit: %v", err)
 	}
 	if time.Since(start) > 2*time.Second {
@@ -466,24 +466,24 @@ func TestAdmitterQueueBounds(t *testing.T) {
 	block := make(chan struct{})
 	go func() {
 		<-block
-		a.release()
+		a.Release()
 	}()
 	waiter := make(chan error, 1)
 	go func() {
-		waiter <- a.admit(context.Background())
+		waiter <- a.Admit(context.Background())
 	}()
 	// Wait for the waiter to be queued.
 	for i := 0; i < 1000 && a.Waiting() == 0; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	if err := a.admit(context.Background()); err != errShed {
-		t.Fatalf("overflow admit: %v, want errShed", err)
+	if err := a.Admit(context.Background()); err != ErrShed {
+		t.Fatalf("overflow admit: %v, want ErrShed", err)
 	}
 	close(block)
 	if err := <-waiter; err != nil {
 		t.Fatalf("queued waiter: %v", err)
 	}
-	a.release()
+	a.Release()
 }
 
 func ExampleServer_metrics() {
