@@ -25,19 +25,21 @@ FUZZ_TARGETS := \
 	internal/serial:FuzzLoadRun \
 	internal/serial:FuzzWirePaths \
 	internal/serial:FuzzWireSegPaths \
+	internal/serial:FuzzWireSegReframe \
 	internal/workload:FuzzGenerators
 
 FUZZ_ONLY ?= $(FUZZ_TARGETS)
 
 .PHONY: build test vet race fuzz verify bench bench-json bench-smoke serve-smoke cluster-smoke cover
 
-# Committed benchmark baseline for the pipelined serve-path PR:
+# Committed benchmark baseline for the zero-copy shard-splice PR:
 # headline Path/SelectAll/SelectAllSeg/KSample benchmarks plus the
-# loopback ServerBatch and handler-level ServerBatchPipeline
-# benchmarks rendered to JSON (ns/op, B/op, allocs/op) via
-# cmd/benchjson. Compare against BENCH_PR7.json for the numbers before
-# the chunk-streamed select/encode pipeline landed.
-BENCH_JSON ?= BENCH_PR8.json
+# loopback ServerBatch, handler-level ServerBatchPipeline, and
+# gateway-level GatewayBatch (spliced vs decode fan-in) benchmarks
+# rendered to JSON (ns/op, B/op, allocs/op) via cmd/benchjson.
+# Compare against BENCH_PR9.json for the numbers before the splice
+# landed.
+BENCH_JSON ?= BENCH_PR10.json
 
 build:
 	$(GO) build ./...
@@ -70,8 +72,8 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkPath|BenchmarkSelectAll|BenchmarkKSample|BenchmarkServer' -benchmem \
-		. ./internal/core ./internal/server | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+	$(GO) test -run '^$$' -bench 'BenchmarkPath|BenchmarkSelectAll|BenchmarkKSample|BenchmarkServer|BenchmarkGateway' -benchmem \
+		. ./internal/core ./internal/server ./internal/gateway | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # One-iteration pass over every benchmark: catches benchmarks that
 # panic or no longer compile without paying for real measurements (the
@@ -82,13 +84,17 @@ bench-json:
 # cache by >= 2x — and the k-sample budget: best-of-4 selection must
 # cost <= 4.5x the k=1 baseline — and the serve-path budget: the
 # pipelined wire2 handler must allocate <= 0.5x the bytes per request
-# of the batch-then-encode loop on the side-256 mesh.
+# of the batch-then-encode loop on the side-256 mesh — and the splice
+# budget: the gateway's zero-copy wire2 fan-in must allocate <= 0.25x
+# the bytes per batch of the decode/re-encode merge on a 2048-pair
+# side-256 batch over three shards.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^TestBenchGatePathSelect2D$$' -v .
 	$(GO) test -run '^TestBenchGateSelectAllSegTable$$' -v ./internal/core
 	$(GO) test -run '^TestBenchGateKSample$$' -v ./internal/core
 	$(GO) test -run '^TestBenchGateServerPipeline$$' -v ./internal/server
+	$(GO) test -run '^TestBenchGateGatewaySplice$$' -v ./internal/gateway
 
 # End-to-end daemon gate: builds the real meshrouted binary, boots it
 # on a random port, routes a batch through the typed client over both
@@ -98,11 +104,13 @@ serve-smoke:
 	MESHROUTED_SMOKE=1 $(GO) test -run '^TestServeSmoke$$' -v ./cmd/meshrouted
 
 # End-to-end cluster gate: builds meshrouted and meshgate, boots three
-# routing daemons plus one sharding gateway as separate processes,
-# streams ~19k routes through the gateway with golden verification
-# against a local Router, SIGKILLs one backend mid-run (the remaining
-# batches must still verify — re-fan, zero wrong bytes), checks the
-# merged metrics books, then SIGTERMs everything and requires clean
-# drains. See cmd/meshgate/cluster_smoke_test.go.
+# routing daemons plus two sharding gateways (one spliced, one
+# -nosplice) as separate processes, streams ~19k routes through the
+# gateway with golden verification against a local Router and asserts
+# both gateways serve byte-identical checksum-verified wire2 streams,
+# SIGKILLs one backend mid-run (the remaining batches must still
+# verify — re-fan, zero wrong bytes), checks the merged metrics books,
+# then SIGTERMs everything and requires clean drains. See
+# cmd/meshgate/cluster_smoke_test.go.
 cluster-smoke:
 	MESHGATE_SMOKE=1 $(GO) test -run '^TestClusterSmoke$$' -v ./cmd/meshgate

@@ -168,10 +168,8 @@ func (c *Client) Route(ctx context.Context, s, t NodeID) (Path, uint64, error) {
 // belongs to pairs[i] and is drawn with stream i, so the reply is a
 // pure function of (server seed, pairs).
 func (c *Client) RouteBatch(ctx context.Context, pairs []Pair) ([]Path, error) {
-	blob, err := marshalPairs(pairs)
-	if err != nil {
-		return nil, err
-	}
+	blob, release := marshalPairs(pairs)
+	defer release()
 	var resp struct {
 		Paths [][]int `json:"paths"`
 	}
@@ -223,10 +221,8 @@ func (c *Client) RouteBatchWire(ctx context.Context, pairs []Pair) ([]Path, erro
 	if err != nil {
 		return nil, err
 	}
-	blob, err := marshalPairs(pairs)
-	if err != nil {
-		return nil, err
-	}
+	blob, release := marshalPairs(pairs)
+	defer release()
 	var paths []Path
 	err = c.do(ctx, http.MethodPost, "/v1/batch?format=wire", blob, serial.WireContentType,
 		func(body io.Reader) error {
@@ -309,10 +305,8 @@ func (c *Client) RouteBatchSegFuncBase(ctx context.Context, pairs []Pair, base u
 	if err != nil {
 		return err
 	}
-	blob, err := marshalPairsBase(pairs, base)
-	if err != nil {
-		return err
-	}
+	blob, release := marshalPairsBase(pairs, base)
+	defer release()
 	return c.do(ctx, http.MethodPost, "/v1/batch?format=wire2", blob, serial.WireSegContentType,
 		func(body io.Reader) error {
 			lr := io.LimitReader(body, serial.MaxWireSegBytes(m, len(pairs)))
@@ -337,6 +331,65 @@ func (c *Client) RouteBatchSegFuncBase(ctx context.Context, pairs []Pair, base u
 			}
 			return nil
 		})
+}
+
+// RawBatch summarizes a raw wire2 fetch: how many paths the verified
+// payload carries, its byte size, and the total hop count — the
+// accounting a gateway needs without decoding a single SegPath.
+type RawBatch struct {
+	Paths int
+	Bytes int64
+	Edges int64
+}
+
+// RouteBatchWire2Raw is the zero-copy sibling of RouteBatchSegFunc: it
+// routes pairs over wire2 and writes the response's verified *payload
+// bytes* — the path records, stream header and checksum trailer
+// stripped — to dst instead of decoding them into SegPaths. Every
+// record's framing and geometry bounds are validated and the checksum
+// trailer is verified against the scanned values, but no path is ever
+// materialized, so the per-path cost is a varint scan rather than an
+// allocation. A gateway splicing shard responses into one merged
+// stream consumes exactly this form (serial.WireSegSplicer re-frames
+// the fragments), because obliviousness makes each shard's records
+// byte-identical to the single-daemon encoding at the same streams.
+//
+// Like RouteBatchSegFuncBase: a nonzero base requires the daemon's
+// "batch-base" feature, body reads are capped by the largest stream
+// the pair count permits, and delivery is at-most-once — bytes may
+// reach dst before the trailer is verified, so a consumer that must
+// not act on unverified data has to buffer until the call returns.
+func (c *Client) RouteBatchWire2Raw(ctx context.Context, pairs []Pair, base uint64, dst io.Writer) (RawBatch, error) {
+	if base > 0 {
+		info, err := c.Info(ctx)
+		if err != nil {
+			return RawBatch{}, err
+		}
+		if !info.HasFeature("batch-base") {
+			return RawBatch{}, fmt.Errorf("meshrouted: daemon does not advertise the batch-base feature (base=%d)", base)
+		}
+	}
+	m, err := c.Mesh(ctx)
+	if err != nil {
+		return RawBatch{}, err
+	}
+	blob, release := marshalPairsBase(pairs, base)
+	defer release()
+	var rb RawBatch
+	err = c.do(ctx, http.MethodPost, "/v1/batch?format=wire2", blob, serial.WireSegContentType,
+		func(body io.Reader) error {
+			lr := io.LimitReader(body, serial.MaxWireSegBytes(m, len(pairs)))
+			n, edges, err := serial.CopyRawWireSeg(dst, lr, m, len(pairs))
+			if err != nil {
+				return fmt.Errorf("meshrouted: decode wire2 response: %w", err)
+			}
+			rb = RawBatch{Paths: len(pairs), Bytes: n, Edges: edges}
+			return nil
+		})
+	if err != nil {
+		return RawBatch{}, err
+	}
+	return rb, nil
 }
 
 // Info fetches /v1/mesh (cached after the first success).
@@ -390,19 +443,40 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return text, err
 }
 
-func marshalPairs(pairs []Pair) ([]byte, error) {
+// pairsBodyPool recycles batch request bodies: a steady stream of
+// same-shaped batches stops allocating the ~12 B/pair JSON after the
+// first few calls — the request side of the zero-copy story.
+var pairsBodyPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func marshalPairs(pairs []Pair) ([]byte, func()) {
 	return marshalPairsBase(pairs, 0)
 }
 
-func marshalPairsBase(pairs []Pair, base uint64) ([]byte, error) {
-	req := struct {
-		Pairs [][2]int `json:"pairs"`
-		Base  uint64   `json:"base,omitempty"`
-	}{Pairs: make([][2]int, len(pairs)), Base: base}
+// marshalPairsBase renders {"pairs":[[s,t],...]} (plus "base" when
+// nonzero) into a pooled buffer. The caller must invoke release once
+// the request — retries included — no longer needs the bytes; the
+// slice is invalid afterwards.
+func marshalPairsBase(pairs []Pair, base uint64) ([]byte, func()) {
+	bp := pairsBodyPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"pairs":[`...)
 	for i, pr := range pairs {
-		req.Pairs[i] = [2]int{int(pr.S), int(pr.T)}
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '[')
+		b = strconv.AppendInt(b, int64(pr.S), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(pr.T), 10)
+		b = append(b, ']')
 	}
-	return json.Marshal(req)
+	b = append(b, ']')
+	if base > 0 {
+		b = append(b, `,"base":`...)
+		b = strconv.AppendUint(b, base, 10)
+	}
+	b = append(b, '}')
+	*bp = b
+	return b, func() { pairsBodyPool.Put(bp) }
 }
 
 // doJSON runs do and decodes a JSON body into out.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"os/exec"
@@ -72,10 +73,21 @@ func TestClusterSmoke(t *testing.T) {
 		"-backends", strings.Join(urls, ","),
 		"-probe-interval", "100ms",
 	)
+	// A second gateway over the same fleet with the splice kill switch
+	// thrown: every batch is fetched from both and must be byte-identical
+	// — the zero-copy merge and the decode/re-encode fan-in may never
+	// diverge, before or after the mid-run kill.
+	gwPlain, gwPlainOut, gwPlainURL := boot(gate,
+		"-addr", "127.0.0.1:0",
+		"-backends", strings.Join(urls, ","),
+		"-probe-interval", "100ms",
+		"-nosplice",
+	)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 	defer cancel()
 	client := obliviousmesh.NewClient(gwURL, obliviousmesh.ClientConfig{})
+	clientPlain := obliviousmesh.NewClient(gwPlainURL, obliviousmesh.ClientConfig{})
 	m, err := client.Mesh(ctx)
 	if err != nil {
 		t.Fatalf("fetch mesh through gateway: %v", err)
@@ -113,6 +125,20 @@ func TestClusterSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatalf("batch %d through gateway: %v", b, err)
 		}
+		// Same batch through both gateways as raw verified wire2: the
+		// client checks each stream's checksum, and the spliced payload
+		// must equal the decode path's byte for byte.
+		var spliced, plain bytes.Buffer
+		if _, err := client.RouteBatchWire2Raw(ctx, pairs, 0, &spliced); err != nil {
+			t.Fatalf("batch %d raw via spliced gateway: %v", b, err)
+		}
+		if _, err := clientPlain.RouteBatchWire2Raw(ctx, pairs, 0, &plain); err != nil {
+			t.Fatalf("batch %d raw via -nosplice gateway: %v", b, err)
+		}
+		if !bytes.Equal(spliced.Bytes(), plain.Bytes()) {
+			t.Fatalf("batch %d: spliced and -nosplice gateways disagree (%d vs %d payload bytes)",
+				b, spliced.Len(), plain.Len())
+		}
 		// Power-cut one backend a third of the way in: every remaining
 		// batch must still verify byte-for-byte.
 		if b == batches/3 {
@@ -133,8 +159,10 @@ func TestClusterSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("scrape gateway metrics: %v", err)
 	}
+	// Each batch crossed the spliced gateway twice — once decoded and
+	// verified path-by-path, once raw for the byte-identity check.
 	for _, want := range []string{
-		`meshgate_routes_total{endpoint="batch"} 19000`,
+		`meshgate_routes_total{endpoint="batch"} 38000`,
 		"meshgate_backends 3",
 		"meshgate_backends_healthy 2",
 		"meshgate_backend_up{backend=" + `"` + urls[1] + `"` + "} 0",
@@ -150,6 +178,18 @@ func TestClusterSmoke(t *testing.T) {
 	// least one shard was re-fanned to a survivor.
 	if strings.Contains(metrics, "meshgate_refans_total 0\n") {
 		t.Errorf("refans_total is 0 after a mid-run backend kill:\n%s", metrics)
+	}
+	// The splice books: the default gateway spliced its wire2 batches,
+	// the -nosplice one decoded every single one.
+	if strings.Contains(metrics, "meshgate_splice_batches_total 0\n") {
+		t.Errorf("spliced gateway served no spliced batches:\n%s", metrics)
+	}
+	plainMetrics, err := clientPlain.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("scrape -nosplice gateway metrics: %v", err)
+	}
+	if !strings.Contains(plainMetrics, "meshgate_splice_batches_total 0\n") {
+		t.Errorf("-nosplice gateway spliced something:\n%s", plainMetrics)
 	}
 
 	// Real signals, clean drains: gateway first, then the survivors.
@@ -176,6 +216,10 @@ func TestClusterSmoke(t *testing.T) {
 	stop(gw, "meshgate", gwOut)
 	if !strings.Contains(gwOut.String(), "drained cleanly") {
 		t.Fatalf("gateway missing drain confirmation:\n%s", gwOut.String())
+	}
+	stop(gwPlain, "meshgate -nosplice", gwPlainOut)
+	if !strings.Contains(gwPlainOut.String(), "drained cleanly") {
+		t.Fatalf("-nosplice gateway missing drain confirmation:\n%s", gwPlainOut.String())
 	}
 	stop(backends[0], "backend 0", nil)
 	stop(backends[2], "backend 2", nil)

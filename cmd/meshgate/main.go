@@ -13,7 +13,7 @@
 //	         [-max-inflight 0] [-max-queue 0] [-max-batch 0]
 //	         [-timeout 30s] [-backend-timeout 10s] [-backend-retries 1]
 //	         [-hedge-after 0] [-nohedge] [-probe-interval 500ms]
-//	         [-drain-timeout 30s]
+//	         [-nosplice] [-splice-depth 4] [-drain-timeout 30s]
 //
 // At startup every backend's /v1/mesh identity is checked: topology,
 // seed, variant, path format and ksample must agree, and each member
@@ -30,6 +30,13 @@
 // duplicated onto a second backend and the first answer wins;
 // -nohedge disables that. GET /metrics merges every member's
 // exposition into per-backend up/load gauges plus cluster totals.
+//
+// wire2 batches are merged by zero-copy splice: each shard's verified
+// payload bytes are forwarded without decoding, streaming shard i to
+// the client as soon as shards 0..i-1 have flushed, with at most
+// -splice-depth shards fetched past the flush cursor. -nosplice is
+// the kill switch back to the decode/re-encode fan-in (identical
+// bytes, more memory, whole-batch latency before the first byte).
 //
 // The daemon prints "listening on http://<host:port>" once bound and
 // drains on SIGINT/SIGTERM exactly like meshrouted.
@@ -71,6 +78,8 @@ type config struct {
 	hedgeAfter     time.Duration
 	noHedge        bool
 	probeInterval  time.Duration
+	noSplice       bool
+	spliceDepth    int
 	drainTimeout   time.Duration
 }
 
@@ -93,6 +102,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.DurationVar(&cfg.hedgeAfter, "hedge-after", 0, "duplicate a straggling shard onto a second backend after this long (0 = adaptive from recent latencies)")
 	fs.BoolVar(&cfg.noHedge, "nohedge", false, "disable hedged shard retries entirely")
 	fs.DurationVar(&cfg.probeInterval, "probe-interval", 500*time.Millisecond, "backend /healthz probe cadence")
+	fs.BoolVar(&cfg.noSplice, "nosplice", false, "disable the zero-copy wire2 splice and decode/re-encode every batch")
+	fs.IntVar(&cfg.spliceDepth, "splice-depth", 0, "max shards fetched past the splice flush cursor (0 = default 4)")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -143,6 +154,8 @@ func validate(cfg config) error {
 		return fmt.Errorf("-hedge-after must be >= 0 (got %v)", cfg.hedgeAfter)
 	case cfg.probeInterval <= 0:
 		return fmt.Errorf("-probe-interval must be > 0 (got %v)", cfg.probeInterval)
+	case cfg.spliceDepth < 0:
+		return fmt.Errorf("-splice-depth must be >= 0 (got %d)", cfg.spliceDepth)
 	case cfg.drainTimeout <= 0:
 		return fmt.Errorf("-drain-timeout must be > 0 (got %v)", cfg.drainTimeout)
 	}
@@ -163,6 +176,8 @@ func serve(ctx context.Context, cfg config, stdout io.Writer) error {
 		HedgeAfter:     cfg.hedgeAfter,
 		DisableHedge:   cfg.noHedge,
 		ProbeInterval:  cfg.probeInterval,
+		DisableSplice:  cfg.noSplice,
+		SpliceDepth:    cfg.spliceDepth,
 	})
 	if err != nil {
 		return err

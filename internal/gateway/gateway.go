@@ -88,6 +88,17 @@ type Config struct {
 	// ProbeInterval is the health-check cadence per backend
 	// (default 500ms).
 	ProbeInterval time.Duration
+
+	// DisableSplice turns off the zero-copy wire2 merge and forces the
+	// decode/re-encode fan-in for every format — the kill switch behind
+	// meshgate's -nosplice flag. json and OMP1 responses always take the
+	// decode path (they must re-encode anyway).
+	DisableSplice bool
+	// SpliceDepth bounds how many shards past the flush cursor may be
+	// fetched (and so parked) at once on the splice path: shard i starts
+	// only when shard i−SpliceDepth has flushed, so a straggling early
+	// shard cannot make the gateway buffer the whole batch (default 4).
+	SpliceDepth int
 }
 
 func (c *Config) fill() error {
@@ -115,6 +126,9 @@ func (c *Config) fill() error {
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 500 * time.Millisecond
 	}
+	if c.SpliceDepth <= 0 {
+		c.SpliceDepth = 4
+	}
 	return nil
 }
 
@@ -138,10 +152,77 @@ type Gateway struct {
 	hedges atomic.Int64
 	refans atomic.Int64
 
+	spliceBatches      atomic.Int64 // wire2 batches served by the splice path
+	spliceBytes        atomic.Int64 // payload bytes forwarded without decode
+	spliceParkedShards atomic.Int64 // shards that completed before their flush turn
+	spliceParkedPeak   atomic.Int64 // high-water mark of simultaneously parked bytes
+	hedgeWasted        atomic.Int64 // bytes fetched by hedge losers and thrown away
+
 	lat latWindow
+
+	// reqPool pools the batch ingress scratch (*batchScratch): body
+	// bytes and the decoded [][2]int, so a steady stream of equal-sized
+	// batches parses with zero slice growth — the same discipline the
+	// daemon runs. The validated []Pair recycles separately through
+	// pairsPool, under a refcounting lease (see pairsLease).
+	reqPool sync.Pool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// batchScratch is the gateway's pooled ingress bundle.
+type batchScratch struct {
+	body []byte
+	req  struct {
+		Pairs [][2]int `json:"pairs"`
+		Base  uint64   `json:"base,omitempty"`
+	}
+}
+
+func (g *Gateway) getBatchScratch() *batchScratch {
+	if bs, ok := g.reqPool.Get().(*batchScratch); ok {
+		return bs
+	}
+	return &batchScratch{}
+}
+
+func (g *Gateway) putBatchScratch(bs *batchScratch) { g.reqPool.Put(bs) }
+
+// pairsPool + pairsLease recycle the validated []Pair of a batch. The
+// slice cannot simply be pooled when doBatch returns: a hedge loser's
+// attempt goroutine may still be marshaling its shard of the pairs
+// while the winner's response is already on the wire. So the batch
+// handler holds one reference, every shard sub-request wave holds one
+// more, and the backing array goes back to the pool only when the last
+// detached drain lets go. A nil lease (single-route path) is inert.
+var pairsPool = sync.Pool{New: func() any { return new([]obliviousmesh.Pair) }}
+
+type pairsLease struct {
+	bp   *[]obliviousmesh.Pair
+	refs atomic.Int64
+}
+
+func leasePairs(n int) (*pairsLease, []obliviousmesh.Pair) {
+	bp := pairsPool.Get().(*[]obliviousmesh.Pair)
+	if cap(*bp) < n {
+		*bp = make([]obliviousmesh.Pair, n)
+	}
+	l := &pairsLease{bp: bp}
+	l.refs.Store(1)
+	return l, (*bp)[:n]
+}
+
+func (l *pairsLease) acquire() {
+	if l != nil {
+		l.refs.Add(1)
+	}
+}
+
+func (l *pairsLease) release() {
+	if l != nil && l.refs.Add(-1) == 0 {
+		pairsPool.Put(l.bp)
+	}
 }
 
 // New validates the cluster and starts the health probers. Every
@@ -322,7 +403,7 @@ func (g *Gateway) doRoute(ctx context.Context, w http.ResponseWriter, r *http.Re
 	// counter — the same replayability contract as the daemon's.
 	stream := atomic.AddUint64(&g.streams, 1) - 1
 	pair := []obliviousmesh.Pair{{S: obliviousmesh.NodeID(req.S), T: obliviousmesh.NodeID(req.T)}}
-	sps, err := g.fetchShard(ctx, pair, stream)
+	sps, err := g.fetchShard(ctx, nil, pair, stream)
 	if err != nil {
 		return g.writeFanoutErr(ctx, w, err), 0, 0
 	}
@@ -366,14 +447,19 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Request) (code int, routes, edges int64) {
 	limit := int64(64 + 48*g.maxBatch)
-	var req struct {
-		Pairs [][2]int `json:"pairs"`
-		Base  uint64   `json:"base,omitempty"`
+	bs := g.getBatchScratch()
+	defer g.putBatchScratch(bs)
+	var err error
+	if bs.body, err = server.ReadAppend(bs.body[:0], http.MaxBytesReader(w, r.Body, limit)); err == nil {
+		bs.req.Pairs = bs.req.Pairs[:0]
+		bs.req.Base = 0
+		err = json.Unmarshal(bs.body, &bs.req)
 	}
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(&req); err != nil {
+	if err != nil {
 		server.WriteErr(w, http.StatusBadRequest, "decode request: %v", err)
 		return http.StatusBadRequest, 0, 0
 	}
+	req := &bs.req
 	if len(req.Pairs) > g.maxBatch {
 		server.WriteErr(w, http.StatusRequestEntityTooLarge, "%d pairs exceeds max batch %d", len(req.Pairs), g.maxBatch)
 		return http.StatusRequestEntityTooLarge, 0, 0
@@ -389,7 +475,8 @@ func (g *Gateway) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Re
 		return http.StatusBadRequest, 0, 0
 	}
 	size := g.m.Size()
-	pairs := make([]obliviousmesh.Pair, len(req.Pairs))
+	lease, pairs := leasePairs(len(req.Pairs))
+	defer lease.release()
 	for i, pr := range req.Pairs {
 		if pr[0] < 0 || pr[0] >= size || pr[1] < 0 || pr[1] >= size {
 			server.WriteErr(w, http.StatusBadRequest, "pair %d (%d,%d) out of range for %v", i, pr[0], pr[1], g.m)
@@ -404,7 +491,15 @@ func (g *Gateway) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Re
 		return http.StatusBadRequest, 0, 0
 	}
 
-	sps, err := g.fanout(ctx, pairs, req.Base)
+	// wire2 responses are byte-identical to the shard payloads, so they
+	// skip the decode/re-encode fan-in entirely and splice raw bytes —
+	// unless the kill switch forces the decode path. json and OMP1 must
+	// re-encode anyway and always decode.
+	if format == "wire2" && !g.cfg.DisableSplice {
+		return g.spliceBatch(ctx, w, lease, pairs, req.Base)
+	}
+
+	sps, err := g.fanout(ctx, lease, pairs, req.Base)
 	if err != nil {
 		return g.writeFanoutErr(ctx, w, err), 0, 0
 	}
@@ -498,7 +593,7 @@ func (g *Gateway) writeFanoutErr(ctx context.Context, w http.ResponseWriter, err
 // what is pinned is that pair i routes with stream base+i, whichever
 // backend ends up serving it, so membership changes mid-request cannot
 // change a single byte of the response.
-func (g *Gateway) fanout(ctx context.Context, pairs []obliviousmesh.Pair, base uint64) ([]obliviousmesh.SegPath, error) {
+func (g *Gateway) fanout(ctx context.Context, lease *pairsLease, pairs []obliviousmesh.Pair, base uint64) ([]obliviousmesh.SegPath, error) {
 	n := len(pairs)
 	if n == 0 {
 		return nil, nil
@@ -522,7 +617,7 @@ func (g *Gateway) fanout(ctx context.Context, pairs []obliviousmesh.Pair, base u
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			sps, err := g.fetchShard(ctx, pairs[lo:hi], base+uint64(lo))
+			sps, err := g.fetchShard(ctx, lease, pairs[lo:hi], base+uint64(lo))
 			if err != nil {
 				errs[i] = err
 				return
@@ -539,56 +634,13 @@ func (g *Gateway) fanout(ctx context.Context, pairs []obliviousmesh.Pair, base u
 	return out, nil
 }
 
-// fetchShard routes one contiguous shard, walking the healthy rotation
-// until a backend answers: a sub-request that fails past its client's
-// transient retries demotes the backend (the prober re-admits it when
-// it recovers) and the whole shard re-fans to the next candidate.
-func (g *Gateway) fetchShard(ctx context.Context, pairs []obliviousmesh.Pair, base uint64) ([]obliviousmesh.SegPath, error) {
-	tried := make(map[*backend]bool)
-	var lastErr error
-	for range g.backends {
-		b := g.pickBackend(tried, nil)
-		if b == nil {
-			break
-		}
-		sps, err := g.collectShard(ctx, b, pairs, base, tried)
-		if err == nil {
-			return sps, nil
-		}
-		lastErr = err
-		if ctx.Err() != nil {
-			return nil, err
-		}
-		var herr *obliviousmesh.HTTPError
-		if errors.As(err, &herr) && herr.StatusCode < 500 && herr.StatusCode != http.StatusTooManyRequests {
-			// The cluster is identical, so another backend would reject
-			// the sub-request the same way. Fail loudly.
-			return nil, err
-		}
-		b.healthy.Store(false)
-		g.refans.Add(1)
-		tried[b] = true
-	}
-	if lastErr != nil {
-		return nil, lastErr
-	}
-	return nil, errNoBackends
-}
-
-// collectShard runs one shard sub-request against b, hedging onto a
-// second backend if b straggles past the hedge delay. First complete
-// answer wins; the loser's context is canceled on return.
-func (g *Gateway) collectShard(ctx context.Context, b *backend, pairs []obliviousmesh.Pair, base uint64, tried map[*backend]bool) ([]obliviousmesh.SegPath, error) {
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	type result struct {
-		sps     []obliviousmesh.SegPath
-		err     error
-		elapsed time.Duration
-	}
-	ch := make(chan result, 2)
-	run := func(b *backend) {
-		t0 := time.Now()
+// fetchShard routes one contiguous shard into decoded SegPaths — the
+// fan-in for json/OMP1 responses and the -nosplice wire2 path. The
+// rotation walk and hedging live in the generic fetchShardVia; decoded
+// losers need no cleanup beyond the garbage collector, so discard is a
+// no-op.
+func (g *Gateway) fetchShard(ctx context.Context, lease *pairsLease, pairs []obliviousmesh.Pair, base uint64) ([]obliviousmesh.SegPath, error) {
+	run := func(cctx context.Context, b *backend) ([]obliviousmesh.SegPath, error) {
 		sps := make([]obliviousmesh.SegPath, 0, len(pairs))
 		err := b.client.RouteBatchSegFuncBase(cctx, pairs, base, func(_ int, sp obliviousmesh.SegPath) error {
 			sps = append(sps, sp)
@@ -597,10 +649,101 @@ func (g *Gateway) collectShard(ctx context.Context, b *backend, pairs []obliviou
 		if err == nil && len(sps) != len(pairs) {
 			err = fmt.Errorf("gateway: backend %s returned %d paths for %d pairs", b.url, len(sps), len(pairs))
 		}
-		ch <- result{sps, err, time.Since(t0)}
+		return sps, err
 	}
-	go run(b)
+	return fetchShardVia(g, ctx, lease, run, func([]obliviousmesh.SegPath, bool) {})
+}
+
+// fetchShardVia routes one contiguous shard via run, walking the
+// healthy rotation until a backend answers: a sub-request that fails
+// past its client's transient retries demotes the backend (the prober
+// re-admits it when it recovers) and the whole shard re-fans to the
+// next candidate. discard receives every attempt result that is not
+// the returned winner — losers of a hedge race (flagged true, they may
+// hold fetched bytes worth accounting) and failed attempts alike — so
+// pooled resources never leak.
+func fetchShardVia[T any](g *Gateway, ctx context.Context, lease *pairsLease,
+	run func(context.Context, *backend) (T, error), discard func(T, bool)) (T, error) {
+	var zero T
+	tried := make(map[*backend]bool)
+	var lastErr error
+	for range g.backends {
+		b := g.pickBackend(tried, nil)
+		if b == nil {
+			break
+		}
+		v, err := collectShardVia(g, ctx, b, tried, lease, run, discard)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return zero, err
+		}
+		var herr *obliviousmesh.HTTPError
+		if errors.As(err, &herr) && herr.StatusCode < 500 && herr.StatusCode != http.StatusTooManyRequests {
+			// The cluster is identical, so another backend would reject
+			// the sub-request the same way. Fail loudly.
+			return zero, err
+		}
+		b.healthy.Store(false)
+		g.refans.Add(1)
+		tried[b] = true
+	}
+	if lastErr != nil {
+		return zero, lastErr
+	}
+	return zero, errNoBackends
+}
+
+// collectShardVia runs one shard sub-request against b via run,
+// hedging onto a second backend if b straggles past the hedge delay.
+// First complete answer wins; the loser's context is canceled on
+// return (the deferred cancel fires before the drainer starts
+// receiving, so a straggler aborts promptly instead of running to
+// completion), and its eventual result is handed to discard with the
+// hedge-loser flag set.
+func collectShardVia[T any](g *Gateway, ctx context.Context, b *backend, tried map[*backend]bool,
+	lease *pairsLease, run func(context.Context, *backend) (T, error), discard func(T, bool)) (T, error) {
+	var zero T
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		v       T
+		err     error
+		elapsed time.Duration
+	}
+	ch := make(chan result, 2)
+	attempt := func(b *backend) {
+		go func() {
+			t0 := time.Now()
+			v, err := run(cctx, b)
+			ch <- result{v, err, time.Since(t0)}
+		}()
+	}
+	lease.acquire() // attempts read the leased pairs; settled by drainLosers
+	attempt(b)
 	outstanding := 1
+
+	// drainLosers consumes the attempts still in flight once the race
+	// is decided, then settles this call's pairs lease — the attempt
+	// goroutines read the pooled pairs, so the lease cannot drop before
+	// the last of them resolves. It runs detached: the deferred cancel
+	// has already aborted them, so they resolve promptly and their
+	// results — which may hold pooled buffers — reach discard instead
+	// of leaking. Every return path calls it exactly once.
+	drainLosers := func(n int, hedgeLoser bool) {
+		if n == 0 {
+			lease.release()
+			return
+		}
+		go func() {
+			for i := 0; i < n; i++ {
+				discard((<-ch).v, hedgeLoser)
+			}
+			lease.release()
+		}()
+	}
 
 	var timerC <-chan time.Time
 	if d := g.hedgeDelay(); d > 0 {
@@ -616,23 +759,29 @@ func (g *Gateway) collectShard(ctx context.Context, b *backend, pairs []obliviou
 			outstanding--
 			if res.err == nil {
 				g.lat.observe(res.elapsed)
-				return res.sps, nil
+				drainLosers(outstanding, true)
+				return res.v, nil
 			}
+			discard(res.v, false)
 			if firstErr == nil {
 				firstErr = res.err
 			}
 			if outstanding == 0 {
-				return nil, firstErr
+				drainLosers(0, false) // settles the lease; nothing left to drain
+				return zero, firstErr
 			}
 		case <-timerC:
 			timerC = nil
 			if b2 := g.pickBackend(tried, b); b2 != nil {
 				g.hedges.Add(1)
 				outstanding++
-				go run(b2)
+				attempt(b2)
 			}
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			// Attempts killed by the parent deadline are not hedge
+			// losers; their bytes are wasted but not to hedging.
+			drainLosers(outstanding, false)
+			return zero, ctx.Err()
 		}
 	}
 }

@@ -57,7 +57,12 @@ func (g *Gateway) writeMetrics(ctx context.Context, w io.Writer) {
 	fmt.Fprintf(w, "meshgate_draining %d\n", draining)
 	fmt.Fprintf(w, "meshgate_uptime_seconds %.3f\n", time.Since(g.started).Seconds())
 	fmt.Fprintf(w, "meshgate_hedges_total %d\n", g.hedges.Load())
+	fmt.Fprintf(w, "meshgate_hedge_wasted_bytes_total %d\n", g.hedgeWasted.Load())
 	fmt.Fprintf(w, "meshgate_refans_total %d\n", g.refans.Load())
+	fmt.Fprintf(w, "meshgate_splice_batches_total %d\n", g.spliceBatches.Load())
+	fmt.Fprintf(w, "meshgate_splice_bytes_total %d\n", g.spliceBytes.Load())
+	fmt.Fprintf(w, "meshgate_splice_parked_shards_total %d\n", g.spliceParkedShards.Load())
+	fmt.Fprintf(w, "meshgate_splice_parked_bytes_peak %d\n", g.spliceParkedPeak.Load())
 	fmt.Fprintf(w, "meshgate_backends %d\n", len(g.backends))
 	fmt.Fprintf(w, "meshgate_backends_healthy %d\n", g.healthyCount())
 

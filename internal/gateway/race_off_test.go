@@ -1,0 +1,7 @@
+//go:build !race
+
+package gateway
+
+// raceEnabled reports whether the race detector is active; allocation
+// gates skip under instrumentation, whose bookkeeping distorts B/op.
+const raceEnabled = false

@@ -1,0 +1,252 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	obliviousmesh "obliviousmesh"
+	"obliviousmesh/internal/serial"
+)
+
+// The zero-copy wire2 fan-in. The decode path materializes every
+// SegPath of the whole batch and re-encodes it — O(batch) heap and no
+// client byte until the last shard lands. But a shard's wire2 records
+// are byte-identical to the single-daemon encoding at the same streams
+// (obliviousness + canonical varints), so the gateway can forward raw
+// payload bytes instead: each shard is fetched through the client's
+// raw variant (framing validated, checksum verified, nothing decoded),
+// parked in a pooled buffer until its turn, and spliced into one
+// merged stream whose header and trailer serial.WireSegSplicer
+// rewrites on the fly.
+//
+// Ordering and backpressure: shard i's bytes flush as soon as shards
+// 0..i−1 have flushed — the header (and so TTFB) goes out before any
+// shard lands. Out-of-order completions park; a sliding window of
+// Config.SpliceDepth gates fetch starts so a straggling early shard
+// cannot make the gateway hold the whole batch in memory.
+//
+// Failure shape: the 200 header is committed before the shards are,
+// so a terminal mid-stream failure cannot become an error status on
+// the wire. The stream is truncated without its checksum trailer —
+// the client's decoder fails loudly — exactly the daemon's pipelined
+// deadline behavior, and the mapped status lands in the gateway's own
+// books.
+
+// rawShard is one shard's verified payload parked until its flush
+// turn, plus its books.
+type rawShard struct {
+	buf    bytes.Buffer
+	rb     obliviousmesh.RawBatch
+	parked bool // counted into the parked gauges; flush must uncount
+}
+
+// rawShardPool recycles shard buffers across requests; a released
+// shard keeps its capacity, so a steady batch size stops allocating
+// after the first few requests.
+var rawShardPool = sync.Pool{New: func() any { return new(rawShard) }}
+
+func acquireRawShard() *rawShard {
+	sh := rawShardPool.Get().(*rawShard)
+	sh.buf.Reset()
+	sh.rb = obliviousmesh.RawBatch{}
+	sh.parked = false
+	return sh
+}
+
+func releaseRawShard(sh *rawShard) { rawShardPool.Put(sh) }
+
+// fetchShardRaw is fetchShard's zero-copy sibling: the shard arrives
+// as verified payload bytes in a pooled buffer instead of decoded
+// SegPaths. Hedge losers and failed attempts hand their buffers back
+// through discard, with losers' byte counts booked as hedge waste.
+func (g *Gateway) fetchShardRaw(ctx context.Context, lease *pairsLease, pairs []obliviousmesh.Pair, base uint64) (*rawShard, error) {
+	run := func(cctx context.Context, b *backend) (*rawShard, error) {
+		sh := acquireRawShard()
+		rb, err := b.client.RouteBatchWire2Raw(cctx, pairs, base, &sh.buf)
+		if err != nil {
+			// Keep the buffer on the result: partial bytes ride along so
+			// the discard hook can account and recycle them.
+			return sh, err
+		}
+		sh.rb = rb
+		return sh, nil
+	}
+	discard := func(sh *rawShard, hedgeLoser bool) {
+		if sh == nil {
+			return
+		}
+		if hedgeLoser {
+			g.hedgeWasted.Add(int64(sh.buf.Len()))
+		}
+		releaseRawShard(sh)
+	}
+	return fetchShardVia(g, ctx, lease, run, discard)
+}
+
+// spliceBatch serves one wire2 batch by raw splice. It owns the whole
+// response (header included) and returns the status code for the
+// gateway's books plus the routes/edges it actually flushed.
+func (g *Gateway) spliceBatch(ctx context.Context, w http.ResponseWriter, lease *pairsLease, pairs []obliviousmesh.Pair, base uint64) (code int, routes, edges int64) {
+	n := len(pairs)
+	k := 0
+	if n > 0 {
+		// Pre-flight: past this point the 200 is committed, so an empty
+		// rotation must 503 now, while it still can. (An empty batch is
+		// an empty stream — no backend needed, matching the decode path.)
+		k = g.healthyCount()
+		if k == 0 {
+			return g.writeFanoutErr(ctx, w, errNoBackends), 0, 0
+		}
+		if k > n {
+			k = n
+		}
+	}
+
+	w.Header().Set("Content-Type", serial.WireSegContentType)
+	w.WriteHeader(http.StatusOK)
+	spl, err := serial.NewWireSegSplicer(w, g.m, n)
+	if err != nil {
+		return http.StatusInternalServerError, 0, 0
+	}
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // TTFB is the header, not the slowest shard
+	}
+	if n > 0 {
+		code, routes, edges = g.spliceShards(ctx, w, spl, flusher, lease, pairs, base, k)
+		if code != http.StatusOK {
+			return code, routes, edges
+		}
+	}
+	if err := spl.Close(); err != nil {
+		return http.StatusInternalServerError, routes, edges
+	}
+	g.spliceBatches.Add(1)
+	return http.StatusOK, routes, edges
+}
+
+// spliceShards fans pairs out across k shards and flushes them
+// strictly in order. Shard boundaries are the same i·n/k split as the
+// decode fan-out, so the two paths (and a single daemon) produce
+// identical bytes.
+func (g *Gateway) spliceShards(ctx context.Context, w http.ResponseWriter, spl *serial.WireSegSplicer,
+	flusher http.Flusher, lease *pairsLease, pairs []obliviousmesh.Pair, base uint64, k int) (code int, routes, edges int64) {
+	n := len(pairs)
+	depth := g.cfg.SpliceDepth
+
+	// sctx kills the remaining fetches when the flusher aborts, so no
+	// shard goroutine is left blocked on a gate or a slow backend.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	slots := make([]*rawShard, k)
+	errs := make([]error, k)
+	done := make([]chan struct{}, k)
+	gates := make([]chan struct{}, k)
+	for i := range done {
+		done[i] = make(chan struct{})
+		gates[i] = make(chan struct{})
+	}
+	for i := 0; i < depth && i < k; i++ {
+		close(gates[i]) // the first window needs no predecessor
+	}
+
+	var flushCursor atomic.Int64 // next shard index to flush
+	var parkedBytes atomic.Int64 // bytes sitting in parked shards now
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			select {
+			case <-gates[i]: // bounded-depth window: wait for shard i−depth to flush
+			case <-sctx.Done():
+				errs[i] = sctx.Err()
+				close(done[i])
+				return
+			}
+			sh, err := g.fetchShardRaw(sctx, lease, pairs[lo:hi], base+uint64(lo))
+			if err == nil && int64(i) > flushCursor.Load() {
+				// Completed before its turn: parked until the cursor
+				// arrives. The race with the cursor is benign — these are
+				// accounting gauges, not synchronization.
+				sh.parked = true
+				g.spliceParkedShards.Add(1)
+				pb := parkedBytes.Add(int64(sh.buf.Len()))
+				for {
+					peak := g.spliceParkedPeak.Load()
+					if pb <= peak || g.spliceParkedPeak.CompareAndSwap(peak, pb) {
+						break
+					}
+				}
+			}
+			slots[i], errs[i] = sh, err
+			close(done[i])
+		}(i, lo, hi)
+	}
+
+	code = http.StatusOK
+	for i := 0; i < k; i++ {
+		<-done[i] // fetches are ctx-bounded, so this always resolves
+		if errs[i] != nil {
+			code = fanoutErrCode(ctx, errs[i])
+			break
+		}
+		sh := slots[i]
+		if err := spl.Splice(sh.buf.Bytes()); err != nil {
+			// The write side failed (client gone) or a backend smuggled
+			// surplus records past its shard count: the stream is dead
+			// either way. Truncate without the trailer.
+			code = http.StatusInternalServerError
+			break
+		}
+		routes += int64(sh.rb.Paths)
+		edges += sh.rb.Edges
+		g.spliceBytes.Add(sh.rb.Bytes)
+		if sh.parked {
+			parkedBytes.Add(-int64(sh.buf.Len()))
+		}
+		slots[i] = nil
+		releaseRawShard(sh)
+		flushCursor.Store(int64(i + 1))
+		if i+depth < k {
+			close(gates[i+depth]) // admit the next shard into the window
+		}
+		if flusher != nil {
+			flusher.Flush() // shard i is on the wire before i+1 lands
+		}
+	}
+	if code != http.StatusOK {
+		// Abort: stop the remaining fetches, then recycle whatever they
+		// parked. wg.Wait also orders the slots reads after every
+		// goroutine's writes.
+		cancel()
+		wg.Wait()
+		for i, sh := range slots {
+			if sh != nil {
+				slots[i] = nil
+				releaseRawShard(sh)
+			}
+		}
+	}
+	return code, routes, edges
+}
+
+// fanoutErrCode is writeFanoutErr's status mapping for responses whose
+// header is already committed: the code feeds the gateway's books, the
+// client sees a truncated (trailerless) stream.
+func fanoutErrCode(ctx context.Context, err error) int {
+	switch {
+	case ctx.Err() != nil:
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errNoBackends):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadGateway
+	}
+}

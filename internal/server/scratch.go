@@ -98,9 +98,10 @@ func (s *Server) getBatchScratch() *batchScratch {
 
 func (s *Server) putBatchScratch(bs *batchScratch) { s.reqPool.Put(bs) }
 
-// readAppend drains r into buf (reusing its capacity), the
-// pool-friendly io.ReadAll.
-func readAppend(buf []byte, r io.Reader) ([]byte, error) {
+// ReadAppend drains r into buf (reusing its capacity), the
+// pool-friendly io.ReadAll. Exported for the gateway, whose ingress
+// runs the same pooled-parse discipline.
+func ReadAppend(buf []byte, r io.Reader) ([]byte, error) {
 	for {
 		if len(buf) == cap(buf) {
 			buf = append(buf, 0)[:len(buf)]

@@ -487,7 +487,7 @@ func (s *Server) doBatch(ctx context.Context, w http.ResponseWriter, r *http.Req
 	bs := s.getBatchScratch()
 	defer s.putBatchScratch(bs)
 	var err error
-	if bs.body, err = readAppend(bs.body[:0], body); err == nil {
+	if bs.body, err = ReadAppend(bs.body[:0], body); err == nil {
 		bs.req.Pairs = bs.req.Pairs[:0]
 		bs.req.Base = 0
 		err = json.Unmarshal(bs.body, &bs.req)
